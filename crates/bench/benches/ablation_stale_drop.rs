@@ -1,0 +1,39 @@
+//! Ablation bench for the paper's §4.4 proposed optimisation: exploring
+//! eviction-racing scenarios under the baseline (bogus pull) and optimised
+//! (drop) configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl_bench::check_scenario;
+use cxl_core::instr::Instruction::*;
+use cxl_core::{DState, DeviceId, HState, ProtocolConfig, StateBuilder};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let init = StateBuilder::new()
+        .dev_cache(DeviceId::D1, 1, DState::M)
+        .host(0, HState::M)
+        .prog(DeviceId::D1, vec![Evict, Store(3), Evict])
+        .prog(DeviceId::D2, vec![Store(9), Evict])
+        .build();
+    let mut g = c.benchmark_group("ablation_stale_drop");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("baseline_pull", ProtocolConfig::strict()),
+        (
+            "with_drop_optimisation",
+            ProtocolConfig { stale_evict_drop_optimisation: true, ..ProtocolConfig::strict() },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("explore", label), &cfg, |b, &cfg| {
+            b.iter(|| {
+                let r = check_scenario(cfg, &init);
+                assert!(r.clean());
+                black_box(r)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench for paper Figure 1 / §6: discharging the conjunct × rule
+//! preservation-obligation matrix — with a thread sweep (the super_sketch
+//! concurrency story of §7.2) and a granularity ablation (standard vs.
+//! fine-grained, paper-scale conjuncts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl_core::instr::Instruction;
+use cxl_core::{Granularity, Invariant, ProtocolConfig, Ruleset};
+use cxl_sketch::{ObligationMatrix, Universe};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProtocolConfig::strict();
+    let rules = Ruleset::new(cfg);
+    // A compact universe keeps the bench minutes-scale while exercising
+    // every rule column.
+    let grid = vec![
+        (vec![Instruction::Store(42)], vec![Instruction::Load]),
+        (vec![Instruction::Load, Instruction::Evict], vec![Instruction::Store(9)]),
+    ];
+    let universe = Universe::reachable(&rules, &grid).with_random(500, 7);
+
+    let mut g = c.benchmark_group("fig1_obligation_matrix");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let matrix = ObligationMatrix::new(Invariant::for_config(&cfg), rules.clone());
+        g.bench_with_input(BenchmarkId::new("standard_threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(matrix.discharge(&universe, t)));
+        });
+    }
+    for (label, granularity) in
+        [("standard", Granularity::Standard), ("fine", Granularity::Fine)]
+    {
+        let inv = match granularity {
+            Granularity::Standard => Invariant::for_config(&cfg),
+            Granularity::Fine => Invariant::fine_grained(&cfg),
+        };
+        let matrix = ObligationMatrix::new(inv, rules.clone());
+        g.bench_function(BenchmarkId::new("granularity", label), |b| {
+            b.iter(|| black_box(matrix.discharge(&universe, 4)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

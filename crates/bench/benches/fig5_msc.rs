@@ -1,0 +1,22 @@
+//! Bench for paper Figure 5: deriving and rendering the violation
+//! message-sequence chart from the Table 3 trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_litmus::msc::Msc;
+use cxl_litmus::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (trace, _) = tables::table3();
+    let mut g = c.benchmark_group("fig5_msc");
+    g.bench_function("derive_events_and_render", |b| {
+        b.iter(|| {
+            let msc = Msc::from_trace("figure 5", &trace);
+            black_box(msc.to_text())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

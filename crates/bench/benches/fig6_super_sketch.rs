@@ -1,0 +1,33 @@
+//! Bench for paper Figure 6 / §7.2: the super_sketch pipeline — decompose
+//! a rule lemma into subgoals, discharge them, and splice the results into
+//! a proof script.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_core::instr::Instruction;
+use cxl_core::{Invariant, ProtocolConfig, Ruleset};
+use cxl_sketch::{matrix_script, rule_lemma_script, ObligationMatrix, Universe};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProtocolConfig::strict();
+    let rules = Ruleset::new(cfg);
+    let grid = vec![(vec![Instruction::Store(42)], vec![Instruction::Load])];
+    let universe = Universe::reachable(&rules, &grid);
+    let matrix = ObligationMatrix::new(Invariant::for_config(&cfg), rules);
+    let report = matrix.discharge(&universe, 4);
+
+    let mut g = c.benchmark_group("fig6_super_sketch");
+    g.bench_function("discharge_and_emit_one_rule_lemma", |b| {
+        b.iter(|| {
+            let report = matrix.discharge(&universe, 4);
+            black_box(rule_lemma_script(&report, "SharedSnpInv1"))
+        });
+    });
+    g.bench_function("emit_full_session_script", |b| {
+        b.iter(|| black_box(matrix_script(&report)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for paper §5.1: exhaustively exploring each litmus test of the
+//! suite (every interleaving, SWMR + invariant checked on every state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl_litmus::suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("litmus_suite");
+    g.sample_size(10);
+    for lit in suite::full_suite() {
+        let name = lit.name.clone();
+        g.bench_with_input(BenchmarkId::new("explore", name), &lit, |b, lit| {
+            b.iter(|| {
+                let res = lit.run();
+                assert!(res.passed);
+                black_box(res)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for paper §5.2: the restriction-necessity sweep — how quickly the
+//! model checker witnesses what each relaxation breaks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl_litmus::relax;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relaxation_necessity");
+    g.sample_size(10);
+    for lit in relax::restriction_suite() {
+        let name = lit.name.clone();
+        g.bench_with_input(BenchmarkId::new("assess", name), &lit, |b, lit| {
+            b.iter(|| {
+                let res = lit.run();
+                assert!(res.passed);
+                black_box(res)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Simulation-throughput bench: instructions retired per second of wall
+//! time across instruction mixes — the workload-generator angle of the
+//! harness (no direct paper analogue; complements the state_space bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxl_core::ProtocolConfig;
+use cxl_sim::{InstructionMix, Simulator, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for (label, mix) in [
+        ("balanced", InstructionMix::balanced()),
+        ("read_heavy", InstructionMix::read_heavy()),
+        ("write_heavy", InstructionMix::write_heavy()),
+        ("evict_heavy", InstructionMix::evict_heavy()),
+    ] {
+        let spec = WorkloadSpec::new(16, mix, 7);
+        let sim = Simulator::new(ProtocolConfig::strict());
+        g.throughput(Throughput::Elements(32)); // 16 instrs × 2 devices
+        g.bench_with_input(BenchmarkId::new("mix", label), &spec, |b, spec| {
+            b.iter(|| black_box(sim.run_workload(spec, 1)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

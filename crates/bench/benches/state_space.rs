@@ -1,0 +1,39 @@
+//! Capacity bench: state-space exploration throughput as the device
+//! programs grow — the reproduction's analogue of the paper's session
+//! build-time discussion (§6: "3–5 hours to build a session"), showing
+//! how exploration cost scales with scenario size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxl_core::instr::programs;
+use cxl_core::{ProtocolConfig, Ruleset, SystemState};
+use cxl_mc::{CheckOptions, ModelChecker};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_space");
+    g.sample_size(10);
+    for len in [1usize, 2, 3] {
+        let init = SystemState::initial(programs::stores(0, len), programs::loads(len));
+        // Pre-measure the space so throughput is per-state.
+        let mc = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
+        let states = mc.check(&init, &[]).states as u64;
+        g.throughput(Throughput::Elements(states));
+        g.bench_with_input(BenchmarkId::new("stores_vs_loads", len), &init, |b, init| {
+            b.iter(|| black_box(mc.check(init, &[])));
+        });
+        // Parallel expansion variant.
+        let opts = CheckOptions { threads: 4, ..CheckOptions::default() };
+        let par = ModelChecker::with_options(Ruleset::new(ProtocolConfig::strict()), opts);
+        g.bench_with_input(
+            BenchmarkId::new("stores_vs_loads_4threads", len),
+            &init,
+            |b, init| {
+                b.iter(|| black_box(par.check(init, &[])));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for paper Table 1 (`clean_evict_test`): the deterministic replay
+//! of the printed schedule, and the exhaustive exploration of the same
+//! scenario (every interleaving, SWMR-checked).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_bench::check_scenario;
+use cxl_core::instr::programs;
+use cxl_core::{DState, DeviceId, HState, ProtocolConfig, StateBuilder};
+use cxl_litmus::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_clean_evict");
+    g.bench_function("replay_schedule", |b| {
+        b.iter(|| black_box(tables::table1()));
+    });
+    let initial = StateBuilder::new()
+        .dev_cache(DeviceId::D1, 0, DState::S)
+        .dev_cache(DeviceId::D2, 0, DState::S)
+        .host(0, HState::S)
+        .prog(DeviceId::D1, programs::evicts(2))
+        .build();
+    g.bench_function("exhaustive_scenario", |b| {
+        b.iter(|| black_box(check_scenario(ProtocolConfig::strict(), &initial)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

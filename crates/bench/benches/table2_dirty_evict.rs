@@ -1,0 +1,29 @@
+//! Bench for paper Table 2 (`dirty_evict_test`): schedule replay and
+//! exhaustive exploration of the dirty-eviction write-back.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_bench::check_scenario;
+use cxl_core::instr::programs;
+use cxl_core::{DState, DeviceId, HState, ProtocolConfig, StateBuilder};
+use cxl_litmus::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_dirty_evict");
+    g.bench_function("replay_schedule", |b| {
+        b.iter(|| black_box(tables::table2()));
+    });
+    let initial = StateBuilder::new()
+        .dev_cache(DeviceId::D1, 1, DState::M)
+        .dev_cache(DeviceId::D2, 0, DState::I)
+        .host(0, HState::M)
+        .prog(DeviceId::D1, programs::evict())
+        .build();
+    g.bench_function("exhaustive_scenario", |b| {
+        b.iter(|| black_box(check_scenario(ProtocolConfig::strict(), &initial)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for paper Table 3 (`snoop_pushes_go_test`): the violation-witness
+//! replay, and the model checker's search for the SWMR violation under the
+//! Snoop-pushes-GO relaxation (vs. the strict model's full clean sweep of
+//! the same scenario).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_bench::{check_scenario, violation_search};
+use cxl_core::instr::programs;
+use cxl_core::{ProtocolConfig, Relaxation, SystemState};
+use cxl_litmus::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_snoop_pushes_go");
+    g.bench_function("replay_violation_schedule", |b| {
+        b.iter(|| black_box(tables::table3()));
+    });
+    let init = SystemState::initial(programs::store(42), programs::load());
+    g.bench_function("violation_search_relaxed", |b| {
+        b.iter(|| {
+            let r = violation_search(Relaxation::SnoopPushesGo, &init);
+            assert!(!r.violations.is_empty());
+            black_box(r)
+        });
+    });
+    g.bench_function("clean_sweep_strict", |b| {
+        b.iter(|| {
+            let r = check_scenario(ProtocolConfig::strict(), &init);
+            assert!(r.clean());
+            black_box(r)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

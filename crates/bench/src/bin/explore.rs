@@ -1,0 +1,121 @@
+//! `explore` — an ad-hoc scenario explorer for the CXL.cache model.
+//!
+//! Give each device a program (compact syntax: `L` load, `S<val>` store,
+//! `E` evict, comma-separated), pick a configuration, and the tool
+//! exhaustively explores every interleaving, reporting coherence,
+//! deadlocks, state-space size, and (on request) a sample trace table.
+//!
+//! ```text
+//! cargo run -p cxl-bench --bin explore -- --p1 S42,E --p2 L,L \
+//!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
+//!     [--full] [--trace]
+//! ```
+
+use cxl_core::instr::Instruction;
+use cxl_core::{Invariant, ProtocolConfig, Relaxation, Ruleset, SystemState};
+use cxl_litmus::render::{Column, TransitionTable};
+use cxl_mc::{InvariantProperty, ModelChecker, SwmrProperty};
+
+fn parse_program(spec: &str) -> Result<Vec<Instruction>, String> {
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            match tok.chars().next() {
+                Some('L' | 'l') if tok.len() == 1 => Ok(Instruction::Load),
+                Some('E' | 'e') if tok.len() == 1 => Ok(Instruction::Evict),
+                Some('S' | 's') => tok[1..]
+                    .parse::<i64>()
+                    .map(Instruction::Store)
+                    .map_err(|e| format!("bad store value in {tok:?}: {e}")),
+                _ => Err(format!("unrecognised instruction {tok:?} (use L, S<val>, E)")),
+            }
+        })
+        .collect()
+}
+
+fn parse_relaxation(name: &str) -> Result<Relaxation, String> {
+    match name {
+        "snoop-pushes-go" => Ok(Relaxation::SnoopPushesGo),
+        "go-tailgate" => Ok(Relaxation::GoCannotTailgateSnoop),
+        "one-snoop" => Ok(Relaxation::OneSnoopPerLine),
+        "naive-tracking" => Ok(Relaxation::NaiveTransientTracking),
+        other => Err(format!(
+            "unknown relaxation {other:?} (snoop-pushes-go, go-tailgate, one-snoop, \
+             naive-tracking)"
+        )),
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let run = || -> Result<(), String> {
+        let p1 = parse_program(&arg_value(&args, "--p1").unwrap_or_default())?;
+        let p2 = parse_program(&arg_value(&args, "--p2").unwrap_or_default())?;
+        let mut cfg = if args.iter().any(|a| a == "--full") {
+            ProtocolConfig::full()
+        } else {
+            ProtocolConfig::strict()
+        };
+        if let Some(r) = arg_value(&args, "--relax") {
+            cfg = ProtocolConfig::relaxed(parse_relaxation(&r)?);
+        }
+        let want_trace = args.iter().any(|a| a == "--trace");
+
+        let init = SystemState::initial(p1, p2);
+        println!("configuration: {cfg:?}\ninitial state:\n{init}");
+
+        let invariant = InvariantProperty::new(Invariant::for_config(&cfg));
+        let mc = ModelChecker::new(Ruleset::new(cfg));
+        let report = mc.check(&init, &[&SwmrProperty, &invariant]);
+        println!("{report}");
+
+        if let Some(v) = report.violations.first() {
+            println!("--- counterexample ---");
+            let table = TransitionTable::from_trace(
+                format!("violation of {}: {}", v.property, v.detail),
+                &v.trace,
+                &[
+                    Column::DCache(cxl_core::DeviceId::D1),
+                    Column::HCache,
+                    Column::DCache(cxl_core::DeviceId::D2),
+                    Column::Counter,
+                ],
+            );
+            println!("{table}");
+        } else if let Some(d) = report.deadlocks.first() {
+            println!("--- stuck state ---\n{}", d.trace.last_state());
+        } else if want_trace {
+            // Print one maximal path as a table.
+            let mut trace = cxl_mc::Trace { initial: init.clone(), steps: vec![] };
+            let mut cur = init;
+            while let Some((rule, next)) = mc.rules().successors(&cur).into_iter().next() {
+                trace.steps.push(cxl_mc::Step { rule, state: next.clone() });
+                cur = next;
+            }
+            let table = TransitionTable::from_trace(
+                "sample execution (first-enabled-rule schedule)",
+                &trace,
+                &[
+                    Column::DProg(cxl_core::DeviceId::D1),
+                    Column::DCache(cxl_core::DeviceId::D1),
+                    Column::HCache,
+                    Column::DCache(cxl_core::DeviceId::D2),
+                    Column::DProg(cxl_core::DeviceId::D2),
+                ],
+            );
+            println!("{table}");
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Inductiveness probe: discharge the fine-grained obligation matrix over
+//! progressively larger randomised universes and report any failing cell —
+//! the reproduction of the paper's §7.1 invariant-iteration loop.
+
+fn main() {
+    use cxl_core::{Invariant, ProtocolConfig, Ruleset};
+    let cfg = ProtocolConfig::strict();
+    let rules = Ruleset::new(cfg);
+    let inv = Invariant::fine_grained(&cfg);
+    let mut clean = true;
+    for seed in [2024u64, 7, 99, 12345] {
+        let universe = cxl_bench::default_universe(&rules, 20_000, seed);
+        let matrix = cxl_sketch::ObligationMatrix::new(inv.clone(), rules.clone());
+        let report = matrix.discharge(&universe, 8);
+        println!(
+            "seed {seed}: {} states ({} hypothesis), {} cells, {} failed",
+            universe.len(),
+            report.hypothesis_states,
+            report.total_cells(),
+            report.failed()
+        );
+        for cx in report.counterexamples.iter().take(2) {
+            clean = false;
+            println!("FAILED CELL: conjunct {} x rule {}", cx.conjunct_name, cx.rule.name());
+            println!("before:\n{}", cx.before);
+            println!("after:\n{}", cx.after);
+        }
+    }
+    println!("probe {}", if clean { "CLEAN: invariant inductive over all probes" } else { "FOUND GAPS" });
+}

@@ -1,0 +1,84 @@
+//! Regenerate every table and figure of the paper's evaluation and print
+//! them, plus a machine-readable JSON dump.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p cxl-bench --bin report [--quick] [--json PATH]
+//! ```
+//! `--quick` shrinks the obligation-matrix universe for a fast smoke run.
+
+use cxl_bench::{
+    figure5_artifact, figure6_artifact, litmus_artifact, obligation_artifact,
+    relaxation_artifact, scale_artifact, table1_artifact, table2_artifact, table3_artifact,
+    Artifact, MatrixOptions,
+};
+use cxl_core::Granularity;
+
+fn banner(a: &Artifact) {
+    println!("================================================================");
+    println!("experiment: {}", a.id);
+    println!("paper:      {}", a.paper_claim);
+    println!("measured:   {}", a.measured);
+    println!("----------------------------------------------------------------");
+    println!("{}", a.text);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let opts = if quick {
+        MatrixOptions {
+            granularity: Granularity::Standard,
+            random_states: 200,
+            threads: 4,
+            seed: 2024,
+        }
+    } else {
+        MatrixOptions::default()
+    };
+
+    let mut artifacts = Vec::new();
+
+    for a in [table1_artifact(), table2_artifact(), table3_artifact(), figure5_artifact()] {
+        banner(&a);
+        artifacts.push(a);
+    }
+
+    let (litmus_rows, litmus) = litmus_artifact();
+    banner(&litmus);
+    artifacts.push(litmus);
+
+    let (relax_rows, relax) = relaxation_artifact();
+    banner(&relax);
+    artifacts.push(relax);
+
+    let fig1 = obligation_artifact(opts);
+    banner(&fig1);
+    artifacts.push(fig1);
+
+    let fig6 = figure6_artifact(MatrixOptions { random_states: 200, ..opts });
+    banner(&fig6);
+    artifacts.push(fig6);
+
+    let (scale_rows, scale) = scale_artifact(opts);
+    banner(&scale);
+    artifacts.push(scale);
+
+    if let Some(path) = json_path {
+        let payload = serde_json::json!({
+            "artifacts": artifacts,
+            "litmus": litmus_rows,
+            "relaxations": relax_rows,
+            "scale": scale_rows,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serialise"))
+            .expect("write JSON report");
+        println!("JSON report written to {path}");
+    }
+}

@@ -1,0 +1,168 @@
+//! A builder for litmus-test initial states.
+//!
+//! The paper's litmus tests (§5.1) "initialise the system in a state where
+//! the two devices are poised to issue a particular series of requests" —
+//! e.g. Table 1 starts with both devices holding `(0, S)` and the host
+//! `(0, S)`. This builder constructs such states concisely and validates
+//! basic well-formedness at build time.
+
+use crate::cacheline::{DCache, DState, HCache, HState};
+use crate::ids::{DeviceId, Tid, Val};
+use crate::instr::Program;
+use crate::state::SystemState;
+
+/// Builder for [`SystemState`] initial states.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::{DState, DeviceId, HState, StateBuilder};
+/// use cxl_core::instr::programs;
+///
+/// // Paper Table 1's initial state.
+/// let s = StateBuilder::new()
+///     .dev_cache(DeviceId::D1, 0, DState::S)
+///     .dev_cache(DeviceId::D2, 0, DState::S)
+///     .host(0, HState::S)
+///     .prog(DeviceId::D1, programs::evicts(2))
+///     .build();
+/// assert_eq!(s.dev(DeviceId::D1).cache.state, DState::S);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateBuilder {
+    state: SystemState,
+}
+
+impl StateBuilder {
+    /// Start from the all-invalid initial state (devices `(-1, I)`, host
+    /// `(0, I)`, counter 0 — paper Table 3's starting point).
+    #[must_use]
+    pub fn new() -> Self {
+        StateBuilder { state: SystemState::initial(Vec::new(), Vec::new()) }
+    }
+
+    /// Set a device's program.
+    #[must_use]
+    pub fn prog(mut self, d: DeviceId, prog: Program) -> Self {
+        self.state.dev_mut(d).prog = prog;
+        self
+    }
+
+    /// Set a device's cache line.
+    #[must_use]
+    pub fn dev_cache(mut self, d: DeviceId, val: Val, st: DState) -> Self {
+        self.state.dev_mut(d).cache = DCache::new(val, st);
+        self
+    }
+
+    /// Set the host cache line.
+    #[must_use]
+    pub fn host(mut self, val: Val, st: HState) -> Self {
+        self.state.host = HCache::new(val, st);
+        self
+    }
+
+    /// Set the transaction counter.
+    #[must_use]
+    pub fn counter(mut self, c: Tid) -> Self {
+        self.state.counter = c;
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if the built state is not a sensible litmus starting point:
+    /// cache lines must be stable and the directory must agree with the
+    /// device states (litmus tests start from settled configurations; the
+    /// paper's all do).
+    #[must_use]
+    pub fn build(self) -> SystemState {
+        let s = self.state;
+        for d in DeviceId::ALL {
+            assert!(
+                s.dev(d).cache.state.is_stable(),
+                "litmus initial states use stable device states, got {} for device {d}",
+                s.dev(d).cache.state
+            );
+        }
+        assert!(s.host.state.is_stable(), "litmus initial states use a stable host state");
+        let any_m =
+            DeviceId::ALL.iter().any(|&d| s.dev(d).cache.state == DState::M);
+        let any_s =
+            DeviceId::ALL.iter().any(|&d| s.dev(d).cache.state == DState::S);
+        match s.host.state {
+            HState::I => assert!(
+                !any_m && !any_s,
+                "host I requires all devices invalid in the initial state"
+            ),
+            HState::S => assert!(
+                any_s && !any_m,
+                "host S requires ≥1 shared device copy and no owner"
+            ),
+            HState::M => assert!(any_m, "host M requires a device owner"),
+            _ => unreachable!("stable asserted above"),
+        }
+        s
+    }
+
+    /// Finish building without validation (for deliberately ill-formed
+    /// states in tests).
+    #[must_use]
+    pub fn build_unchecked(self) -> SystemState {
+        self.state
+    }
+}
+
+impl Default for StateBuilder {
+    fn default() -> Self {
+        StateBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::programs;
+
+    #[test]
+    fn builds_table1_initial_state() {
+        let s = StateBuilder::new()
+            .dev_cache(DeviceId::D1, 0, DState::S)
+            .dev_cache(DeviceId::D2, 0, DState::S)
+            .host(0, HState::S)
+            .prog(DeviceId::D1, programs::evicts(2))
+            .build();
+        assert_eq!(s.host.state, HState::S);
+        assert_eq!(s.dev(DeviceId::D1).prog.len(), 2);
+        assert_eq!(s.counter, 0);
+    }
+
+    #[test]
+    fn builds_table2_initial_state() {
+        let s = StateBuilder::new()
+            .dev_cache(DeviceId::D1, 1, DState::M)
+            .host(0, HState::M)
+            .prog(DeviceId::D1, programs::evict())
+            .build();
+        assert_eq!(s.dev(DeviceId::D1).cache.val, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "host S requires")]
+    fn rejects_directory_drift() {
+        let _ = StateBuilder::new().host(0, HState::S).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "stable device states")]
+    fn rejects_transient_device_start() {
+        let _ = StateBuilder::new().dev_cache(DeviceId::D1, 0, DState::ISAD).build();
+    }
+
+    #[test]
+    fn unchecked_builds_anything() {
+        let s = StateBuilder::new().host(0, HState::S).build_unchecked();
+        assert_eq!(s.host.state, HState::S);
+    }
+}

@@ -1,0 +1,177 @@
+//! FIFO message channels between host and devices.
+//!
+//! The paper models each of the six per-device channels as a list with
+//! `head`/`tail`/append operations (Figure 4). The coherence argument in
+//! fact guarantees that each channel holds at most one message at a time
+//! (the "channels are singleton lists" invariant conjunct, §6), but the
+//! *model* does not build that in — it emerges from the rules. We likewise
+//! use an unbounded FIFO so that relaxed protocol variants can exhibit
+//! longer queues, and check singleton-ness as an invariant.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered message channel with FIFO semantics.
+///
+/// `head` is the next message to be consumed; rules append at the tail
+/// (`chan := chan @ [msg]` in the paper's notation).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel<T> {
+    items: Vec<T>,
+}
+
+impl<T> Channel<T> {
+    /// An empty channel.
+    #[must_use]
+    pub fn new() -> Self {
+        Channel { items: Vec::new() }
+    }
+
+    /// The message at the head, if any (`head(chan)` in the paper).
+    #[must_use]
+    pub fn head(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// Remove and return the head (`chan := tail(chan)`).
+    pub fn pop(&mut self) -> Option<T> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+
+    /// Append a message at the tail (`chan := chan @ [msg]`).
+    pub fn push(&mut self, msg: T) {
+        self.items.push(msg);
+    }
+
+    /// Is the channel empty (`chan = []`)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of in-flight messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterate over in-flight messages, head first.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// View the channel contents as a slice, head first.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+impl<T> FromIterator<T> for Channel<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Channel { items: iter.into_iter().collect() }
+    }
+}
+
+impl<T> Extend<T> for Channel<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl<T> From<Vec<T>> for Channel<T> {
+    fn from(items: Vec<T>) -> Self {
+        Channel { items }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Channel<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T> IntoIterator for Channel<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Channel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, m) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut c = Channel::new();
+        c.push(1);
+        c.push(2);
+        c.push(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.head(), Some(&1));
+        assert_eq!(c.pop(), Some(1));
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn head_does_not_consume() {
+        let mut c: Channel<u32> = Channel::new();
+        c.push(7);
+        assert_eq!(c.head(), Some(&7));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let c: Channel<u32> = (0..4).collect();
+        let v: Vec<u32> = c.iter().copied().collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_matches_paper_list_notation() {
+        let mut c = Channel::new();
+        assert_eq!(c.to_string(), "[]");
+        c.push(1);
+        c.push(2);
+        assert_eq!(c.to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let c = Channel::from(vec![9, 8]);
+        let back: Vec<i32> = c.into_iter().collect();
+        assert_eq!(back, vec![9, 8]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Protocol configuration: the toggleable restrictions and options of the
+//! modelled CXL.cache protocol.
+//!
+//! The paper's scenario verification (§5.2) assesses whether each
+//! restriction the CXL standard imposes is *necessary* — i.e. whether
+//! relaxing it makes coherence violations reachable. To reproduce that, the
+//! restrictions the paper discusses are explicit boolean guards consulted
+//! by the transition rules, and each [`Relaxation`] names one of them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Guards and optional behaviours of the protocol model.
+///
+/// [`ProtocolConfig::strict`] (also [`Default`]) is the faithful model: all
+/// of the standard's restrictions enforced, none of the optional extensions
+/// enabled. Relaxed configurations are obtained via
+/// [`ProtocolConfig::relaxed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// **Snoop-pushes-GO** (CXL spec §3.2.5.2): "a snoop arriving to the
+    /// same address of the request receiving the GO would see the results
+    /// of that GO". Modelled as: a device only processes an H2D snoop when
+    /// its H2DRsp channel is empty (paper §3.3, rule `SharedSnpInv`).
+    /// When relaxed, the buggy `IsadSnpInvBuggy` rule of paper Table 3 also
+    /// becomes enabled.
+    pub snoop_pushes_go: bool,
+
+    /// **GO-cannot-tailgate-snoop** (CXL spec §3.2.5.2): "no GO response
+    /// will be sent to any requests with that address in the device until
+    /// after the Host has received a response for the snoop and all
+    /// implicit writeback (IWB) data". Modelled as a guard on every host
+    /// rule that launches an H2D response: the target device's H2DReq,
+    /// D2HRsp and D2HData channels must be empty (paper §3.3, rule
+    /// `HostModifiedDirtyEvict`). When relaxed, the host may additionally
+    /// answer a pending eviction *while* a snoop to the same device is
+    /// outstanding (rule `HostEagerStaleDirtyEvict`).
+    pub go_cannot_tailgate_snoop: bool,
+
+    /// **One-snoop-per-line** (CXL spec §3.2.5.5): "The host must wait
+    /// until it has received both the snoop response and all IWB data (if
+    /// any) before dispatching the next snoop to that address." Modelled as
+    /// a guard on every host rule that launches a snoop.
+    pub one_snoop_per_line: bool,
+
+    /// **Precise transient tracking**: the host's perfect tracking counts a
+    /// device with a granted-but-undelivered GO as a sharer/owner (the
+    /// `ISAD ∧ H2DRsp ≠ []` carve-out in the paper's transient-SWMR
+    /// invariant conjunct, §6). Relaxing this — treating such a device as
+    /// invalid — lets the host grant conflicting ownership, demonstrating
+    /// why the invariant needs the carve-out.
+    pub precise_transient_tracking: bool,
+
+    /// **Stale-evict drop optimisation** (paper §4.4, the proposed fix
+    /// still under discussion with the CXL consortium): when a snoop has
+    /// already established that an evicting device's data is stale, the
+    /// host may issue `GO_WritePullDrop` instead of `GO_WritePull`,
+    /// avoiding a useless (bogus) data transfer.
+    pub stale_evict_drop_optimisation: bool,
+
+    /// Devices may nondeterministically choose `CleanEvictNoData` instead
+    /// of `CleanEvict` when evicting a clean line (paper §3.2).
+    pub clean_evict_no_data: bool,
+
+    /// The host may answer a (non-stale) `CleanEvict` with `GO_WritePull`
+    /// — pulling the clean data — instead of `GO_WritePullDrop`. CXL
+    /// permits either; the drop avoids D2H data traffic. Off by default so
+    /// the strict model matches paper Table 1 exactly.
+    pub clean_evict_pull: bool,
+}
+
+impl ProtocolConfig {
+    /// The faithful model: every restriction enforced, optional behaviours
+    /// that paper Tables 1–3 exercise enabled, extensions disabled.
+    #[must_use]
+    pub fn strict() -> Self {
+        ProtocolConfig {
+            snoop_pushes_go: true,
+            go_cannot_tailgate_snoop: true,
+            one_snoop_per_line: true,
+            precise_transient_tracking: true,
+            stale_evict_drop_optimisation: false,
+            clean_evict_no_data: false,
+            clean_evict_pull: false,
+        }
+    }
+
+    /// The strict model with every *optional* (coherence-preserving)
+    /// behaviour also enabled: maximal nondeterminism for coverage-oriented
+    /// model checking. All restrictions remain enforced.
+    #[must_use]
+    pub fn full() -> Self {
+        ProtocolConfig {
+            stale_evict_drop_optimisation: true,
+            clean_evict_no_data: true,
+            clean_evict_pull: true,
+            ..ProtocolConfig::strict()
+        }
+    }
+
+    /// The strict model with one restriction relaxed (paper §5.2's
+    /// restriction-necessity experiments).
+    #[must_use]
+    pub fn relaxed(relaxation: Relaxation) -> Self {
+        let mut c = ProtocolConfig::strict();
+        match relaxation {
+            Relaxation::SnoopPushesGo => c.snoop_pushes_go = false,
+            Relaxation::GoCannotTailgateSnoop => c.go_cannot_tailgate_snoop = false,
+            Relaxation::OneSnoopPerLine => c.one_snoop_per_line = false,
+            Relaxation::NaiveTransientTracking => c.precise_transient_tracking = false,
+        }
+        c
+    }
+
+    /// Which relaxations (if any) this configuration embodies relative to
+    /// the strict model.
+    #[must_use]
+    pub fn active_relaxations(&self) -> Vec<Relaxation> {
+        let mut v = Vec::new();
+        if !self.snoop_pushes_go {
+            v.push(Relaxation::SnoopPushesGo);
+        }
+        if !self.go_cannot_tailgate_snoop {
+            v.push(Relaxation::GoCannotTailgateSnoop);
+        }
+        if !self.one_snoop_per_line {
+            v.push(Relaxation::OneSnoopPerLine);
+        }
+        if !self.precise_transient_tracking {
+            v.push(Relaxation::NaiveTransientTracking);
+        }
+        v
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::strict()
+    }
+}
+
+/// A named relaxation of one protocol restriction (paper §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Relaxation {
+    /// Relax "Snoop-pushes-GO": devices may process snoops ahead of pending
+    /// GO messages, and the buggy `ISADSnpInv` rule of paper Table 3 is
+    /// enabled. Expected outcome: the Table 3 / Figure 5 SWMR violation.
+    SnoopPushesGo,
+    /// Relax "GO-cannot-tailgate-snoop": the host may launch responses
+    /// while snoop/IWB traffic for the line is outstanding, including
+    /// eagerly answering an eviction from a device it is concurrently
+    /// snooping.
+    GoCannotTailgateSnoop,
+    /// Relax "one snoop pending per line per device".
+    OneSnoopPerLine,
+    /// Relax the host's precise tracking of in-flight GO grants.
+    NaiveTransientTracking,
+}
+
+impl Relaxation {
+    /// All relaxations, for sweep-style experiments.
+    pub const ALL: [Relaxation; 4] = [
+        Relaxation::SnoopPushesGo,
+        Relaxation::GoCannotTailgateSnoop,
+        Relaxation::OneSnoopPerLine,
+        Relaxation::NaiveTransientTracking,
+    ];
+
+    /// The CXL spec / paper clause the relaxed restriction comes from.
+    #[must_use]
+    pub fn paper_reference(self) -> &'static str {
+        match self {
+            Relaxation::SnoopPushesGo => "CXL §3.2.5.2 via paper §3.3 & Table 3",
+            Relaxation::GoCannotTailgateSnoop => "CXL §3.2.5.2 via paper §3.3 (HostModifiedDirtyEvict guard)",
+            Relaxation::OneSnoopPerLine => "CXL §3.2.5.5 via paper §4.1–4.2",
+            Relaxation::NaiveTransientTracking => "paper §6, transient-SWMR conjunct",
+        }
+    }
+
+    /// Human-readable description of what is being relaxed.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Relaxation::SnoopPushesGo => {
+                "snoops may overtake pending GO responses at a device"
+            }
+            Relaxation::GoCannotTailgateSnoop => {
+                "host may launch GO responses while snoop/IWB traffic is outstanding"
+            }
+            Relaxation::OneSnoopPerLine => {
+                "host may dispatch a snoop before the previous one is fully collected"
+            }
+            Relaxation::NaiveTransientTracking => {
+                "host ignores in-flight GO grants when computing sharers"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_enforces_all_restrictions() {
+        let c = ProtocolConfig::strict();
+        assert!(c.snoop_pushes_go);
+        assert!(c.go_cannot_tailgate_snoop);
+        assert!(c.one_snoop_per_line);
+        assert!(c.precise_transient_tracking);
+        assert!(!c.stale_evict_drop_optimisation);
+        assert!(!c.clean_evict_pull);
+        assert!(c.active_relaxations().is_empty());
+        assert_eq!(ProtocolConfig::default(), c);
+    }
+
+    #[test]
+    fn full_keeps_restrictions_but_enables_options() {
+        let c = ProtocolConfig::full();
+        assert!(c.snoop_pushes_go && c.go_cannot_tailgate_snoop);
+        assert!(c.stale_evict_drop_optimisation && c.clean_evict_no_data && c.clean_evict_pull);
+        assert!(c.active_relaxations().is_empty());
+    }
+
+    #[test]
+    fn each_relaxation_flips_exactly_one_guard() {
+        for r in Relaxation::ALL {
+            let c = ProtocolConfig::relaxed(r);
+            assert_eq!(c.active_relaxations(), vec![r], "relaxation {r} roundtrip");
+        }
+    }
+
+    #[test]
+    fn relaxation_metadata_is_nonempty() {
+        for r in Relaxation::ALL {
+            assert!(!r.description().is_empty());
+            assert!(!r.paper_reference().is_empty());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Fundamental identifier and scalar types of the CXL.cache model.
+//!
+//! The paper models a two-device system (§3.1): "In an effort to keep the
+//! proof tractable, we have fixed the number of devices to two." We mirror
+//! that with a closed [`DeviceId`] enum, which lets the rest of the model
+//! use fixed-size arrays and keeps state hashing cheap.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cached value. The paper leaves `Val` abstract; its tables use small
+/// integers (`-1`, `0`, `42`), so a signed machine integer suffices.
+pub type Val = i64;
+
+/// A transaction identifier (`Tid ≝ ℕ` in paper Figure 3).
+///
+/// The CXL standard does not specify how devices mint unique transaction
+/// identifiers; the paper introduces a globally accessible counter for this
+/// purpose (§3.1), which we reproduce as [`crate::state::SystemState::counter`].
+pub type Tid = u64;
+
+/// One of the two devices of the modelled system.
+///
+/// Rules and invariant conjuncts are *shapes* instantiated once per device
+/// (the paper's 68 rules are 34 shapes × 2 devices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceId {
+    /// Device 1 in the paper's figures and tables.
+    D1,
+    /// Device 2 in the paper's figures and tables.
+    D2,
+}
+
+impl DeviceId {
+    /// Both devices, in paper order.
+    pub const ALL: [DeviceId; 2] = [DeviceId::D1, DeviceId::D2];
+
+    /// The other device of the pair.
+    ///
+    /// Host rules frequently need "the requester" and "the other device"
+    /// (e.g. the device that must be snooped).
+    #[must_use]
+    pub fn other(self) -> DeviceId {
+        match self {
+            DeviceId::D1 => DeviceId::D2,
+            DeviceId::D2 => DeviceId::D1,
+        }
+    }
+
+    /// Zero-based index for array storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            DeviceId::D1 => 0,
+            DeviceId::D2 => 1,
+        }
+    }
+
+    /// One-based number as used in the paper's rule names
+    /// (`InvalidLoad1`, `ISADSnpInv2`, ...).
+    #[must_use]
+    pub fn number(self) -> usize {
+        self.index() + 1
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for d in DeviceId::ALL {
+            assert_eq!(d.other().other(), d);
+            assert_ne!(d.other(), d);
+        }
+    }
+
+    #[test]
+    fn indices_are_distinct_and_dense() {
+        assert_eq!(DeviceId::D1.index(), 0);
+        assert_eq!(DeviceId::D2.index(), 1);
+        assert_eq!(DeviceId::D1.number(), 1);
+        assert_eq!(DeviceId::D2.number(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_rule_suffix() {
+        assert_eq!(DeviceId::D1.to_string(), "1");
+        assert_eq!(DeviceId::D2.to_string(), "2");
+    }
+}

@@ -1,0 +1,122 @@
+//! Device programs (`Instruction ≝ {Load, Store, Evict}`, paper Figure 3).
+//!
+//! "The program components (DProg1 and DProg2) are an invention of ours —
+//! they are solely used to control the sequence of state transitions when
+//! exploring specific scenarios. They only serve to trigger coherence
+//! transactions, and do not modify locations or read out values" (paper
+//! §3.1). We carry a value on `Store` to reproduce the paper's tables
+//! (which show value 42 being written); as in the paper, the SWMR proof
+//! itself is value-independent.
+
+use crate::ids::Val;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One instruction of a device program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Trigger a read: obtain at least `S` access, then retire.
+    Load,
+    /// Trigger a write of the carried value: obtain `M` access, write,
+    /// then retire.
+    Store(Val),
+    /// Trigger an eviction of the line (a no-op if the line is invalid).
+    Evict,
+}
+
+impl Instruction {
+    /// Does this instruction require write access to retire?
+    #[must_use]
+    pub fn requires_write_access(self) -> bool {
+        matches!(self, Instruction::Store(_))
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Load => write!(f, "Load"),
+            Instruction::Store(v) => write!(f, "Store({v})"),
+            Instruction::Evict => write!(f, "Evict"),
+        }
+    }
+}
+
+/// A device program: a list of instructions executed head-first.
+pub type Program = Vec<Instruction>;
+
+/// Convenience constructors for the common litmus programs.
+pub mod programs {
+    use super::{Instruction, Program};
+    use crate::ids::Val;
+
+    /// `[Load]`
+    #[must_use]
+    pub fn load() -> Program {
+        vec![Instruction::Load]
+    }
+
+    /// `[Store(v)]`
+    #[must_use]
+    pub fn store(v: Val) -> Program {
+        vec![Instruction::Store(v)]
+    }
+
+    /// `[Evict]`
+    #[must_use]
+    pub fn evict() -> Program {
+        vec![Instruction::Evict]
+    }
+
+    /// `n` consecutive loads.
+    #[must_use]
+    pub fn loads(n: usize) -> Program {
+        vec![Instruction::Load; n]
+    }
+
+    /// Stores of `base, base+1, …` (`n` of them), so each write is
+    /// distinguishable in traces.
+    #[must_use]
+    pub fn stores(base: Val, n: usize) -> Program {
+        (0..n).map(|i| Instruction::Store(base + i as Val)).collect()
+    }
+
+    /// `n` consecutive evicts (paper Table 1 uses `[Evict, Evict]`).
+    #[must_use]
+    pub fn evicts(n: usize) -> Program {
+        vec![Instruction::Evict; n]
+    }
+
+    /// The empty program.
+    #[must_use]
+    pub fn idle() -> Program {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Instruction::Load.to_string(), "Load");
+        assert_eq!(Instruction::Store(42).to_string(), "Store(42)");
+        assert_eq!(Instruction::Evict.to_string(), "Evict");
+    }
+
+    #[test]
+    fn write_access_classification() {
+        assert!(Instruction::Store(0).requires_write_access());
+        assert!(!Instruction::Load.requires_write_access());
+        assert!(!Instruction::Evict.requires_write_access());
+    }
+
+    #[test]
+    fn program_builders() {
+        assert_eq!(programs::loads(3).len(), 3);
+        assert_eq!(programs::stores(10, 2), vec![Instruction::Store(10), Instruction::Store(11)]);
+        assert_eq!(programs::evicts(2), vec![Instruction::Evict, Instruction::Evict]);
+        assert!(programs::idle().is_empty());
+    }
+}

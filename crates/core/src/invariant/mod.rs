@@ -1,0 +1,459 @@
+//! The SWMR property and the inductive-invariant library (paper §6).
+//!
+//! The paper proves that its model satisfies the **single-writer /
+//! multiple-reader** property (Definition 6.1) via an inductive invariant
+//! of 796 conjuncts. This module provides:
+//!
+//! - [`swmr`] — Definition 6.1 itself;
+//! - [`Conjunct`] — one named, documented predicate over [`SystemState`];
+//! - [`Invariant`] — a conjunction with *per-conjunct* evaluation, which is
+//!   what the obligation matrix (the `cxl-sketch` crate) needs;
+//! - builders assembling the conjunct families: [`Invariant::for_config`]
+//!   (one conjunct per logical property) and [`Invariant::fine_grained`]
+//!   (each property split into per-state atoms, mirroring the paper's
+//!   style of many small conjuncts — this is the granularity used to
+//!   reproduce the Figure 1 obligation matrix).
+//!
+//! Conjunct families are configuration-aware: e.g. the paper's "host and
+//! device data channels must not conflict" conjunct holds for the strict
+//! model but is deliberately omitted when the clean-eviction *pull* option
+//! is enabled (the pull creates a benign D2H/H2D data overlap). This
+//! mirrors the paper's experience that the invariant had to be revised as
+//! the model grew (§7.1).
+
+mod agreement;
+mod messages;
+mod swmr_family;
+
+use crate::cacheline::DState;
+use crate::config::ProtocolConfig;
+use crate::ids::DeviceId;
+use crate::state::SystemState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The Single-Writer-Multiple-Reader property (paper Definition 6.1):
+///
+/// ```text
+/// ⋀_{i≠j} ¬(DCacheᵢ.State = M ∧ DCacheⱼ.State ∈ {S, M})
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::{swmr, SystemState};
+/// let s = SystemState::initial(vec![], vec![]);
+/// assert!(swmr(&s));
+/// ```
+#[must_use]
+pub fn swmr(s: &SystemState) -> bool {
+    for i in DeviceId::ALL {
+        let j = i.other();
+        if s.dev(i).cache.state == DState::M
+            && matches!(s.dev(j).cache.state, DState::S | DState::M)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// The family a conjunct belongs to, used for reporting and for the
+/// obligation matrix's per-family statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Definition 6.1 itself, one instance per ordered device pair.
+    Swmr,
+    /// "Transient states need similar SWMR constraints" (paper §6): a
+    /// device that has been granted ownership but not completed the
+    /// upgrade excludes valid copies elsewhere.
+    TransientSwmr,
+    /// "Snoop responses need to be honest" (paper §6).
+    HonestSnoop,
+    /// "Channels are singleton lists" (paper §6).
+    ChannelSingleton,
+    /// "Host and device data channels must not conflict" (paper §6).
+    DataConflict,
+    /// An in-flight H2D response is consistent with its target's state.
+    GoWellformed,
+    /// An in-flight snoop targets a device that holds (or is about to
+    /// hold) the line.
+    SnoopTarget,
+    /// Every transaction identifier in flight is below the counter.
+    CounterDominance,
+    /// Eviction requests and eviction transient states agree.
+    EvictConsistency,
+    /// A transient device state matches the instruction driving it.
+    ProgramAgreement,
+    /// The host/directory state agrees with the tracked device states.
+    HostAgreement,
+    /// A blocked or data-awaiting host has the matching traffic in flight.
+    BlockedHost,
+    /// A host transient state has a well-formed requester.
+    HostTransient,
+    /// The data-value invariant (the paper's future work, §6; our
+    /// extension): shared copies agree with the host value.
+    DataValue,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 14] = [
+        Family::Swmr,
+        Family::TransientSwmr,
+        Family::HonestSnoop,
+        Family::ChannelSingleton,
+        Family::DataConflict,
+        Family::GoWellformed,
+        Family::SnoopTarget,
+        Family::CounterDominance,
+        Family::EvictConsistency,
+        Family::ProgramAgreement,
+        Family::HostAgreement,
+        Family::BlockedHost,
+        Family::HostTransient,
+        Family::DataValue,
+    ];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Type of a conjunct's predicate.
+pub type Predicate = Arc<dyn Fn(&SystemState) -> bool + Send + Sync>;
+
+/// One conjunct of the inductive invariant: a named predicate over system
+/// states (paper §6: "the invariant is made up of 796 conjuncts").
+#[derive(Clone)]
+pub struct Conjunct {
+    id: usize,
+    name: String,
+    family: Family,
+    doc: String,
+    pred: Predicate,
+}
+
+impl Conjunct {
+    /// Construct a conjunct. Ids are assigned by [`Invariant`] builders.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        doc: impl Into<String>,
+        pred: Predicate,
+    ) -> Self {
+        Conjunct { id: usize::MAX, name: name.into(), family, doc: doc.into(), pred }
+    }
+
+    /// Index of this conjunct within its invariant (its row in the
+    /// Figure 1 obligation matrix).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Short unique name, e.g. `swmr_1_2` or `singleton_h2d_rsp_1`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The conjunct's family.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// What the conjunct asserts, and its paper provenance.
+    #[must_use]
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// Evaluate the conjunct on a state.
+    #[must_use]
+    pub fn holds(&self, s: &SystemState) -> bool {
+        (self.pred)(s)
+    }
+}
+
+impl fmt::Debug for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Conjunct")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("family", &self.family)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv_{}:{}", self.id, self.name)
+    }
+}
+
+/// Granularity at which conjunct families are instantiated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One conjunct per logical property.
+    Standard,
+    /// Each property split into per-state / per-message atoms, mirroring
+    /// the paper's style (§6–7: hundreds of small conjuncts that
+    /// sledgehammer can discharge individually).
+    Fine,
+}
+
+/// A conjunction of [`Conjunct`]s with per-conjunct evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::{Invariant, ProtocolConfig, SystemState};
+/// let inv = Invariant::for_config(&ProtocolConfig::strict());
+/// let s = SystemState::initial(vec![], vec![]);
+/// assert!(inv.holds(&s));
+/// assert!(inv.len() > 50);
+/// ```
+#[derive(Clone)]
+pub struct Invariant {
+    conjuncts: Vec<Conjunct>,
+    granularity: Granularity,
+}
+
+impl Invariant {
+    /// Build an invariant from raw conjuncts, assigning ids.
+    #[must_use]
+    pub fn from_conjuncts(mut conjuncts: Vec<Conjunct>, granularity: Granularity) -> Self {
+        for (i, c) in conjuncts.iter_mut().enumerate() {
+            c.id = i;
+        }
+        Invariant { conjuncts, granularity }
+    }
+
+    /// The full invariant for a configuration, standard granularity.
+    #[must_use]
+    pub fn for_config(cfg: &ProtocolConfig) -> Self {
+        Self::build(cfg, Granularity::Standard)
+    }
+
+    /// The full invariant for a configuration, fine granularity (the
+    /// obligation-matrix reproduction uses this).
+    #[must_use]
+    pub fn fine_grained(cfg: &ProtocolConfig) -> Self {
+        Self::build(cfg, Granularity::Fine)
+    }
+
+    /// Just Definition 6.1 — useful for demonstrating (as §6 does) that
+    /// SWMR alone is *not* inductive.
+    #[must_use]
+    pub fn swmr_only() -> Self {
+        Self::from_conjuncts(swmr_family::swmr_conjuncts(), Granularity::Standard)
+    }
+
+    fn build(cfg: &ProtocolConfig, granularity: Granularity) -> Self {
+        let fine = granularity == Granularity::Fine;
+        let mut cs = Vec::new();
+        cs.extend(swmr_family::swmr_conjuncts());
+        cs.extend(swmr_family::transient_swmr_conjuncts(fine));
+        cs.extend(swmr_family::data_value_conjuncts());
+        cs.extend(messages::honest_snoop_conjuncts(cfg, fine));
+        cs.extend(messages::channel_singleton_conjuncts());
+        cs.extend(messages::data_conflict_conjuncts(cfg));
+        cs.extend(messages::go_wellformed_conjuncts(fine));
+        cs.extend(messages::data_wellformed_conjuncts());
+        cs.extend(messages::snoop_target_conjuncts(fine));
+        cs.extend(messages::counter_dominance_conjuncts());
+        cs.extend(agreement::evict_consistency_conjuncts(cfg, fine));
+        cs.extend(agreement::program_agreement_conjuncts(fine));
+        cs.extend(agreement::host_agreement_conjuncts());
+        cs.extend(agreement::blocked_host_conjuncts());
+        cs.extend(agreement::host_transient_conjuncts(fine));
+        Self::from_conjuncts(cs, granularity)
+    }
+
+    /// Number of conjuncts (the paper's `n`, 796 in their model).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// Is the invariant empty (it never is for the built invariants)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// The granularity this invariant was built at.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Iterate over the conjuncts in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Conjunct> {
+        self.conjuncts.iter()
+    }
+
+    /// Fetch a conjunct by id.
+    #[must_use]
+    pub fn get(&self, id: usize) -> Option<&Conjunct> {
+        self.conjuncts.get(id)
+    }
+
+    /// Do all conjuncts hold?
+    #[must_use]
+    pub fn holds(&self, s: &SystemState) -> bool {
+        self.conjuncts.iter().all(|c| c.holds(s))
+    }
+
+    /// The first violated conjunct, if any.
+    #[must_use]
+    pub fn first_violation(&self, s: &SystemState) -> Option<&Conjunct> {
+        self.conjuncts.iter().find(|c| !c.holds(s))
+    }
+
+    /// Every violated conjunct.
+    #[must_use]
+    pub fn violations(&self, s: &SystemState) -> Vec<&Conjunct> {
+        self.conjuncts.iter().filter(|c| !c.holds(s)).collect()
+    }
+
+    /// Conjuncts of one family.
+    #[must_use]
+    pub fn family(&self, family: Family) -> Vec<&Conjunct> {
+        self.conjuncts.iter().filter(|c| c.family() == family).collect()
+    }
+
+    /// Per-family conjunct counts, in [`Family::ALL`] order (families with
+    /// zero instances included).
+    #[must_use]
+    pub fn family_counts(&self) -> Vec<(Family, usize)> {
+        Family::ALL
+            .iter()
+            .map(|&f| (f, self.conjuncts.iter().filter(|c| c.family() == f).count()))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Invariant")
+            .field("conjuncts", &self.conjuncts.len())
+            .field("granularity", &self.granularity)
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Invariant {
+    type Item = &'a Conjunct;
+    type IntoIter = std::slice::Iter<'a, Conjunct>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.conjuncts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacheline::DState;
+    use crate::instr::programs;
+
+    #[test]
+    fn swmr_definition_6_1() {
+        let mut s = SystemState::initial(vec![], vec![]);
+        assert!(swmr(&s));
+        s.dev_mut(DeviceId::D1).cache.state = DState::M;
+        assert!(swmr(&s), "a single writer is fine");
+        s.dev_mut(DeviceId::D2).cache.state = DState::S;
+        assert!(!swmr(&s), "M + S violates SWMR");
+        s.dev_mut(DeviceId::D2).cache.state = DState::M;
+        assert!(!swmr(&s), "M + M violates SWMR");
+        s.dev_mut(DeviceId::D1).cache.state = DState::S;
+        s.dev_mut(DeviceId::D2).cache.state = DState::S;
+        assert!(swmr(&s), "multiple readers are fine");
+    }
+
+    #[test]
+    fn invariant_holds_on_initial_states() {
+        for inv in [
+            Invariant::for_config(&ProtocolConfig::strict()),
+            Invariant::for_config(&ProtocolConfig::full()),
+            Invariant::fine_grained(&ProtocolConfig::strict()),
+        ] {
+            let s = SystemState::initial(programs::store(42), programs::load());
+            assert!(inv.holds(&s), "violations: {:?}", inv.violations(&s));
+        }
+    }
+
+    #[test]
+    fn invariant_implies_swmr() {
+        // Structural: the invariant contains the Swmr family, so any state
+        // satisfying the invariant satisfies SWMR.
+        let inv = Invariant::for_config(&ProtocolConfig::strict());
+        assert!(!inv.family(Family::Swmr).is_empty());
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.dev_mut(DeviceId::D1).cache.state = DState::M;
+        s.dev_mut(DeviceId::D2).cache.state = DState::S;
+        assert!(!inv.holds(&s));
+        assert!(inv.violations(&s).iter().any(|c| c.family() == Family::Swmr));
+    }
+
+    #[test]
+    fn swmr_alone_is_not_inductive_counterexample_state() {
+        // Paper §6's counterexample: device 1 in IMA with a pending GO-M
+        // while device 2 still holds M. SWMR holds here, but the full
+        // invariant rejects it (it is unreachable).
+        use crate::msg::{H2DRsp, H2DRspType};
+        let mut s = SystemState::initial(programs::store(1), vec![]);
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(0, DState::IMA);
+        s.dev_mut(DeviceId::D1)
+            .h2d_rsp
+            .push(H2DRsp::new(H2DRspType::GO, DState::M, 0));
+        s.dev_mut(DeviceId::D2).cache = crate::cacheline::DCache::new(0, DState::M);
+        s.host.state = crate::cacheline::HState::M;
+        assert!(swmr(&s), "the counterexample state satisfies SWMR");
+        let inv = Invariant::for_config(&ProtocolConfig::strict());
+        assert!(!inv.holds(&s), "the strengthened invariant rejects it");
+    }
+
+    #[test]
+    fn fine_granularity_has_more_conjuncts() {
+        let std = Invariant::for_config(&ProtocolConfig::strict());
+        let fine = Invariant::fine_grained(&ProtocolConfig::strict());
+        assert!(fine.len() > std.len(), "{} vs {}", fine.len(), std.len());
+        assert!(fine.len() >= 200, "fine-grained invariant should be paper-scale, got {}", fine.len());
+    }
+
+    #[test]
+    fn conjunct_ids_are_dense_and_ordered() {
+        let inv = Invariant::for_config(&ProtocolConfig::strict());
+        for (i, c) in inv.iter().enumerate() {
+            assert_eq!(c.id(), i);
+            assert!(!c.name().is_empty());
+            assert!(!c.doc().is_empty());
+        }
+    }
+
+    #[test]
+    fn data_conflict_family_omitted_when_pull_enabled() {
+        let strict = Invariant::for_config(&ProtocolConfig::strict());
+        let full = Invariant::for_config(&ProtocolConfig::full());
+        assert!(!strict.family(Family::DataConflict).is_empty());
+        assert!(
+            full.family(Family::DataConflict).is_empty(),
+            "clean-evict pull makes benign D2H/H2D data overlap possible"
+        );
+    }
+
+    #[test]
+    fn family_counts_sum_to_len() {
+        let inv = Invariant::fine_grained(&ProtocolConfig::strict());
+        let total: usize = inv.family_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, inv.len());
+    }
+}

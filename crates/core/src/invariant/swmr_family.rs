@@ -1,0 +1,237 @@
+//! SWMR, transient-SWMR, and data-value conjunct families.
+
+#![allow(clippy::nonminimal_bool)] // `!(hyp ∧ bad)` mirrors the paper's implications
+
+use super::{Conjunct, Family, Predicate};
+use crate::cacheline::{DState, HState};
+use crate::ids::DeviceId;
+use crate::msg::H2DReqType;
+use crate::state::SystemState;
+use std::sync::Arc;
+
+fn pred(f: impl Fn(&SystemState) -> bool + Send + Sync + 'static) -> Predicate {
+    Arc::new(f)
+}
+
+/// Definition 6.1, one instance per ordered device pair.
+pub(super) fn swmr_conjuncts() -> Vec<Conjunct> {
+    DeviceId::ALL
+        .into_iter()
+        .map(|i| {
+            let j = i.other();
+            Conjunct::new(
+                format!("swmr_{i}_{j}"),
+                Family::Swmr,
+                format!(
+                    "Definition 6.1: ¬(DCache{i}.State = M ∧ DCache{j}.State ∈ {{S, M}})"
+                ),
+                pred(move |s| {
+                    !(s.dev(i).cache.state == DState::M
+                        && matches!(s.dev(j).cache.state, DState::S | DState::M))
+                }),
+            )
+        })
+        .collect()
+}
+
+/// Has device `i` effectively been granted ownership: either its GO-M has
+/// been consumed (`IMD`/`SMD`) or it is still in flight (paper §6:
+/// "DCache1.State ∈ {IMD, SMD} ∨ DCache1.State ∈ {IMAD, SMAD} ∧
+/// H2DRsp1 ≠ []"; we additionally cover the data-first states `IMA`/`SMA`,
+/// whose GO may equally be in flight).
+fn granted_m(s: &SystemState, i: DeviceId) -> bool {
+    match s.dev(i).cache.state {
+        DState::IMD | DState::SMD => true,
+        DState::IMAD | DState::SMAD | DState::IMA | DState::SMA => !s.dev(i).h2d_rsp.is_empty(),
+        _ => false,
+    }
+}
+
+/// Is an invalidating snoop on its way to device `j` (the carve-out of the
+/// paper's transient-SWMR conjunct: "unless a SnpInv is on its way to
+/// invalidate that valid cache")?
+fn snp_inv_inbound(s: &SystemState, j: DeviceId) -> bool {
+    matches!(s.dev(j).h2d_req.head(), Some(req) if req.ty == H2DReqType::SnpInv)
+}
+
+/// The device states the other device must *not* be in while `i` holds a
+/// grant of ownership (paper §6 lists exactly these eight).
+const FORBIDDEN_WHILE_GRANTED: [DState; 8] = [
+    DState::ISD,
+    DState::IMD,
+    DState::SMD,
+    DState::ISA,
+    DState::IMA,
+    DState::SMA,
+    DState::S,
+    DState::M,
+];
+
+/// "Transient states need similar SWMR constraints" (paper §6): if device
+/// `i` has (almost) upgraded to M, the other device must hold no valid or
+/// about-to-be-valid copy, unless a `SnpInv` is on its way to revoke it.
+///
+/// Model note: the paper's printed conjunct also demands `H2DData_j = []`.
+/// In our reconstruction a stale grant-data message may legitimately
+/// linger while `j` sits in `ISDI` (snoop processed between GO and data);
+/// the data clause therefore carves out `ISDI`, where the data will be
+/// consumed once and discarded.
+pub(super) fn transient_swmr_conjuncts(fine: bool) -> Vec<Conjunct> {
+    let mut out = Vec::new();
+    for i in DeviceId::ALL {
+        let j = i.other();
+        if fine {
+            // One atom per forbidden state of the other device.
+            for b in FORBIDDEN_WHILE_GRANTED {
+                out.push(Conjunct::new(
+                    format!("transient_swmr_{i}_{j}_not_{b}"),
+                    Family::TransientSwmr,
+                    format!(
+                        "paper §6 transient-SWMR atom: granted_m({i}) ∧ ¬SnpInv→{j} ⟹ \
+                         DCache{j}.State ≠ {b}"
+                    ),
+                    pred(move |s| {
+                        !(granted_m(s, i)
+                            && !snp_inv_inbound(s, j)
+                            && s.dev(j).cache.state == b)
+                    }),
+                ));
+            }
+            out.push(Conjunct::new(
+                format!("transient_swmr_{i}_{j}_no_data"),
+                Family::TransientSwmr,
+                format!(
+                    "paper §6 transient-SWMR atom: granted_m({i}) ∧ ¬SnpInv→{j} ⟹ \
+                     H2DData{j} = [] (modulo the ISDI carve-out)"
+                ),
+                pred(move |s| {
+                    !(granted_m(s, i)
+                        && !snp_inv_inbound(s, j)
+                        && !s.dev(j).h2d_data.is_empty()
+                        && s.dev(j).cache.state != DState::ISDI)
+                }),
+            ));
+            out.push(Conjunct::new(
+                format!("transient_swmr_{i}_{j}_no_pending_go"),
+                Family::TransientSwmr,
+                format!(
+                    "paper §6 transient-SWMR atom: granted_m({i}) ∧ ¬SnpInv→{j} ⟹ \
+                     (DCache{j} ∉ {{ISAD, IMAD, SMAD}} ∨ H2DRsp{j} = [])"
+                ),
+                pred(move |s| {
+                    !(granted_m(s, i)
+                        && !snp_inv_inbound(s, j)
+                        && matches!(
+                            s.dev(j).cache.state,
+                            DState::ISAD | DState::IMAD | DState::SMAD
+                        )
+                        && !s.dev(j).h2d_rsp.is_empty())
+                }),
+            ));
+        } else {
+            out.push(Conjunct::new(
+                format!("transient_swmr_{i}_{j}"),
+                Family::TransientSwmr,
+                format!(
+                    "paper §6: if device {i} has (almost) upgraded to M and no SnpInv is on \
+                     its way to device {j}, then device {j} holds no valid or about-to-be-valid \
+                     copy"
+                ),
+                pred(move |s| {
+                    if !granted_m(s, i) || snp_inv_inbound(s, j) {
+                        return true;
+                    }
+                    let dj = s.dev(j);
+                    !FORBIDDEN_WHILE_GRANTED.contains(&dj.cache.state)
+                        && (dj.h2d_data.is_empty() || dj.cache.state == DState::ISDI)
+                        && (!matches!(
+                            dj.cache.state,
+                            DState::ISAD | DState::IMAD | DState::SMAD
+                        ) || dj.h2d_rsp.is_empty())
+                }),
+            ));
+        }
+    }
+    out
+}
+
+/// The data-value invariant (our extension; the paper leaves it as future
+/// work, §6): when the host line is shared, every shared device copy
+/// agrees with the host value.
+pub(super) fn data_value_conjuncts() -> Vec<Conjunct> {
+    DeviceId::ALL
+        .into_iter()
+        .map(|i| {
+            Conjunct::new(
+                format!("data_value_shared_{i}"),
+                Family::DataValue,
+                format!(
+                    "data-value invariant (paper future work): HCache.State ∈ {{S, SB}} ∧ \
+                     DCache{i}.State = S ⟹ DCache{i}.Val = HCache.Val"
+                ),
+                pred(move |s| {
+                    !(matches!(s.host.state, HState::S | HState::SB)
+                        && s.dev(i).cache.state == DState::S
+                        && s.dev(i).cache.val != s.host.val)
+                }),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{H2DReq, H2DRsp, H2DRspType};
+    use crate::state::SystemState;
+
+    #[test]
+    fn granted_m_requires_go_in_flight_for_ad_states() {
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.dev_mut(DeviceId::D1).cache.state = DState::IMAD;
+        assert!(!granted_m(&s, DeviceId::D1));
+        s.dev_mut(DeviceId::D1).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, 0));
+        assert!(granted_m(&s, DeviceId::D1));
+        s.dev_mut(DeviceId::D2).cache.state = DState::IMD;
+        assert!(granted_m(&s, DeviceId::D2), "IMD means the GO was already consumed");
+    }
+
+    #[test]
+    fn transient_swmr_rejects_grant_while_other_shared() {
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.dev_mut(DeviceId::D1).cache.state = DState::IMD;
+        s.dev_mut(DeviceId::D2).cache.state = DState::S;
+        for c in transient_swmr_conjuncts(false) {
+            if c.name() == "transient_swmr_1_2" {
+                assert!(!c.holds(&s));
+            }
+        }
+        // …but the SnpInv carve-out allows it while the revocation is in
+        // flight.
+        s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
+        for c in transient_swmr_conjuncts(false) {
+            assert!(c.holds(&s), "{c} should accept the carved-out state");
+        }
+    }
+
+    #[test]
+    fn fine_atoms_cover_the_standard_conjunct() {
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.dev_mut(DeviceId::D1).cache.state = DState::SMD;
+        s.dev_mut(DeviceId::D2).cache.state = DState::ISA;
+        let std_violated =
+            transient_swmr_conjuncts(false).iter().any(|c| !c.holds(&s));
+        let fine_violated = transient_swmr_conjuncts(true).iter().any(|c| !c.holds(&s));
+        assert!(std_violated && fine_violated);
+    }
+
+    #[test]
+    fn data_value_detects_divergent_shared_copy() {
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.host = crate::cacheline::HCache::new(10, HState::S);
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(10, DState::S);
+        assert!(data_value_conjuncts().iter().all(|c| c.holds(&s)));
+        s.dev_mut(DeviceId::D1).cache.val = 11;
+        assert!(data_value_conjuncts().iter().any(|c| !c.holds(&s)));
+    }
+}

@@ -1,0 +1,72 @@
+//! # cxl-core — a formal model of CXL.cache in Rust
+//!
+//! This crate is a reproduction of the formal model at the heart of
+//! *Formalising CXL Cache Coherence* (Tan, Donaldson, Wickerson,
+//! ASPLOS 2025): the **CXL.cache** inter-device cache-coherence protocol of
+//! the Compute Express Link standard, modelled as a guarded-command
+//! state-transition system over a two-device, single-location system.
+//!
+//! The model comprises:
+//!
+//! - the whole-system state (paper Figures 2–3): two device caches, a host
+//!   cache, six message channels per device, per-device buffers, driving
+//!   programs, and a transaction-identifier counter — see [`SystemState`];
+//! - the transition rules (paper §3.3) as [`Ruleset`]: 69 rule *shapes*
+//!   instantiated per device, with the CXL standard's ordering
+//!   restrictions (Snoop-pushes-GO, GO-cannot-tailgate-snoop,
+//!   one-snoop-per-line) as explicit, relaxable guards — see
+//!   [`ProtocolConfig`] and [`Relaxation`];
+//! - the **SWMR** property (paper Definition 6.1) and the conjunct-based
+//!   inductive invariant (paper §6) — see [`swmr`] and [`Invariant`].
+//!
+//! Where the paper uses the Isabelle proof assistant, the companion crates
+//! substitute exhaustive explicit-state model checking (`cxl-mc`),
+//! scenario verification (`cxl-litmus`), and an obligation-matrix engine
+//! reproducing the structure of the mechanised proof (`cxl-sketch`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cxl_core::{ProtocolConfig, Ruleset, SystemState, swmr};
+//! use cxl_core::instr::programs;
+//!
+//! // Paper Table 3's initial state: device 1 stores, device 2 loads.
+//! let state = SystemState::initial(programs::store(42), programs::load());
+//! let rules = Ruleset::new(ProtocolConfig::strict());
+//!
+//! // Walk one nondeterministic path to quiescence, checking SWMR.
+//! let mut s = state;
+//! while let Some((_rule, next)) = rules.successors(&s).into_iter().next() {
+//!     assert!(swmr(&next));
+//!     s = next;
+//! }
+//! assert!(s.is_quiescent());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod cacheline;
+pub mod channel;
+pub mod config;
+pub mod ids;
+pub mod instr;
+pub mod invariant;
+pub mod msg;
+pub mod rules;
+pub mod state;
+
+pub use builder::StateBuilder;
+pub use cacheline::{DCache, DState, HCache, HState};
+pub use channel::Channel;
+pub use config::{ProtocolConfig, Relaxation};
+pub use ids::{DeviceId, Tid, Val};
+pub use instr::{Instruction, Program};
+pub use invariant::{swmr, Conjunct, Family, Granularity, Invariant};
+pub use msg::{
+    D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp,
+    H2DRspType,
+};
+pub use rules::{RuleCategory, RuleId, Ruleset, Shape};
+pub use state::{DeviceState, SystemState};

@@ -1,0 +1,883 @@
+//! Device-side transition rules: issue, completion, and snoop processing.
+//!
+//! Conventions shared by all rules in this module:
+//! - every function is a *guard-then-act* pair: it returns `None` without
+//!   allocating if any guard fails, and otherwise clones the state and
+//!   applies the actions atomically;
+//! - `d` is the acting device;
+//! - snoop rules honour the **Snoop-pushes-GO** restriction (CXL §3.2.5.2)
+//!   via [`snoop_allowed`], unless the configuration relaxes it.
+
+use crate::cacheline::DState;
+use crate::config::ProtocolConfig;
+use crate::ids::DeviceId;
+use crate::instr::Instruction;
+use crate::msg::{
+    D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp,
+    H2DRspType,
+};
+use crate::state::SystemState;
+
+/// May device `d` process the snoop at the head of its H2DReq channel?
+///
+/// "When the host returns a GO response to a device, the expectation is
+/// that a snoop arriving to the same address of the request receiving the
+/// GO would see the results of that GO" (CXL §3.2.5.2, quoted in paper
+/// §3.3). Modelled as: no snoop processing while an H2D response is
+/// pending.
+fn snoop_allowed(s: &SystemState, d: DeviceId, cfg: &ProtocolConfig) -> bool {
+    !cfg.snoop_pushes_go || s.dev(d).h2d_rsp.is_empty()
+}
+
+/// The snoop at the head of `d`'s H2DReq channel, if present and of the
+/// given type, and if Snoop-pushes-GO permits processing it.
+fn ready_snoop(
+    s: &SystemState,
+    d: DeviceId,
+    ty: H2DReqType,
+    cfg: &ProtocolConfig,
+) -> Option<H2DReq> {
+    if !snoop_allowed(s, d, cfg) {
+        return None;
+    }
+    match s.dev(d).h2d_req.head() {
+        Some(req) if req.ty == ty => Some(*req),
+        _ => None,
+    }
+}
+
+/// The H2D response at the head of `d`'s channel, if it matches
+/// `(ty, state)`.
+fn ready_rsp(
+    s: &SystemState,
+    d: DeviceId,
+    ty: H2DRspType,
+    state: DState,
+) -> Option<H2DRsp> {
+    match s.dev(d).h2d_rsp.head() {
+        Some(rsp) if rsp.ty == ty && rsp.state == state => Some(*rsp),
+        _ => None,
+    }
+}
+
+/// The data message at the head of `d`'s H2DData channel, if any.
+fn ready_data(s: &SystemState, d: DeviceId) -> Option<DataMsg> {
+    s.dev(d).h2d_data.head().copied()
+}
+
+/// The value carried by the pending `Store` at the head of `d`'s program.
+fn pending_store_value(s: &SystemState, d: DeviceId) -> Option<i64> {
+    match s.dev(d).next_instr() {
+        Some(Instruction::Store(v)) => Some(v),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue rules.
+// ---------------------------------------------------------------------
+
+/// Paper Fig. 4 `InvalidLoad`: `I` + pending `Load` → request `RdShared`,
+/// enter `ISAD`, mint a tid.
+pub(super) fn invalid_load(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::I || s.dev(d).next_instr() != Some(Instruction::Load) {
+        return None;
+    }
+    let mut n = s.clone();
+    let tid = n.fresh_tid();
+    let dev = n.dev_mut(d);
+    dev.d2h_req.push(D2HReq::new(D2HReqType::RdShared, tid));
+    dev.cache.state = DState::ISAD;
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+/// `I` + pending `Store` → request `RdOwn`, enter `IMAD`.
+pub(super) fn invalid_store(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::I || pending_store_value(s, d).is_none() {
+        return None;
+    }
+    let mut n = s.clone();
+    let tid = n.fresh_tid();
+    let dev = n.dev_mut(d);
+    dev.d2h_req.push(D2HReq::new(D2HReqType::RdOwn, tid));
+    dev.cache.state = DState::IMAD;
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+/// `I` + pending `Evict` → nothing to do; the instruction retires.
+pub(super) fn invalid_evict(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::I || s.dev(d).next_instr() != Some(Instruction::Evict) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(d).retire_instr();
+    Some(n)
+}
+
+/// `S` + pending `Load` → read hit; the instruction retires.
+pub(super) fn shared_load(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::S || s.dev(d).next_instr() != Some(Instruction::Load) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(d).retire_instr();
+    Some(n)
+}
+
+/// `S` + pending `Store` → request ownership (`RdOwn`), enter `SMAD`.
+pub(super) fn shared_store(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::S || pending_store_value(s, d).is_none() {
+        return None;
+    }
+    let mut n = s.clone();
+    let tid = n.fresh_tid();
+    let dev = n.dev_mut(d);
+    dev.d2h_req.push(D2HReq::new(D2HReqType::RdOwn, tid));
+    dev.cache.state = DState::SMAD;
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+/// Paper Table 1 `SharedEvict`: `S` + pending `Evict` → send `CleanEvict`,
+/// enter `SIA`.
+pub(super) fn shared_evict(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::S || s.dev(d).next_instr() != Some(Instruction::Evict) {
+        return None;
+    }
+    let mut n = s.clone();
+    let tid = n.fresh_tid();
+    let dev = n.dev_mut(d);
+    dev.d2h_req.push(D2HReq::new(D2HReqType::CleanEvict, tid));
+    dev.cache.state = DState::SIA;
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+/// `S` + pending `Evict` → send `CleanEvictNoData`, enter `SIAC`
+/// (nondeterministic alternative to [`shared_evict`], enabled by
+/// [`ProtocolConfig::clean_evict_no_data`]).
+pub(super) fn shared_evict_no_data(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if !cfg.clean_evict_no_data
+        || s.dev(d).cache.state != DState::S
+        || s.dev(d).next_instr() != Some(Instruction::Evict)
+    {
+        return None;
+    }
+    let mut n = s.clone();
+    let tid = n.fresh_tid();
+    let dev = n.dev_mut(d);
+    dev.d2h_req.push(D2HReq::new(D2HReqType::CleanEvictNoData, tid));
+    dev.cache.state = DState::SIAC;
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+/// `M` + pending `Load` → read hit; the instruction retires.
+pub(super) fn modified_load(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::M || s.dev(d).next_instr() != Some(Instruction::Load) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(d).retire_instr();
+    Some(n)
+}
+
+/// Paper Fig. 4 `ModifiedStore`: `M` + pending `Store(v)` → write `v`
+/// locally, retire, clear the buffer. No coherence messages are needed.
+pub(super) fn modified_store(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::M {
+        return None;
+    }
+    let v = pending_store_value(s, d)?;
+    let mut n = s.clone();
+    let dev = n.dev_mut(d);
+    dev.cache.val = v;
+    dev.retire_instr();
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+/// Paper Table 2 `ModifiedEvict`: `M` + pending `Evict` → send
+/// `DirtyEvict`, enter `MIA`.
+pub(super) fn modified_evict(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != DState::M || s.dev(d).next_instr() != Some(Instruction::Evict) {
+        return None;
+    }
+    let mut n = s.clone();
+    let tid = n.fresh_tid();
+    let dev = n.dev_mut(d);
+    dev.d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, tid));
+    dev.cache.state = DState::MIA;
+    dev.buffer = DBufferSlot::Empty;
+    Some(n)
+}
+
+// ---------------------------------------------------------------------
+// Completion rules: consuming GO / data for in-flight upgrades.
+// ---------------------------------------------------------------------
+
+/// Shared helper: consume the GO at the head and transition `from → to`,
+/// recording the GO in the buffer.
+fn consume_go(
+    s: &SystemState,
+    d: DeviceId,
+    from: DState,
+    granted: DState,
+    to: DState,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != from {
+        return None;
+    }
+    let rsp = ready_rsp(s, d, H2DRspType::GO, granted)?;
+    let mut n = s.clone();
+    let dev = n.dev_mut(d);
+    dev.h2d_rsp.pop();
+    dev.cache.state = to;
+    dev.buffer = DBufferSlot::Rsp(rsp);
+    Some(n)
+}
+
+/// Shared helper: consume the data at the head and transition `from → to`,
+/// writing the carried value into the cache line.
+fn consume_data(
+    s: &SystemState,
+    d: DeviceId,
+    from: DState,
+    to: DState,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != from {
+        return None;
+    }
+    let data = ready_data(s, d)?;
+    let mut n = s.clone();
+    let dev = n.dev_mut(d);
+    dev.h2d_data.pop();
+    dev.cache.val = data.val;
+    dev.cache.state = to;
+    Some(n)
+}
+
+/// `ISAD` + GO(-S) → `ISD`.
+pub(super) fn isad_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    consume_go(s, d, DState::ISAD, DState::S, DState::ISD)
+}
+
+/// `ISAD` + data → `ISA`.
+pub(super) fn isad_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    consume_data(s, d, DState::ISAD, DState::ISA)
+}
+
+/// `ISD` + data → `S`, retiring the pending `Load`.
+pub(super) fn isd_data(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.dev(d).next_instr() != Some(Instruction::Load) {
+        return None;
+    }
+    let mut n = consume_data(s, d, DState::ISD, DState::S)?;
+    n.dev_mut(d).retire_instr();
+    Some(n)
+}
+
+/// `ISA` + GO(-S) → `S`, retiring the pending `Load`.
+pub(super) fn isa_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.dev(d).next_instr() != Some(Instruction::Load) {
+        return None;
+    }
+    let mut n = consume_go(s, d, DState::ISA, DState::S, DState::S)?;
+    n.dev_mut(d).retire_instr();
+    Some(n)
+}
+
+/// `IMAD` + GO(-M) → `IMD`.
+pub(super) fn imad_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    consume_go(s, d, DState::IMAD, DState::M, DState::IMD)
+}
+
+/// `IMAD` + data → `IMA`.
+pub(super) fn imad_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    consume_data(s, d, DState::IMAD, DState::IMA)
+}
+
+/// Complete a store-upgrade: the device now holds `M`; write the pending
+/// store's value and retire it.
+fn complete_store(n: &mut SystemState, d: DeviceId) {
+    let v = match n.dev(d).next_instr() {
+        Some(Instruction::Store(v)) => v,
+        other => unreachable!("store completion without pending store: {other:?}"),
+    };
+    let dev = n.dev_mut(d);
+    dev.cache.val = v;
+    dev.retire_instr();
+}
+
+/// `IMD` + data → `M`, performing the pending store.
+pub(super) fn imd_data(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    pending_store_value(s, d)?;
+    let mut n = consume_data(s, d, DState::IMD, DState::M)?;
+    complete_store(&mut n, d);
+    Some(n)
+}
+
+/// `IMA` + GO(-M) → `M`, performing the pending store.
+pub(super) fn ima_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    pending_store_value(s, d)?;
+    let mut n = consume_go(s, d, DState::IMA, DState::M, DState::M)?;
+    complete_store(&mut n, d);
+    Some(n)
+}
+
+/// `SMAD` + GO(-M) → `SMD`.
+pub(super) fn smad_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    consume_go(s, d, DState::SMAD, DState::M, DState::SMD)
+}
+
+/// `SMAD` + data → `SMA`.
+pub(super) fn smad_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    consume_data(s, d, DState::SMAD, DState::SMA)
+}
+
+/// `SMD` + data → `M`, performing the pending store.
+pub(super) fn smd_data(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    pending_store_value(s, d)?;
+    let mut n = consume_data(s, d, DState::SMD, DState::M)?;
+    complete_store(&mut n, d);
+    Some(n)
+}
+
+/// `SMA` + GO(-M) → `M`, performing the pending store.
+pub(super) fn sma_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    pending_store_value(s, d)?;
+    let mut n = consume_go(s, d, DState::SMA, DState::M, DState::M)?;
+    complete_store(&mut n, d);
+    Some(n)
+}
+
+// ---------------------------------------------------------------------
+// Eviction completion rules.
+// ---------------------------------------------------------------------
+
+/// Shared helper: consume an eviction response (`GO_WritePull` or
+/// `GO_WritePullDrop` granting `I`), optionally sending data (bogus or
+/// not), invalidating the line and retiring the `Evict`.
+fn complete_evict(
+    s: &SystemState,
+    d: DeviceId,
+    from: DState,
+    rsp_ty: H2DRspType,
+    send_data: bool,
+    bogus: bool,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != from || s.dev(d).next_instr() != Some(Instruction::Evict) {
+        return None;
+    }
+    let rsp = ready_rsp(s, d, rsp_ty, DState::I)?;
+    let mut n = s.clone();
+    let dev = n.dev_mut(d);
+    dev.h2d_rsp.pop();
+    if send_data {
+        let msg = if bogus {
+            DataMsg::bogus(rsp.tid, dev.cache.val)
+        } else {
+            DataMsg::new(rsp.tid, dev.cache.val)
+        };
+        dev.d2h_data.push(msg);
+    }
+    dev.cache.state = DState::I;
+    dev.buffer = DBufferSlot::Rsp(rsp);
+    dev.retire_instr();
+    Some(n)
+}
+
+/// Paper Table 1 `SIAGO_WritePullDrop`: a clean eviction is dropped.
+pub(super) fn sia_go_write_pull_drop(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    complete_evict(s, d, DState::SIA, H2DRspType::GOWritePullDrop, false, false)
+}
+
+/// A clean eviction is pulled: the device supplies its (clean) data.
+pub(super) fn sia_go_write_pull(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    complete_evict(s, d, DState::SIA, H2DRspType::GOWritePull, true, false)
+}
+
+/// A `CleanEvictNoData` eviction is dropped (the only legal reply).
+pub(super) fn siac_go_write_pull_drop(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    complete_evict(s, d, DState::SIAC, H2DRspType::GOWritePullDrop, false, false)
+}
+
+/// Paper Table 2 `MIAGO_WritePull`: a dirty eviction is pulled; the device
+/// writes back its dirty data.
+pub(super) fn mia_go_write_pull(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    complete_evict(s, d, DState::MIA, H2DRspType::GOWritePull, true, false)
+}
+
+/// A stale eviction is pulled: "the device must [...] set the Bogus field
+/// in all the D2H data messages sent to the host" (CXL §3.2.5.4, paper
+/// §4.4).
+pub(super) fn iia_go_write_pull(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    complete_evict(s, d, DState::IIA, H2DRspType::GOWritePull, true, true)
+}
+
+/// A stale eviction is dropped — the paper's §4.4 optimisation: no bogus
+/// data traffic.
+pub(super) fn iia_go_write_pull_drop(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    complete_evict(s, d, DState::IIA, H2DRspType::GOWritePullDrop, false, false)
+}
+
+/// `ISDI` + data → `I`: the load observes the value once (recorded as the
+/// residual cache value) but the line stays invalid — the snoop won.
+pub(super) fn isdi_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(d).next_instr() != Some(Instruction::Load) {
+        return None;
+    }
+    let mut n = consume_data(s, d, DState::ISDI, DState::I)?;
+    n.dev_mut(d).retire_instr();
+    Some(n)
+}
+
+// ---------------------------------------------------------------------
+// Snoop rules.
+// ---------------------------------------------------------------------
+
+/// Shared helper: process the snoop at the head, transitioning
+/// `from → to`, responding `rsp_ty`, optionally forwarding (dirty) data.
+#[allow(clippy::too_many_arguments)] // one parameter per rule-template dimension
+fn process_snoop(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+    snp_ty: H2DReqType,
+    from: DState,
+    to: DState,
+    rsp_ty: D2HRspType,
+    forward_data: bool,
+) -> Option<SystemState> {
+    if s.dev(d).cache.state != from {
+        return None;
+    }
+    let snp = ready_snoop(s, d, snp_ty, cfg)?;
+    let mut n = s.clone();
+    let dev = n.dev_mut(d);
+    dev.h2d_req.pop();
+    dev.cache.state = to;
+    dev.buffer = DBufferSlot::Req(snp);
+    dev.d2h_rsp.push(D2HRsp::new(rsp_ty, snp.tid));
+    if forward_data {
+        let val = dev.cache.val;
+        dev.d2h_data.push(DataMsg::new(snp.tid, val));
+    }
+    Some(n)
+}
+
+/// Paper Fig. 4 `SharedSnpInv`: `S` + `SnpInv` → `I`, answering
+/// `RspIHitSE`. Guarded by Snoop-pushes-GO (`H2DRsp = []`).
+pub(super) fn shared_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::S, DState::I, D2HRspType::RspIHitSE, false)
+}
+
+/// `M` + `SnpInv` → `I`, answering `RspIFwdM` and forwarding dirty data.
+pub(super) fn modified_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::M, DState::I, D2HRspType::RspIFwdM, true)
+}
+
+/// `M` + `SnpData` → `S`, answering `RspSFwdM` and forwarding dirty data.
+pub(super) fn modified_snp_data(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpData, DState::M, DState::S, D2HRspType::RspSFwdM, true)
+}
+
+/// `ISD` + `SnpInv` → `ISDI`, answering `RspIHitSE`: the grant has been
+/// observed (the GO was consumed), so the snoop sees its result, but the
+/// data has not arrived yet.
+pub(super) fn isd_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::ISD,
+        DState::ISDI,
+        D2HRspType::RspIHitSE,
+        false,
+    )
+}
+
+/// `SMAD` + `SnpInv` → `IMAD`: an S→M upgrade whose still-held S copy is
+/// revoked before the grant arrives; the device answers `RspIHitSE` and
+/// continues the upgrade from `I` (the standard Primer transition).
+pub(super) fn smad_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::SMAD,
+        DState::IMAD,
+        D2HRspType::RspIHitSE,
+        false,
+    )
+}
+
+/// `SIA` + `SnpInv` → `IIA`: the clean eviction goes stale.
+pub(super) fn sia_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::SIA, DState::IIA, D2HRspType::RspIHitSE, false)
+}
+
+/// `SIAC` + `SnpInv` → `IIA`: the no-data clean eviction goes stale.
+pub(super) fn siac_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::SIAC, DState::IIA, D2HRspType::RspIHitSE, false)
+}
+
+/// `MIA` + `SnpInv` → `IIA`: the dirty eviction goes stale; the dirty data
+/// is forwarded via `RspIFwdM` (the snoop "hits the writeback",
+/// CXL §3.2.5.4).
+pub(super) fn mia_snp_inv(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::MIA, DState::IIA, D2HRspType::RspIFwdM, true)
+}
+
+/// `MIA` + `SnpData` → `SIA`: the dirty eviction is downgraded in flight;
+/// the data is forwarded and the eviction continues as a clean one.
+pub(super) fn mia_snp_data(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    process_snoop(s, d, cfg, H2DReqType::SnpData, DState::MIA, DState::SIA, D2HRspType::RspSFwdM, true)
+}
+
+// ---------------------------------------------------------------------
+// Relaxed/buggy rules.
+// ---------------------------------------------------------------------
+
+/// Paper Table 3's `ISADSnpInv(⚠)` rule: the device processes a `SnpInv`
+/// while in `ISAD` *without* waiting for the pending GO, answering
+/// `RspIHitI` and staying in `ISAD`. "The modified ISADSnpInv2(⚠) rule
+/// allows a snoop to be processed before the H2DRsp2 queue is empty"
+/// (paper §5.2). Enabled only when Snoop-pushes-GO is relaxed.
+pub(super) fn isad_snp_inv_buggy(
+    s: &SystemState,
+    d: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if cfg.snoop_pushes_go || s.dev(d).cache.state != DState::ISAD {
+        return None;
+    }
+    let snp = match s.dev(d).h2d_req.head() {
+        Some(req) if req.ty == H2DReqType::SnpInv => *req,
+        _ => return None,
+    };
+    let mut n = s.clone();
+    let dev = n.dev_mut(d);
+    dev.h2d_req.pop();
+    dev.d2h_rsp.push(D2HRsp::new(D2HRspType::RspIHitI, snp.tid));
+    dev.buffer = DBufferSlot::Req(snp);
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacheline::HState;
+    use crate::instr::programs;
+    use crate::rules::{RuleId, Ruleset, Shape};
+
+    fn strict() -> Ruleset {
+        Ruleset::new(ProtocolConfig::strict())
+    }
+
+    fn fire(rules: &Ruleset, shape: Shape, d: DeviceId, s: &SystemState) -> SystemState {
+        rules
+            .try_fire(RuleId::new(shape, d), s)
+            .unwrap_or_else(|| panic!("{shape:?}{d} should fire in\n{s}"))
+    }
+
+    #[test]
+    fn invalid_load_matches_paper_figure4() {
+        let rules = strict();
+        let s = SystemState::initial(programs::load(), Vec::new());
+        let n = fire(&rules, Shape::InvalidLoad, DeviceId::D1, &s);
+        let dev = n.dev(DeviceId::D1);
+        assert_eq!(dev.cache.state, DState::ISAD);
+        assert_eq!(dev.d2h_req.head(), Some(&D2HReq::new(D2HReqType::RdShared, 0)));
+        assert_eq!(n.counter, 1);
+        // The Load is NOT retired at issue time; it retires on completion.
+        assert_eq!(dev.next_instr(), Some(Instruction::Load));
+    }
+
+    #[test]
+    fn modified_store_is_local() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::store(7), Vec::new());
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(0, DState::M);
+        let n = fire(&rules, Shape::ModifiedStore, DeviceId::D1, &s);
+        let dev = n.dev(DeviceId::D1);
+        assert_eq!(dev.cache.val, 7);
+        assert_eq!(dev.cache.state, DState::M);
+        assert!(dev.prog.is_empty());
+        assert_eq!(n.messages_in_flight(), 0, "no coherence traffic for an owned store");
+    }
+
+    #[test]
+    fn shared_snp_inv_matches_paper_figure4() {
+        let rules = strict();
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(0, DState::S);
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 9));
+        let n = fire(&rules, Shape::SharedSnpInv, DeviceId::D1, &s);
+        let dev = n.dev(DeviceId::D1);
+        assert_eq!(dev.cache.state, DState::I);
+        assert!(dev.h2d_req.is_empty());
+        assert_eq!(dev.d2h_rsp.head(), Some(&D2HRsp::new(D2HRspType::RspIHitSE, 9)));
+        assert_eq!(dev.buffer, DBufferSlot::Req(H2DReq::new(H2DReqType::SnpInv, 9)));
+    }
+
+    #[test]
+    fn snoop_pushes_go_blocks_snoop_behind_pending_go() {
+        let rules = strict();
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache.state = DState::S;
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 1));
+        s.dev_mut(DeviceId::D1).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 0));
+        assert!(
+            !rules.enabled(RuleId::new(Shape::SharedSnpInv, DeviceId::D1), &s),
+            "snoop must wait for the pending GO"
+        );
+        // With the restriction relaxed, the snoop may proceed.
+        let relaxed = Ruleset::new(ProtocolConfig::relaxed(crate::config::Relaxation::SnoopPushesGo));
+        assert!(relaxed.enabled(RuleId::new(Shape::SharedSnpInv, DeviceId::D1), &s));
+    }
+
+    #[test]
+    fn go_and_data_commute_for_loads() {
+        // ISAD + {GO, Data} in either order ends in S with the value loaded.
+        let rules = strict();
+        let mut s = SystemState::initial(programs::load(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D1).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 0));
+        s.dev_mut(DeviceId::D1).h2d_data.push(DataMsg::new(0, 42));
+
+        let via_go = fire(&rules, Shape::IsadGo, DeviceId::D1, &s);
+        let end1 = fire(&rules, Shape::IsdData, DeviceId::D1, &via_go);
+        let via_data = fire(&rules, Shape::IsadData, DeviceId::D1, &s);
+        let end2 = fire(&rules, Shape::IsaGo, DeviceId::D1, &via_data);
+
+        for end in [&end1, &end2] {
+            let dev = end.dev(DeviceId::D1);
+            assert_eq!(dev.cache.state, DState::S);
+            assert_eq!(dev.cache.val, 42);
+            assert!(dev.prog.is_empty());
+        }
+    }
+
+    #[test]
+    fn store_upgrade_applies_program_value_not_data_value() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::store(99), Vec::new());
+        s.dev_mut(DeviceId::D1).cache.state = DState::IMD;
+        s.dev_mut(DeviceId::D1).h2d_data.push(DataMsg::new(0, 42));
+        let n = fire(&rules, Shape::ImdData, DeviceId::D1, &s);
+        assert_eq!(n.dev(DeviceId::D1).cache.val, 99, "the store overwrites the fetched value");
+        assert_eq!(n.dev(DeviceId::D1).cache.state, DState::M);
+    }
+
+    #[test]
+    fn mia_write_pull_sends_dirty_data() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(1, DState::MIA);
+        s.dev_mut(DeviceId::D1).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, 1));
+        let n = fire(&rules, Shape::MiaGoWritePull, DeviceId::D1, &s);
+        let dev = n.dev(DeviceId::D1);
+        assert_eq!(dev.cache.state, DState::I);
+        assert_eq!(dev.d2h_data.head(), Some(&DataMsg::new(1, 1)));
+        assert!(dev.prog.is_empty());
+    }
+
+    #[test]
+    fn stale_eviction_marks_data_bogus() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(5, DState::IIA);
+        s.dev_mut(DeviceId::D1).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, 2));
+        let n = fire(&rules, Shape::IiaGoWritePull, DeviceId::D1, &s);
+        let data = *n.dev(DeviceId::D1).d2h_data.head().expect("bogus data sent");
+        assert!(data.bogus, "stale eviction data must be marked bogus (CXL §3.2.5.4)");
+    }
+
+    #[test]
+    fn mia_snp_inv_forwards_and_goes_stale() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(8, DState::MIA);
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 3));
+        let n = fire(&rules, Shape::MiaSnpInv, DeviceId::D1, &s);
+        let dev = n.dev(DeviceId::D1);
+        assert_eq!(dev.cache.state, DState::IIA);
+        assert_eq!(dev.d2h_rsp.head().map(|r| r.ty), Some(D2HRspType::RspIFwdM));
+        assert_eq!(dev.d2h_data.head(), Some(&DataMsg::new(3, 8)));
+    }
+
+    #[test]
+    fn isd_snp_inv_enters_isdi_then_data_retires_load() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::load(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache.state = DState::ISD;
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 4));
+        s.dev_mut(DeviceId::D1).h2d_data.push(DataMsg::new(0, 11));
+        let n = fire(&rules, Shape::IsdSnpInv, DeviceId::D1, &s);
+        assert_eq!(n.dev(DeviceId::D1).cache.state, DState::ISDI);
+        let n2 = fire(&rules, Shape::IsdiData, DeviceId::D1, &n);
+        assert_eq!(n2.dev(DeviceId::D1).cache.state, DState::I);
+        assert!(n2.dev(DeviceId::D1).prog.is_empty(), "the load still retires");
+    }
+
+    #[test]
+    fn buggy_isad_snp_inv_only_under_relaxation() {
+        let mut s = SystemState::initial(programs::store(1), Vec::new());
+        s.dev_mut(DeviceId::D2).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
+        s.dev_mut(DeviceId::D2).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 1));
+
+        let strict = strict();
+        assert!(!strict.enabled(RuleId::new(Shape::IsadSnpInvBuggy, DeviceId::D2), &s));
+
+        let relaxed =
+            Ruleset::new(ProtocolConfig::relaxed(crate::config::Relaxation::SnoopPushesGo));
+        let n = relaxed
+            .try_fire(RuleId::new(Shape::IsadSnpInvBuggy, DeviceId::D2), &s)
+            .expect("buggy rule fires under relaxation");
+        let dev = n.dev(DeviceId::D2);
+        assert_eq!(dev.cache.state, DState::ISAD, "buggy rule leaves the line in ISAD");
+        assert_eq!(dev.d2h_rsp.as_slice().last().map(|r| r.ty), Some(D2HRspType::RspIHitI));
+    }
+
+    #[test]
+    fn clean_evict_no_data_gated_by_config() {
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.dev_mut(DeviceId::D1).cache.state = DState::S;
+        s.host.state = HState::S;
+        let strict = strict();
+        assert!(!strict.enabled(RuleId::new(Shape::SharedEvictNoData, DeviceId::D1), &s));
+        let full = Ruleset::new(ProtocolConfig::full());
+        assert!(full.enabled(RuleId::new(Shape::SharedEvictNoData, DeviceId::D1), &s));
+    }
+
+    #[test]
+    fn issue_rules_respect_program_head() {
+        let rules = strict();
+        let s = SystemState::initial(programs::evict(), Vec::new());
+        assert!(!rules.enabled(RuleId::new(Shape::InvalidLoad, DeviceId::D1), &s));
+        assert!(!rules.enabled(RuleId::new(Shape::InvalidStore, DeviceId::D1), &s));
+        assert!(rules.enabled(RuleId::new(Shape::InvalidEvict, DeviceId::D1), &s));
+    }
+}

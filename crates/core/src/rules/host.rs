@@ -1,0 +1,998 @@
+//! Host-side transition rules: request admission, snoop-response and data
+//! collection, and eviction processing.
+//!
+//! The modelled host is a *blocking* directory: a new device-to-host
+//! request is accepted only while the host line is in a stable state, which
+//! serialises transactions (the printed host rules of paper Fig. 4 imply
+//! this via their guards). Rules whose guards inspect a device's cache
+//! state embody the paper's **perfect tracking** assumption (§8): "Our
+//! model assumes that the host does perfect tracking as if it can look at
+//! the state of the device caches."
+//!
+//! Two further CXL restrictions appear as guards here:
+//! - **GO-cannot-tailgate-snoop** ([`go_launch_allowed`]);
+//! - **one-snoop-per-line** ([`snoop_launch_allowed`]).
+
+use crate::cacheline::{DState, HState};
+use crate::config::ProtocolConfig;
+use crate::ids::DeviceId;
+use crate::msg::{
+    D2HReq, D2HReqType, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp, H2DRspType,
+};
+use crate::state::SystemState;
+
+/// May the host launch an H2D response (GO / WritePull / WritePullDrop) to
+/// device `r`?
+///
+/// "When the host is sending a snoop to the device, the requirement is
+/// that no GO response will be sent to any requests with that address in
+/// the device until after the Host has received a response for the snoop
+/// and all implicit writeback (IWB) data [...] has been received"
+/// (CXL §3.2.5.2, quoted in paper §3.3). Modelled as: the target's H2DReq,
+/// D2HRsp and D2HData channels must be empty.
+fn go_launch_allowed(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> bool {
+    !cfg.go_cannot_tailgate_snoop
+        || (s.dev(r).h2d_req.is_empty()
+            && s.dev(r).d2h_rsp.is_empty()
+            && s.dev(r).d2h_data.is_empty())
+}
+
+/// May the host dispatch a snoop to device `t`?
+///
+/// "The host must wait until it has received both the snoop response and
+/// all IWB data (if any) before dispatching the next snoop to that
+/// address" (CXL §3.2.5.5, quoted in paper §4.2).
+fn snoop_launch_allowed(s: &SystemState, t: DeviceId, cfg: &ProtocolConfig) -> bool {
+    !cfg.one_snoop_per_line
+        || (s.dev(t).h2d_req.is_empty()
+            && s.dev(t).d2h_rsp.is_empty()
+            && s.dev(t).d2h_data.is_empty())
+}
+
+/// Perfect-tracking sharer check, configuration-aware: under
+/// [`ProtocolConfig::precise_transient_tracking`] a device with a
+/// granted-but-undelivered GO counts as a sharer (the `ISAD ∧ H2DRsp ≠ []`
+/// carve-out of the paper's §6 transient-SWMR conjunct); the naive
+/// relaxation drops exactly that carve-out.
+fn tracked_sharer(s: &SystemState, d: DeviceId, cfg: &ProtocolConfig) -> bool {
+    if cfg.precise_transient_tracking {
+        s.tracked_sharer(d)
+    } else {
+        match s.dev(d).cache.state {
+            DState::S | DState::M => true,
+            DState::SMAD | DState::SMD | DState::SMA => true,
+            DState::SIA | DState::SIAC | DState::MIA => s.dev(d).h2d_rsp.is_empty(),
+            DState::ISD | DState::ISA => true,
+            // The naive host forgets about GO messages still in flight.
+            DState::ISAD => false,
+            _ => false,
+        }
+    }
+}
+
+/// Perfect-tracking owner check, configuration-aware (see
+/// [`tracked_sharer`]).
+fn tracked_owner(s: &SystemState, d: DeviceId, cfg: &ProtocolConfig) -> bool {
+    if cfg.precise_transient_tracking {
+        s.tracked_owner(d)
+    } else {
+        match s.dev(d).cache.state {
+            DState::M => true,
+            DState::MIA => s.dev(d).h2d_rsp.is_empty(),
+            DState::IMD | DState::IMA | DState::SMD | DState::SMA => true,
+            DState::IMAD | DState::SMAD => false,
+            _ => false,
+        }
+    }
+}
+
+/// The request at the head of `r`'s D2HReq channel, if it matches `ty` and
+/// the host is in a stable (request-accepting) state.
+fn head_req_stable(s: &SystemState, r: DeviceId, ty: D2HReqType) -> Option<D2HReq> {
+    if !s.host.state.is_stable() {
+        return None;
+    }
+    match s.dev(r).d2h_req.head() {
+        Some(req) if req.ty == ty => Some(*req),
+        _ => None,
+    }
+}
+
+/// Push a grant (GO carrying `granted`) plus the host's data to `r`.
+fn grant_with_data(n: &mut SystemState, r: DeviceId, granted: DState, tid: u64) {
+    let val = n.host.val;
+    let dev = n.dev_mut(r);
+    dev.h2d_data.push(DataMsg::new(tid, val));
+    dev.h2d_rsp.push(H2DRsp::new(H2DRspType::GO, granted, tid));
+}
+
+// ---------------------------------------------------------------------
+// Request admission.
+// ---------------------------------------------------------------------
+
+/// Paper Table 3 `InvalidRdShared`: `RdShared` on an idle line — grant
+/// GO-S plus data from the host copy; the line becomes shared.
+pub(super) fn invalid_rd_shared(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::I {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdShared)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    grant_with_data(&mut n, r, DState::S, req.tid);
+    n.host.state = HState::S;
+    Some(n)
+}
+
+/// `RdShared` on a shared line — grant GO-S plus data; stays shared.
+pub(super) fn shared_rd_shared(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdShared)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    grant_with_data(&mut n, r, DState::S, req.tid);
+    Some(n)
+}
+
+/// `RdShared` on an owned line — snoop the owner with `SnpData` (carrying
+/// the requester's tid, legal per the paper's §4.1 clarification) and wait
+/// in `SAD` for its response and forwarded data.
+pub(super) fn modified_rd_shared(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::M {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdShared)?;
+    let o = r.other();
+    if !tracked_owner(s, o, cfg) || !snoop_launch_allowed(s, o, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    n.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpData, req.tid));
+    n.host.state = HState::SAD;
+    Some(n)
+}
+
+/// `RdOwn` on an idle line — grant GO-M plus data; the line becomes owned.
+pub(super) fn invalid_rd_own(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::I {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    grant_with_data(&mut n, r, DState::M, req.tid);
+    n.host.state = HState::M;
+    Some(n)
+}
+
+/// `RdOwn` on a shared line whose only sharer is the requester itself —
+/// grant GO-M immediately. The paper notes this kind of rule relies on
+/// there being exactly two devices (§8: "if a device is upgrading to the M
+/// state, it can be immediately granted ownership if the other device's
+/// cache is in the I state").
+pub(super) fn shared_rd_own_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    let o = r.other();
+    if tracked_sharer(s, o, cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    grant_with_data(&mut n, r, DState::M, req.tid);
+    n.host.state = HState::M;
+    Some(n)
+}
+
+/// Paper Table 3 `SharedRdOwn`: `RdOwn` on a shared line with another
+/// sharer — snoop it with `SnpInv`, forward the data to the requester
+/// early (as Table 3's row shows), and wait in `MA` for the invalidation
+/// response.
+pub(super) fn shared_rd_own_other(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    let o = r.other();
+    if !tracked_sharer(s, o, cfg) || !snoop_launch_allowed(s, o, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    n.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
+    let val = n.host.val;
+    n.dev_mut(r).h2d_data.push(DataMsg::new(req.tid, val));
+    n.host.state = HState::MA;
+    Some(n)
+}
+
+/// `RdOwn` on an owned line — snoop the owner with `SnpInv` and wait in
+/// `MAD` for its response *and* its dirty data.
+pub(super) fn modified_rd_own(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::M {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    let o = r.other();
+    if !tracked_owner(s, o, cfg) || !snoop_launch_allowed(s, o, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    n.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
+    n.host.state = HState::MAD;
+    Some(n)
+}
+
+// ---------------------------------------------------------------------
+// Response and data collection. Rules are indexed by the *requester* `r`;
+// the snooped device is `r.other()`, matching the paper's naming
+// (`MARspIHitI1` serves device 1's transaction).
+// ---------------------------------------------------------------------
+
+/// Is `r` the requester the host transient state is serving a shared grant
+/// for? Under the blocking host the requester is the unique device waiting
+/// in `ISAD` (its request has been popped; its GO has not been sent) — or
+/// in `ISA` if the host forwarded the owner's data early and the requester
+/// has already consumed it.
+fn s_grant_requester(s: &SystemState, r: DeviceId) -> bool {
+    matches!(s.dev(r).cache.state, DState::ISAD | DState::ISA) && s.dev(r).h2d_rsp.is_empty()
+}
+
+/// Is `r` the requester of the in-flight M-grant? The requester waits in
+/// one of the `…M…` transient states with no GO delivered yet.
+fn m_grant_requester(s: &SystemState, r: DeviceId) -> bool {
+    matches!(s.dev(r).cache.state, DState::IMAD | DState::IMA | DState::SMAD | DState::SMA)
+        && s.dev(r).h2d_rsp.is_empty()
+}
+
+/// `SAD` + the owner's `RspSFwdM` → `SD` (awaiting the forwarded data).
+pub(super) fn sad_rsp_s_fwd_m(
+    s: &SystemState,
+    r: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::SAD || !s_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    match s.dev(o).d2h_rsp.head() {
+        Some(rsp) if rsp.ty == D2HRspType::RspSFwdM => {}
+        _ => return None,
+    }
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_rsp.pop();
+    n.host.state = HState::SD;
+    Some(n)
+}
+
+/// `SAD` + the owner's forwarded data first → copy it in, forward it to
+/// the requester, and await the response in `SA`.
+pub(super) fn sad_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.host.state != HState::SAD || !s_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    let data = match s.dev(o).d2h_data.head() {
+        Some(d) if !d.bogus => *d,
+        _ => return None,
+    };
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_data.pop();
+    n.host.val = data.val;
+    n.dev_mut(r).h2d_data.push(DataMsg::new(data.tid, data.val));
+    n.host.state = HState::SA;
+    Some(n)
+}
+
+/// `SD` + the forwarded data → copy it in, send data + GO-S to the
+/// requester; the line is shared.
+pub(super) fn sd_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.host.state != HState::SD || !s_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    let data = match s.dev(o).d2h_data.head() {
+        Some(d) if !d.bogus => *d,
+        _ => return None,
+    };
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_data.pop();
+    n.host.val = data.val;
+    grant_with_data(&mut n, r, DState::S, data.tid);
+    n.host.state = HState::S;
+    Some(n)
+}
+
+/// `SA` + the owner's `RspSFwdM` → send GO-S (the data was already
+/// forwarded); the line is shared.
+pub(super) fn sa_rsp_s_fwd_m(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::SA || !s_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    let rsp = match s.dev(o).d2h_rsp.head() {
+        Some(rsp) if rsp.ty == D2HRspType::RspSFwdM => *rsp,
+        _ => return None,
+    };
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_rsp.pop();
+    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, rsp.tid));
+    n.host.state = HState::S;
+    Some(n)
+}
+
+/// `MAD` + the owner's `RspIFwdM` → `MD` (awaiting the dirty data).
+pub(super) fn mad_rsp_i_fwd_m(
+    s: &SystemState,
+    r: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::MAD || !m_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    match s.dev(o).d2h_rsp.head() {
+        Some(rsp) if rsp.ty == D2HRspType::RspIFwdM => {}
+        _ => return None,
+    }
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_rsp.pop();
+    n.host.state = HState::MD;
+    Some(n)
+}
+
+/// `MAD` + the dirty data first → copy it in, forward it to the requester,
+/// and await the response in `MA`.
+pub(super) fn mad_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.host.state != HState::MAD || !m_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    let data = match s.dev(o).d2h_data.head() {
+        Some(d) if !d.bogus => *d,
+        _ => return None,
+    };
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_data.pop();
+    n.host.val = data.val;
+    n.dev_mut(r).h2d_data.push(DataMsg::new(data.tid, data.val));
+    n.host.state = HState::MA;
+    Some(n)
+}
+
+/// `MD` + the dirty data → copy it in, send data + GO-M to the requester;
+/// the line is owned by the requester.
+pub(super) fn md_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.host.state != HState::MD || !m_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    let data = match s.dev(o).d2h_data.head() {
+        Some(d) if !d.bogus => *d,
+        _ => return None,
+    };
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_data.pop();
+    n.host.val = data.val;
+    grant_with_data(&mut n, r, DState::M, data.tid);
+    n.host.state = HState::M;
+    Some(n)
+}
+
+/// `MA` + the snooped device's response → send GO-M; the line is owned by
+/// the requester. Accepts `RspIHitSE` (the snooped sharer was clean),
+/// `RspIFwdM` (data-first path from `MAD`), and the buggy `RspIHitI`
+/// (paper Table 3's `MARspIHitI` step).
+pub(super) fn ma_snp_rsp(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.host.state != HState::MA || !m_grant_requester(s, r) {
+        return None;
+    }
+    let o = r.other();
+    let rsp = match s.dev(o).d2h_rsp.head() {
+        Some(rsp)
+            if matches!(
+                rsp.ty,
+                D2HRspType::RspIHitSE | D2HRspType::RspIFwdM | D2HRspType::RspIHitI
+            ) =>
+        {
+            *rsp
+        }
+        _ => return None,
+    };
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let mut n = s.clone();
+    n.dev_mut(o).d2h_rsp.pop();
+    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, rsp.tid));
+    n.host.state = HState::M;
+    Some(n)
+}
+
+// ---------------------------------------------------------------------
+// Eviction processing.
+// ---------------------------------------------------------------------
+
+/// Pop `r`'s eviction request and answer `GO_WritePullDrop`; the host
+/// moves to `next`.
+fn drop_evict(s: &SystemState, r: DeviceId, tid: u64, next: HState) -> SystemState {
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePullDrop, DState::I, tid));
+    n.dev_mut(r).buffer = DBufferSlot::Empty;
+    n.host.state = next;
+    n
+}
+
+/// Pop `r`'s eviction request and answer `GO_WritePull`; the host moves to
+/// `next` (a data-awaiting state).
+fn pull_evict(s: &SystemState, r: DeviceId, tid: u64, next: HState) -> SystemState {
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, tid));
+    n.dev_mut(r).buffer = DBufferSlot::Empty;
+    n.host.state = next;
+    n
+}
+
+/// `CleanEvict` by the last sharer → drop; the line goes idle.
+pub(super) fn clean_evict_drop_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    if tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(drop_evict(s, r, req.tid, HState::I))
+}
+
+/// Paper Table 1 `Shared_CleanEvict_NotLastDrop`: `CleanEvict` while
+/// another sharer remains → drop; the line stays shared.
+pub(super) fn clean_evict_drop_not_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    if !tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(drop_evict(s, r, req.tid, HState::S))
+}
+
+/// `CleanEvict` by the last sharer, with the host electing to pull the
+/// clean data; it blocks in `IB` until the data arrives.
+pub(super) fn clean_evict_pull_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if !cfg.clean_evict_pull || s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    if tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(pull_evict(s, r, req.tid, HState::IB))
+}
+
+/// As [`clean_evict_pull_last`] with another sharer remaining (`SB`).
+pub(super) fn clean_evict_pull_not_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if !cfg.clean_evict_pull || s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    if !tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(pull_evict(s, r, req.tid, HState::SB))
+}
+
+/// `CleanEvictNoData` by the last sharer → drop (pulling is forbidden);
+/// the line goes idle.
+pub(super) fn clean_evict_no_data_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S || s.dev(r).cache.state != DState::SIAC {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvictNoData)?;
+    if tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(drop_evict(s, r, req.tid, HState::I))
+}
+
+/// `CleanEvictNoData` with another sharer remaining → drop; stays shared.
+pub(super) fn clean_evict_no_data_not_last(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S || s.dev(r).cache.state != DState::SIAC {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvictNoData)?;
+    if !tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(drop_evict(s, r, req.tid, HState::S))
+}
+
+/// Paper Fig. 4 / Table 2 `HostModifiedDirtyEvict`: a dirty eviction is
+/// pulled; the host enters `ID` awaiting the write-back. The guard
+/// `H2DData1 = D2HRsp1 = []` of the printed rule is our
+/// [`go_launch_allowed`].
+pub(super) fn modified_dirty_evict(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::M || s.dev(r).cache.state != DState::MIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    Some(pull_evict(s, r, req.tid, HState::ID))
+}
+
+/// Paper Table 2 `IDData`: the written-back data arrives; the host copies
+/// it in and the line goes idle.
+pub(super) fn id_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+    if s.host.state != HState::ID {
+        return None;
+    }
+    let data = match s.dev(r).d2h_data.head() {
+        Some(d) if !d.bogus => *d,
+        _ => return None,
+    };
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_data.pop();
+    n.host.val = data.val;
+    n.host.state = HState::I;
+    Some(n)
+}
+
+/// Host-state the line should settle in after `r`'s eviction completes,
+/// given whether the other device still shares it.
+fn after_evict(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> HState {
+    if tracked_sharer(s, r.other(), cfg) {
+        HState::S
+    } else {
+        HState::I
+    }
+}
+
+/// A `DirtyEvict` whose line was meanwhile *cleaned* by a `SnpData`
+/// (the device now sits in `SIA`; its dirty data has already been
+/// forwarded via `RspSFwdM`) → drop.
+pub(super) fn cleaned_dirty_evict_drop(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let next = after_evict(s, r, cfg);
+    Some(drop_evict(s, r, req.tid, next))
+}
+
+/// As [`cleaned_dirty_evict_drop`], but pulling the now-clean data
+/// ([`ProtocolConfig::clean_evict_pull`]); the host blocks until it
+/// arrives and is discarded.
+pub(super) fn cleaned_dirty_evict_pull(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if !cfg.clean_evict_pull || s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let next = match after_evict(s, r, cfg) {
+        HState::S => HState::SB,
+        _ => HState::IB,
+    };
+    Some(pull_evict(s, r, req.tid, next))
+}
+
+/// A *stale* `DirtyEvict` (device in `IIA`): baseline CXL behaviour —
+/// pull, and block until the bogus data arrives to be discarded
+/// (CXL §3.2.5.4 via paper §4.4).
+pub(super) fn stale_dirty_evict_pull(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(r).cache.state != DState::IIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let next = match s.host.state {
+        HState::I => HState::IB,
+        HState::S => HState::SB,
+        HState::M => HState::MB,
+        _ => return None,
+    };
+    Some(pull_evict(s, r, req.tid, next))
+}
+
+/// A stale `DirtyEvict` answered with `GO_WritePullDrop` — the paper's
+/// §4.4 proposed optimisation: "if the Host has been able to determine
+/// that the device's data is stale, by means of a prior snoop, then the
+/// Host may issue a GO_WritePullDrop rather than a GO_WritePull."
+pub(super) fn stale_dirty_evict_drop(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if !cfg.stale_evict_drop_optimisation || s.dev(r).cache.state != DState::IIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let next = s.host.state; // stays stable; no data to wait for
+    Some(drop_evict(s, r, req.tid, next))
+}
+
+/// A stale `CleanEvict` / `CleanEvictNoData` (device in `IIA`) → drop.
+pub(super) fn stale_clean_evict_drop(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if s.dev(r).cache.state != DState::IIA {
+        return None;
+    }
+    let req = head_req_stable(s, r, D2HReqType::CleanEvict)
+        .or_else(|| head_req_stable(s, r, D2HReqType::CleanEvictNoData))?;
+    if !go_launch_allowed(s, r, cfg) {
+        return None;
+    }
+    let next = s.host.state;
+    Some(drop_evict(s, r, req.tid, next))
+}
+
+/// A blocked host (`IB`/`SB`/`MB`) discards pulled eviction data and
+/// returns to its stable state. Bogus and clean pulls are both accepted —
+/// in either case the host's own copy is authoritative.
+pub(super) fn blocked_data(
+    s: &SystemState,
+    r: DeviceId,
+    _cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if !s.host.state.is_blocked_on_pull() {
+        return None;
+    }
+    s.dev(r).d2h_data.head()?;
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_data.pop();
+    n.host.state = n.host.state.unblocked();
+    Some(n)
+}
+
+// ---------------------------------------------------------------------
+// Relaxed/buggy rules.
+// ---------------------------------------------------------------------
+
+/// The host answers a pending `DirtyEvict` with `GO_WritePull` *while a
+/// snoop to the same device is outstanding* — a GO tailgating a snoop,
+/// which CXL §3.2.5.2 forbids. Enabled only when GO-cannot-tailgate-snoop
+/// is relaxed; firing it strands the snoop at a device that has already
+/// invalidated, which the model checker reports as a stuck (non-quiescent)
+/// terminal state and an invariant violation.
+pub(super) fn eager_stale_dirty_evict(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+) -> Option<SystemState> {
+    if cfg.go_cannot_tailgate_snoop {
+        return None;
+    }
+    // Mid-transaction host (it has dispatched a snoop and is waiting).
+    if s.host.state.is_stable() || s.host.state.is_blocked_on_pull() || s.host.state == HState::ID {
+        return None;
+    }
+    if s.dev(r).cache.state != DState::MIA || s.dev(r).h2d_req.is_empty() {
+        return None;
+    }
+    let req = match s.dev(r).d2h_req.head() {
+        Some(req) if req.ty == D2HReqType::DirtyEvict => *req,
+        _ => return None,
+    };
+    let mut n = s.clone();
+    n.dev_mut(r).d2h_req.pop();
+    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, req.tid));
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacheline::DCache;
+    use crate::config::Relaxation;
+    use crate::instr::programs;
+    use crate::rules::{RuleId, Ruleset, Shape};
+
+    fn strict() -> Ruleset {
+        Ruleset::new(ProtocolConfig::strict())
+    }
+
+    fn fire(rules: &Ruleset, shape: Shape, r: DeviceId, s: &SystemState) -> SystemState {
+        rules
+            .try_fire(RuleId::new(shape, r), s)
+            .unwrap_or_else(|| panic!("{shape:?}{r} should fire in\n{s}"))
+    }
+
+    #[test]
+    fn invalid_rd_shared_grants_go_and_data() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::load(), Vec::new());
+        s.host.val = 42;
+        s.dev_mut(DeviceId::D1).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::RdShared, 0));
+        let n = fire(&rules, Shape::HostInvalidRdShared, DeviceId::D1, &s);
+        assert_eq!(n.host.state, HState::S);
+        let dev = n.dev(DeviceId::D1);
+        assert_eq!(dev.h2d_rsp.head(), Some(&H2DRsp::new(H2DRspType::GO, DState::S, 0)));
+        assert_eq!(dev.h2d_data.head(), Some(&DataMsg::new(0, 42)));
+        assert!(dev.d2h_req.is_empty());
+    }
+
+    #[test]
+    fn shared_rd_own_other_matches_table3_row() {
+        // Paper Table 3 `SharedRdOwn1`: host S → MA, SnpInv to dev2, early
+        // data to dev1.
+        let rules = strict();
+        let mut s = SystemState::initial(programs::store(1), programs::load());
+        s.host = crate::cacheline::HCache::new(42, HState::S);
+        s.dev_mut(DeviceId::D1).cache.state = DState::IMAD;
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::RdOwn, 0));
+        s.dev_mut(DeviceId::D2).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D2).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 1));
+        s.dev_mut(DeviceId::D2).h2d_data.push(DataMsg::new(1, 42));
+
+        let n = fire(&rules, Shape::HostSharedRdOwnOther, DeviceId::D1, &s);
+        assert_eq!(n.host.state, HState::MA);
+        assert_eq!(
+            n.dev(DeviceId::D2).h2d_req.head(),
+            Some(&H2DReq::new(H2DReqType::SnpInv, 0)),
+            "snoop carries the requester's tid"
+        );
+        assert_eq!(n.dev(DeviceId::D1).h2d_data.head(), Some(&DataMsg::new(0, 42)));
+    }
+
+    #[test]
+    fn rd_own_last_requires_no_other_sharer() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::store(1), Vec::new());
+        s.host.state = HState::S;
+        s.dev_mut(DeviceId::D1).cache.state = DState::SMAD;
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::RdOwn, 0));
+        // Other device invalid → immediate grant.
+        assert!(rules.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::D1), &s));
+        assert!(!rules.enabled(RuleId::new(Shape::HostSharedRdOwnOther, DeviceId::D1), &s));
+        // Other device shared → must snoop.
+        s.dev_mut(DeviceId::D2).cache.state = DState::S;
+        assert!(!rules.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::D1), &s));
+        assert!(rules.enabled(RuleId::new(Shape::HostSharedRdOwnOther, DeviceId::D1), &s));
+    }
+
+    #[test]
+    fn naive_tracking_ignores_in_flight_go() {
+        // Other device in ISAD with a GO in flight: precise tracking says
+        // "sharer", the naive relaxation says "not a sharer".
+        let mut s = SystemState::initial(programs::store(1), programs::load());
+        s.host.state = HState::S;
+        s.dev_mut(DeviceId::D1).cache.state = DState::IMAD;
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::RdOwn, 0));
+        s.dev_mut(DeviceId::D2).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D2).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 1));
+
+        let strict = strict();
+        assert!(!strict.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::D1), &s));
+
+        let naive = Ruleset::new(ProtocolConfig::relaxed(Relaxation::NaiveTransientTracking));
+        assert!(
+            naive.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::D1), &s),
+            "the naive host grants ownership despite the in-flight GO-S"
+        );
+    }
+
+    #[test]
+    fn modified_dirty_evict_matches_paper_figure4() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.host = crate::cacheline::HCache::new(0, HState::M);
+        s.dev_mut(DeviceId::D1).cache = DCache::new(1, DState::MIA);
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, 1));
+        let n = fire(&rules, Shape::HostModifiedDirtyEvict, DeviceId::D1, &s);
+        assert_eq!(n.host.state, HState::ID);
+        assert_eq!(
+            n.dev(DeviceId::D1).h2d_rsp.head(),
+            Some(&H2DRsp::new(H2DRspType::GOWritePull, DState::I, 1))
+        );
+        assert!(n.dev(DeviceId::D1).buffer.is_empty(), "Fig. 4 clears the buffer");
+    }
+
+    #[test]
+    fn id_data_copies_writeback_in() {
+        let rules = strict();
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        s.host = crate::cacheline::HCache::new(0, HState::ID);
+        s.dev_mut(DeviceId::D1).d2h_data.push(DataMsg::new(1, 1));
+        let n = fire(&rules, Shape::HostIdData, DeviceId::D1, &s);
+        assert_eq!(n.host, crate::cacheline::HCache::new(1, HState::I));
+    }
+
+    #[test]
+    fn stale_dirty_evict_pull_blocks_then_discards_bogus() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.host.state = HState::M; // ownership has moved to device 2
+        s.dev_mut(DeviceId::D2).cache.state = DState::M;
+        s.dev_mut(DeviceId::D1).cache = DCache::new(5, DState::IIA);
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, 0));
+        let n = fire(&rules, Shape::HostStaleDirtyEvictPull, DeviceId::D1, &s);
+        assert_eq!(n.host.state, HState::MB);
+        // Device answers with bogus data…
+        let n2 = fire(&rules, Shape::IiaGoWritePull, DeviceId::D1, &n);
+        // …which the host discards, returning to M with its value intact.
+        let host_val_before = n2.host.val;
+        let n3 = fire(&rules, Shape::HostBlockedData, DeviceId::D1, &n2);
+        assert_eq!(n3.host.state, HState::M);
+        assert_eq!(n3.host.val, host_val_before, "bogus data must not overwrite the host value");
+    }
+
+    #[test]
+    fn stale_drop_optimisation_gated_by_config() {
+        let mut s = SystemState::initial(programs::evict(), Vec::new());
+        s.host.state = HState::M;
+        s.dev_mut(DeviceId::D1).cache = DCache::new(5, DState::IIA);
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, 0));
+        let strict = strict();
+        assert!(!strict.enabled(RuleId::new(Shape::HostStaleDirtyEvictDrop, DeviceId::D1), &s));
+        let full = Ruleset::new(ProtocolConfig::full());
+        let n = full
+            .try_fire(RuleId::new(Shape::HostStaleDirtyEvictDrop, DeviceId::D1), &s)
+            .expect("optimisation enabled");
+        assert_eq!(n.host.state, HState::M, "no blocking needed: no data will come");
+        assert_eq!(
+            n.dev(DeviceId::D1).h2d_rsp.head().map(|r| r.ty),
+            Some(H2DRspType::GOWritePullDrop)
+        );
+    }
+
+    #[test]
+    fn blocking_host_rejects_requests_in_transient_states() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::load(), Vec::new());
+        s.host.state = HState::MA;
+        s.dev_mut(DeviceId::D1).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::RdShared, 0));
+        for shape in [Shape::HostInvalidRdShared, Shape::HostSharedRdShared] {
+            assert!(!rules.enabled(RuleId::new(shape, DeviceId::D1), &s), "{shape:?} fired in MA");
+        }
+    }
+
+    #[test]
+    fn eager_stale_dirty_evict_only_under_relaxation() {
+        let mut s = SystemState::initial(programs::evict(), programs::store(9));
+        s.host.state = HState::MAD; // serving device 2's RdOwn
+        s.dev_mut(DeviceId::D2).cache.state = DState::IMAD;
+        s.dev_mut(DeviceId::D1).cache = DCache::new(3, DState::MIA);
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 1));
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, 0));
+
+        let strict = strict();
+        assert!(!strict.enabled(RuleId::new(Shape::HostEagerStaleDirtyEvict, DeviceId::D1), &s));
+
+        let relaxed = Ruleset::new(ProtocolConfig::relaxed(Relaxation::GoCannotTailgateSnoop));
+        let n = relaxed
+            .try_fire(RuleId::new(Shape::HostEagerStaleDirtyEvict, DeviceId::D1), &s)
+            .expect("eager rule fires under relaxation");
+        assert_eq!(
+            n.dev(DeviceId::D1).h2d_rsp.head().map(|r| r.ty),
+            Some(H2DRspType::GOWritePull),
+            "a GO tailgates the outstanding snoop"
+        );
+    }
+
+    #[test]
+    fn go_cannot_tailgate_blocks_grants_during_snoop() {
+        let rules = strict();
+        let mut s = SystemState::initial(programs::load(), Vec::new());
+        s.host.state = HState::I;
+        s.dev_mut(DeviceId::D1).cache.state = DState::ISAD;
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::RdShared, 0));
+        // An (artificial) outstanding snoop to device 1 must block the GO.
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 7));
+        assert!(!rules.enabled(RuleId::new(Shape::HostInvalidRdShared, DeviceId::D1), &s));
+    }
+}

@@ -1,0 +1,540 @@
+//! The transition rules of the CXL.cache model (paper §3.3).
+//!
+//! The paper's model "consists of 68 rules that describe transitions
+//! between CXL states. Each rule consists of a name, a set of guards that
+//! must all hold in order for a rule to fire, and a set of actions by which
+//! some components of the state are (atomically) updated."
+//!
+//! The paper prints four representative rules (Figure 4); the remainder are
+//! reconstructed here from the paper's transient-state vocabulary, its
+//! transition tables (Tables 1–3) and the standard MSI directory protocol
+//! of Nagarajan et al.'s Primer, which the paper adopts for notation. Each
+//! rule's doc comment records its provenance.
+//!
+//! Rules are *shapes* instantiated once per device; a [`RuleId`] is a
+//! `(shape, device)` pair. This crate has 69 shapes (ours is a richer set
+//! than the paper's 34 shapes/68 rules because we additionally model
+//! `SnpData` flows, the `CleanEvictNoData` and clean-pull variants, the
+//! paper's §4.4 optimisation, and two relaxed/buggy rules used by the
+//! restriction-necessity experiments).
+
+mod device;
+mod host;
+
+use crate::config::ProtocolConfig;
+use crate::ids::DeviceId;
+use crate::state::SystemState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse classification of a rule shape, used for reporting and for the
+/// obligation matrix's per-category statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuleCategory {
+    /// A device consults its program head and starts (or locally retires) a
+    /// transaction.
+    DeviceIssue,
+    /// A device consumes an H2D response or data message, completing part
+    /// of an in-flight transaction.
+    DeviceCompletion,
+    /// A device processes an H2D snoop.
+    DeviceSnoop,
+    /// The host accepts a new D2H request.
+    HostRequest,
+    /// The host consumes a D2H snoop response or forwarded data.
+    HostResponse,
+    /// The host processes an eviction (including stale evictions).
+    HostEvict,
+    /// A deliberately *buggy* rule, only enabled under a relaxation
+    /// (paper §5.2 / Table 3).
+    Relaxed,
+}
+
+impl fmt::Display for RuleCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+macro_rules! shapes {
+    ($( $(#[$doc:meta])* $name:ident => ($cat:ident, $pt:literal, $func:path) ),+ $(,)?) => {
+        /// A device-indexed rule shape. See the module docs for provenance.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub enum Shape {
+            $( $(#[$doc])* $name, )+
+        }
+
+        impl Shape {
+            /// Every rule shape, in a fixed canonical order.
+            pub const ALL: &'static [Shape] = &[ $(Shape::$name),+ ];
+
+            /// The shape's category.
+            #[must_use]
+            pub fn category(self) -> RuleCategory {
+                match self {
+                    $( Shape::$name => RuleCategory::$cat, )+
+                }
+            }
+
+            /// Does this shape rely on the host's "perfect tracking"
+            /// assumption — i.e. does its guard inspect a *device's* cache
+            /// state or in-flight grants (paper §8, which reports 14 such
+            /// rules in the authors' model)?
+            #[must_use]
+            pub fn perfect_tracking(self) -> bool {
+                match self {
+                    $( Shape::$name => $pt, )+
+                }
+            }
+
+            fn fire_fn(self) -> fn(&SystemState, DeviceId, &ProtocolConfig) -> Option<SystemState> {
+                match self {
+                    $( Shape::$name => $func, )+
+                }
+            }
+        }
+    };
+}
+
+shapes! {
+    // ------------------------------------------------------------------
+    // Device issue rules (paper Fig. 4: InvalidLoad, ModifiedStore).
+    // ------------------------------------------------------------------
+    /// Paper Fig. 4 `InvalidLoad`: an invalid line with a pending `Load`
+    /// requests `RdShared` and enters `ISAD`.
+    InvalidLoad => (DeviceIssue, false, device::invalid_load),
+    /// An invalid line with a pending `Store` requests `RdOwn` and enters
+    /// `IMAD` (paper Table 3 row `InvalidStore1`).
+    InvalidStore => (DeviceIssue, false, device::invalid_store),
+    /// Evicting an invalid line is a no-op: the instruction retires
+    /// ("Subsequent Evicts have no effect on DCache1 because it is already
+    /// invalid", paper §5.1).
+    InvalidEvict => (DeviceIssue, false, device::invalid_evict),
+    /// A load hits a shared line and retires locally.
+    SharedLoad => (DeviceIssue, false, device::shared_load),
+    /// A store to a shared line requests ownership (`RdOwn`) and enters
+    /// `SMAD`.
+    SharedStore => (DeviceIssue, false, device::shared_store),
+    /// Paper Table 1 `SharedEvict`: a clean line is relinquished via
+    /// `CleanEvict`, entering `SIA`.
+    SharedEvict => (DeviceIssue, false, device::shared_evict),
+    /// As `SharedEvict`, but via `CleanEvictNoData` (device refuses to
+    /// supply data), entering `SIAC`. Enabled by
+    /// [`ProtocolConfig::clean_evict_no_data`].
+    SharedEvictNoData => (DeviceIssue, false, device::shared_evict_no_data),
+    /// A load hits a modified line and retires locally.
+    ModifiedLoad => (DeviceIssue, false, device::modified_load),
+    /// Paper Fig. 4 `ModifiedStore`: a store hits an owned line — no
+    /// coherence messages needed; the value is written and the buffer
+    /// cleared.
+    ModifiedStore => (DeviceIssue, false, device::modified_store),
+    /// Paper Table 2 `ModifiedEvict`: a dirty line is relinquished via
+    /// `DirtyEvict`, entering `MIA`.
+    ModifiedEvict => (DeviceIssue, false, device::modified_evict),
+
+    // ------------------------------------------------------------------
+    // Device completion rules: consuming GO and Data messages. The A/D
+    // split states (ISAD → ISD/ISA etc.) arise because GO and data travel
+    // on distinct channels and may arrive in either order.
+    // ------------------------------------------------------------------
+    /// `ISAD` consumes its GO(-S): awaiting only data (`ISD`).
+    IsadGo => (DeviceCompletion, false, device::isad_go),
+    /// `ISAD` consumes its data: awaiting only the GO (`ISA`).
+    IsadData => (DeviceCompletion, false, device::isad_data),
+    /// `ISD` consumes its data, completing the load: line becomes `S`
+    /// (paper Table 3's `ISADGO+Data` compound step is the composition of
+    /// `IsadGo` and this rule).
+    IsdData => (DeviceCompletion, false, device::isd_data),
+    /// `ISA` consumes its GO, completing the load: line becomes `S`.
+    IsaGo => (DeviceCompletion, false, device::isa_go),
+    /// `IMAD` consumes its GO(-M): `IMD`.
+    ImadGo => (DeviceCompletion, false, device::imad_go),
+    /// `IMAD` consumes its data: `IMA`.
+    ImadData => (DeviceCompletion, false, device::imad_data),
+    /// `IMD` consumes its data and performs the pending store: `M`.
+    ImdData => (DeviceCompletion, false, device::imd_data),
+    /// `IMA` consumes its GO and performs the pending store: `M`.
+    ImaGo => (DeviceCompletion, false, device::ima_go),
+    /// `SMAD` consumes its GO(-M): `SMD`.
+    SmadGo => (DeviceCompletion, false, device::smad_go),
+    /// `SMAD` consumes its data: `SMA`.
+    SmadData => (DeviceCompletion, false, device::smad_data),
+    /// `SMD` consumes its data and performs the pending store: `M`.
+    SmdData => (DeviceCompletion, false, device::smd_data),
+    /// `SMA` consumes its GO and performs the pending store: `M`.
+    SmaGo => (DeviceCompletion, false, device::sma_go),
+    /// Paper Table 1 `SIAGO_WritePullDrop`: a clean eviction completes
+    /// without a data transfer.
+    SiaGoWritePullDrop => (DeviceCompletion, false, device::sia_go_write_pull_drop),
+    /// A clean eviction whose data the host chose to pull
+    /// ([`ProtocolConfig::clean_evict_pull`]): the device supplies the
+    /// clean data and invalidates.
+    SiaGoWritePull => (DeviceCompletion, false, device::sia_go_write_pull),
+    /// A `CleanEvictNoData` eviction completes; the host never pulls.
+    SiacGoWritePullDrop => (DeviceCompletion, false, device::siac_go_write_pull_drop),
+    /// Paper Table 2 `MIAGO_WritePull`: a dirty eviction is pulled — the
+    /// device sends its dirty data and invalidates.
+    MiaGoWritePull => (DeviceCompletion, false, device::mia_go_write_pull),
+    /// A *stale* eviction is pulled: the device must mark the data bogus
+    /// (CXL §3.2.5.4 via paper §4.4).
+    IiaGoWritePull => (DeviceCompletion, false, device::iia_go_write_pull),
+    /// A stale eviction is dropped — the paper's §4.4 proposed
+    /// optimisation: no bogus data traffic at all.
+    IiaGoWritePullDrop => (DeviceCompletion, false, device::iia_go_write_pull_drop),
+    /// `ISDI` consumes its data: the load observes the value once and the
+    /// line is left invalid (the snoop won).
+    IsdiData => (DeviceCompletion, false, device::isdi_data),
+
+    // ------------------------------------------------------------------
+    // Device snoop rules. All are guarded by Snoop-pushes-GO (paper Fig. 4
+    // `SharedSnpInv`, guard `H2DRsp = []`) unless the configuration
+    // relaxes it.
+    // ------------------------------------------------------------------
+    /// Paper Fig. 4 `SharedSnpInv`: a shared line is invalidated by a
+    /// snoop; the device answers `RspIHitSE`.
+    SharedSnpInv => (DeviceSnoop, false, device::shared_snp_inv),
+    /// An owned line is invalidated: the device answers `RspIFwdM` and
+    /// forwards its dirty data.
+    ModifiedSnpInv => (DeviceSnoop, false, device::modified_snp_inv),
+    /// An owned line is downgraded to shared: `RspSFwdM` plus dirty data.
+    ModifiedSnpData => (DeviceSnoop, false, device::modified_snp_data),
+    /// A granted-but-dataless line (`ISD`) is invalidated: it answers
+    /// `RspIHitSE` and will consume its data once, becoming `I` (`ISDI` —
+    /// the state the paper's §6 invariant mentions).
+    IsdSnpInv => (DeviceSnoop, false, device::isd_snp_inv),
+    /// An S→M upgrade still holding its S copy (`SMAD`) is invalidated:
+    /// it answers `RspIHitSE` and continues the upgrade from `I` (`IMAD`).
+    SmadSnpInv => (DeviceSnoop, false, device::smad_snp_inv),
+    /// A clean eviction in flight is overtaken by an invalidating snoop:
+    /// the eviction goes stale (`IIA`).
+    SiaSnpInv => (DeviceSnoop, false, device::sia_snp_inv),
+    /// As `SiaSnpInv`, for `CleanEvictNoData` evictions.
+    SiacSnpInv => (DeviceSnoop, false, device::siac_snp_inv),
+    /// A dirty eviction in flight is overtaken by an invalidating snoop:
+    /// the device forwards its dirty data (`RspIFwdM`) and the eviction
+    /// goes stale (`IIA`) — the scenario behind CXL's Bogus field
+    /// (paper §4.4).
+    MiaSnpInv => (DeviceSnoop, false, device::mia_snp_inv),
+    /// A dirty eviction in flight is downgraded by `SnpData`: the device
+    /// forwards its data (`RspSFwdM`) and the eviction continues as a
+    /// clean one (`SIA`).
+    MiaSnpData => (DeviceSnoop, false, device::mia_snp_data),
+
+    // ------------------------------------------------------------------
+    // Host request rules. The modelled host is a blocking directory: a new
+    // D2H request is accepted only in a stable host state. Guards that
+    // inspect the other device's cache embody the paper's perfect-tracking
+    // assumption (§8).
+    // ------------------------------------------------------------------
+    /// `RdShared` hits an idle line: grant GO-S plus data from the host
+    /// copy (paper Table 3 `InvalidRdShared`).
+    HostInvalidRdShared => (HostRequest, false, host::invalid_rd_shared),
+    /// `RdShared` hits a shared line: grant GO-S plus data.
+    HostSharedRdShared => (HostRequest, false, host::shared_rd_shared),
+    /// `RdShared` hits an owned line: snoop the owner with `SnpData` and
+    /// wait (`SAD`).
+    HostModifiedRdShared => (HostRequest, true, host::modified_rd_shared),
+    /// `RdOwn` hits an idle line: grant GO-M plus data.
+    HostInvalidRdOwn => (HostRequest, false, host::invalid_rd_own),
+    /// `RdOwn` hits a shared line whose only sharer is the requester:
+    /// grant GO-M immediately (a rule the paper notes relies on there
+    /// being two devices, §8).
+    HostSharedRdOwnLast => (HostRequest, true, host::shared_rd_own_last),
+    /// Paper Table 3 `SharedRdOwn`: `RdOwn` hits a shared line with
+    /// another sharer: snoop it with `SnpInv`, forward data to the
+    /// requester early, and wait (`MA`).
+    HostSharedRdOwnOther => (HostRequest, true, host::shared_rd_own_other),
+    /// `RdOwn` hits an owned line: snoop the owner with `SnpInv` and wait
+    /// for its response and dirty data (`MAD`).
+    HostModifiedRdOwn => (HostRequest, true, host::modified_rd_own),
+
+    // ------------------------------------------------------------------
+    // Host response rules: consuming snoop responses and forwarded data.
+    // ------------------------------------------------------------------
+    /// `SAD` consumes the owner's `RspSFwdM`: awaiting only data (`SD`).
+    HostSadRspSFwdM => (HostResponse, true, host::sad_rsp_s_fwd_m),
+    /// `SAD` consumes the forwarded data first: forward it to the
+    /// requester and await the response (`SA`).
+    HostSadData => (HostResponse, true, host::sad_data),
+    /// `SD` consumes the forwarded data: forward data + GO-S to the
+    /// requester; the line is shared.
+    HostSdData => (HostResponse, true, host::sd_data),
+    /// `SA` consumes the owner's `RspSFwdM`: send GO-S; the line is
+    /// shared.
+    HostSaRspSFwdM => (HostResponse, true, host::sa_rsp_s_fwd_m),
+    /// `MAD` consumes the owner's `RspIFwdM`: awaiting only data (`MD`).
+    HostMadRspIFwdM => (HostResponse, true, host::mad_rsp_i_fwd_m),
+    /// `MAD` consumes the forwarded data first: forward it to the
+    /// requester and await the response (`MA`).
+    HostMadData => (HostResponse, true, host::mad_data),
+    /// `MD` consumes the forwarded data: forward data + GO-M; the line is
+    /// owned by the requester. (Paper Table 3's `MARspIHitI` is the
+    /// sibling `HostMaSnpRsp`.)
+    HostMdData => (HostResponse, true, host::md_data),
+    /// `MA` consumes the snooped device's response (`RspIHitSE`, or
+    /// `RspIFwdM` on the data-first path, or the buggy `RspIHitI`): send
+    /// GO-M; the line is owned by the requester.
+    HostMaSnpRsp => (HostResponse, true, host::ma_snp_rsp),
+
+    // ------------------------------------------------------------------
+    // Host eviction rules (paper Fig. 4 HostModifiedDirtyEvict; Tables 1
+    // and 2; §4.4 for the stale-eviction flows).
+    // ------------------------------------------------------------------
+    /// A clean eviction by the last sharer: drop the data; the line goes
+    /// idle.
+    HostCleanEvictDropLast => (HostEvict, true, host::clean_evict_drop_last),
+    /// Paper Table 1 `Shared_CleanEvict_NotLastDrop`: a clean eviction
+    /// while another sharer remains: drop; the line stays shared.
+    HostCleanEvictDropNotLast => (HostEvict, true, host::clean_evict_drop_not_last),
+    /// Clean eviction by the last sharer, with the host electing to pull
+    /// the clean data ([`ProtocolConfig::clean_evict_pull`]); the host
+    /// blocks (`IB`) until the pulled data arrives and is discarded.
+    HostCleanEvictPullLast => (HostEvict, true, host::clean_evict_pull_last),
+    /// As `HostCleanEvictPullLast` with another sharer remaining (`SB`).
+    HostCleanEvictPullNotLast => (HostEvict, true, host::clean_evict_pull_not_last),
+    /// `CleanEvictNoData` by the last sharer: the host must not pull
+    /// (paper §3.2), so it drops; the line goes idle.
+    HostCleanEvictNoDataLast => (HostEvict, true, host::clean_evict_no_data_last),
+    /// `CleanEvictNoData` with another sharer remaining.
+    HostCleanEvictNoDataNotLast => (HostEvict, true, host::clean_evict_no_data_not_last),
+    /// Paper Fig. 4 / Table 2 `HostModifiedDirtyEvict`: a dirty eviction
+    /// is pulled (`GO_WritePull`); the host enters `ID` awaiting the
+    /// write-back.
+    HostModifiedDirtyEvict => (HostEvict, true, host::modified_dirty_evict),
+    /// Paper Table 2 `IDData`: the written-back data arrives; the host
+    /// copies it in and the line goes idle.
+    HostIdData => (HostEvict, false, host::id_data),
+    /// A `DirtyEvict` whose line was meanwhile cleaned by a `SnpData`
+    /// (device now in `SIA`): the data has already been forwarded, so the
+    /// host drops.
+    HostCleanedDirtyEvictDrop => (HostEvict, true, host::cleaned_dirty_evict_drop),
+    /// As `HostCleanedDirtyEvictDrop`, but the host elects to pull the
+    /// (now clean) data ([`ProtocolConfig::clean_evict_pull`]).
+    HostCleanedDirtyEvictPull => (HostEvict, true, host::cleaned_dirty_evict_pull),
+    /// A *stale* `DirtyEvict` (device in `IIA`): baseline CXL behaviour —
+    /// pull, receiving data the device has marked bogus, then discard it
+    /// (CXL §3.2.5.4).
+    HostStaleDirtyEvictPull => (HostEvict, true, host::stale_dirty_evict_pull),
+    /// A stale `DirtyEvict` answered with `GO_WritePullDrop` — the paper's
+    /// §4.4 proposed optimisation
+    /// ([`ProtocolConfig::stale_evict_drop_optimisation`]).
+    HostStaleDirtyEvictDrop => (HostEvict, true, host::stale_dirty_evict_drop),
+    /// A stale `CleanEvict`/`CleanEvictNoData` (device in `IIA`): drop.
+    HostStaleCleanEvictDrop => (HostEvict, true, host::stale_clean_evict_drop),
+    /// A blocked host (`IB`/`SB`/`MB`) discards pulled eviction data and
+    /// returns to its stable state.
+    HostBlockedData => (HostEvict, false, host::blocked_data),
+
+    // ------------------------------------------------------------------
+    // Relaxed/buggy rules (paper §5.2): enabled only when the
+    // corresponding restriction is relaxed.
+    // ------------------------------------------------------------------
+    /// Paper Table 3's `ISADSnpInv(⚠)`: a device in `ISAD` processes a
+    /// snoop *before* the pending GO, answering `RspIHitI`. Only enabled
+    /// when Snoop-pushes-GO is relaxed; firing it leads to the Figure 5
+    /// coherence violation.
+    IsadSnpInvBuggy => (Relaxed, false, device::isad_snp_inv_buggy),
+    /// The host answers a `DirtyEvict` with `GO_WritePull` *while* a snoop
+    /// to the same device is outstanding — a GO tailgating a snoop. Only
+    /// enabled when GO-cannot-tailgate-snoop is relaxed.
+    HostEagerStaleDirtyEvict => (Relaxed, true, host::eager_stale_dirty_evict),
+}
+
+impl Shape {
+    /// Paper-style rule name for a given device, e.g. `InvalidLoad1`,
+    /// `SharedSnpInv2`.
+    #[must_use]
+    pub fn rule_name(self, dev: DeviceId) -> String {
+        format!("{self:?}{dev}")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A concrete rule: a shape instantiated for one device. For device-side
+/// shapes `dev` is the acting device; for host-side shapes it is the
+/// requester/evictor the transaction serves (matching the paper's naming,
+/// e.g. `HostModifiedDirtyEvict1` serves device 1's eviction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RuleId {
+    /// The rule shape.
+    pub shape: Shape,
+    /// The device this instance acts for.
+    pub dev: DeviceId,
+}
+
+impl RuleId {
+    /// Construct a rule identifier.
+    #[must_use]
+    pub fn new(shape: Shape, dev: DeviceId) -> Self {
+        RuleId { shape, dev }
+    }
+
+    /// Paper-style name, e.g. `HostModifiedDirtyEvict1`.
+    #[must_use]
+    pub fn name(self) -> String {
+        self.shape.rule_name(self.dev)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.shape, self.dev)
+    }
+}
+
+/// The rule engine: the full instantiated rule set under a given
+/// [`ProtocolConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::{ProtocolConfig, Ruleset, SystemState};
+/// use cxl_core::instr::programs;
+///
+/// let rules = Ruleset::new(ProtocolConfig::strict());
+/// let s = SystemState::initial(programs::store(42), programs::load());
+/// let succs = rules.successors(&s);
+/// assert!(!succs.is_empty(), "initial state must not be stuck");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ruleset {
+    config: ProtocolConfig,
+    ids: Vec<RuleId>,
+}
+
+impl Ruleset {
+    /// Build the rule set for `config`. All shapes are instantiated; rules
+    /// whose enabling condition depends on the configuration simply never
+    /// fire when disabled.
+    #[must_use]
+    pub fn new(config: ProtocolConfig) -> Self {
+        let mut ids = Vec::with_capacity(Shape::ALL.len() * 2);
+        for &shape in Shape::ALL {
+            for dev in DeviceId::ALL {
+                ids.push(RuleId::new(shape, dev));
+            }
+        }
+        Ruleset { config, ids }
+    }
+
+    /// The configuration this rule set runs under.
+    #[must_use]
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// All instantiated rule identifiers (2 × number of shapes).
+    #[must_use]
+    pub fn rule_ids(&self) -> &[RuleId] {
+        &self.ids
+    }
+
+    /// Attempt to fire one rule: returns the successor state if every
+    /// guard holds, or `None` if the rule is disabled in `state`.
+    #[must_use]
+    pub fn try_fire(&self, id: RuleId, state: &SystemState) -> Option<SystemState> {
+        (id.shape.fire_fn())(state, id.dev, &self.config)
+    }
+
+    /// Is the rule enabled in `state`?
+    #[must_use]
+    pub fn enabled(&self, id: RuleId, state: &SystemState) -> bool {
+        self.try_fire(id, state).is_some()
+    }
+
+    /// All enabled transitions from `state`, as `(rule, successor)` pairs.
+    #[must_use]
+    pub fn successors(&self, state: &SystemState) -> Vec<(RuleId, SystemState)> {
+        let mut out = Vec::new();
+        for &id in &self.ids {
+            if let Some(next) = self.try_fire(id, state) {
+                out.push((id, next));
+            }
+        }
+        out
+    }
+
+    /// The rules relying on perfect tracking (paper §8 enumerates these in
+    /// `PerfectTrackingRules.txt`; we expose them programmatically).
+    #[must_use]
+    pub fn perfect_tracking_rules(&self) -> Vec<RuleId> {
+        self.ids.iter().copied().filter(|id| id.shape.perfect_tracking()).collect()
+    }
+}
+
+impl Default for Ruleset {
+    fn default() -> Self {
+        Ruleset::new(ProtocolConfig::strict())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::programs;
+
+    #[test]
+    fn shape_inventory() {
+        // 69 shapes — see module docs; 2 of them relaxed-only.
+        assert_eq!(Shape::ALL.len(), 69);
+        let relaxed = Shape::ALL.iter().filter(|s| s.category() == RuleCategory::Relaxed).count();
+        assert_eq!(relaxed, 2);
+    }
+
+    #[test]
+    fn ruleset_instantiates_each_shape_twice() {
+        let rules = Ruleset::default();
+        assert_eq!(rules.rule_ids().len(), Shape::ALL.len() * 2);
+    }
+
+    #[test]
+    fn rule_names_match_paper_style() {
+        assert_eq!(RuleId::new(Shape::InvalidLoad, DeviceId::D1).name(), "InvalidLoad1");
+        assert_eq!(
+            RuleId::new(Shape::HostModifiedDirtyEvict, DeviceId::D2).name(),
+            "HostModifiedDirtyEvict2"
+        );
+    }
+
+    #[test]
+    fn perfect_tracking_rules_are_host_side() {
+        let rules = Ruleset::default();
+        let pt = rules.perfect_tracking_rules();
+        assert!(!pt.is_empty());
+        for id in pt {
+            assert!(
+                matches!(
+                    id.shape.category(),
+                    RuleCategory::HostRequest
+                        | RuleCategory::HostResponse
+                        | RuleCategory::HostEvict
+                        | RuleCategory::Relaxed
+                ),
+                "{id} claims perfect tracking but is device-side"
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_rules_disabled_under_strict_config() {
+        let rules = Ruleset::default();
+        let s = SystemState::initial(programs::store(42), programs::load());
+        // Explore a few steps; the buggy shapes must never fire.
+        let mut frontier = vec![s];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                for (id, succ) in rules.successors(st) {
+                    assert_ne!(id.shape.category(), RuleCategory::Relaxed, "{id} fired under strict config");
+                    next.push(succ);
+                }
+            }
+            frontier = next;
+        }
+    }
+}

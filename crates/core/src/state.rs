@@ -1,0 +1,330 @@
+//! The whole-system state of the two-device CXL model (paper Figures 2–3).
+//!
+//! A [`SystemState`] bundles, for each device: its program, cache line, the
+//! three device-to-host channels (requests, responses, data), the three
+//! host-to-device channels, and its buffer slot; plus the host cache line
+//! and the global transaction-identifier counter — the twenty components of
+//! paper Figure 3.
+
+use crate::cacheline::{DCache, DState, HCache, HState};
+use crate::channel::Channel;
+use crate::ids::{DeviceId, Tid, Val};
+use crate::instr::{Instruction, Program};
+use crate::msg::{D2HReq, D2HRsp, DBufferSlot, DataMsg, H2DReq, H2DRsp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything belonging to one device side of Figure 2: the program, the
+/// cache, the six channels connecting it to the host, and the buffer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceState {
+    /// The driving program (`DProgᵢ`).
+    pub prog: Program,
+    /// The device cache line (`DCacheᵢ`).
+    pub cache: DCache,
+    /// Device-to-host requests (`D2HReqᵢ`).
+    pub d2h_req: Channel<D2HReq>,
+    /// Device-to-host snoop responses (`D2HRspᵢ`).
+    pub d2h_rsp: Channel<D2HRsp>,
+    /// Device-to-host data (`D2HDataᵢ`).
+    pub d2h_data: Channel<DataMsg>,
+    /// Host-to-device snoops (`H2DReqᵢ`).
+    pub h2d_req: Channel<H2DReq>,
+    /// Host-to-device responses (`H2DRspᵢ`).
+    pub h2d_rsp: Channel<H2DRsp>,
+    /// Host-to-device data (`H2DDataᵢ`).
+    pub h2d_data: Channel<DataMsg>,
+    /// The device buffer slot (`DBufferᵢ`).
+    pub buffer: DBufferSlot,
+}
+
+impl DeviceState {
+    /// A quiescent device: empty program and channels, invalid line holding
+    /// `val` (the paper's Table 3 starts devices at `(-1, I)`).
+    #[must_use]
+    pub fn idle(val: Val) -> Self {
+        DeviceState {
+            prog: Vec::new(),
+            cache: DCache::invalid(val),
+            d2h_req: Channel::new(),
+            d2h_rsp: Channel::new(),
+            d2h_data: Channel::new(),
+            h2d_req: Channel::new(),
+            h2d_rsp: Channel::new(),
+            h2d_data: Channel::new(),
+            buffer: DBufferSlot::Empty,
+        }
+    }
+
+    /// The next instruction to execute, if any (`head(DProgᵢ)`).
+    #[must_use]
+    pub fn next_instr(&self) -> Option<Instruction> {
+        self.prog.first().copied()
+    }
+
+    /// Retire the head instruction (`DProgᵢ := tail(DProgᵢ)`).
+    ///
+    /// # Panics
+    /// Panics if the program is empty — rules must guard on
+    /// [`Self::next_instr`] before retiring.
+    pub fn retire_instr(&mut self) {
+        assert!(!self.prog.is_empty(), "retire_instr on an empty program");
+        self.prog.remove(0);
+    }
+
+    /// Are all channels between this device and the host empty?
+    #[must_use]
+    pub fn channels_quiet(&self) -> bool {
+        self.d2h_req.is_empty()
+            && self.d2h_rsp.is_empty()
+            && self.d2h_data.is_empty()
+            && self.h2d_req.is_empty()
+            && self.h2d_rsp.is_empty()
+            && self.h2d_data.is_empty()
+    }
+
+    /// Total number of in-flight messages on this device's channels.
+    #[must_use]
+    pub fn messages_in_flight(&self) -> usize {
+        self.d2h_req.len()
+            + self.d2h_rsp.len()
+            + self.d2h_data.len()
+            + self.h2d_req.len()
+            + self.h2d_rsp.len()
+            + self.h2d_data.len()
+    }
+}
+
+/// The complete system state (paper Figure 3's `SystemState` record).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemState {
+    /// The two devices, indexed by [`DeviceId`].
+    pub devs: [DeviceState; 2],
+    /// The host cache line (`HCache`).
+    pub host: HCache,
+    /// The global transaction-identifier counter (`Counter`). "The standard
+    /// does not specify how devices come up with unique transaction
+    /// identifiers, so we use a simple, globally accessible counter"
+    /// (paper §3.1).
+    pub counter: Tid,
+}
+
+impl SystemState {
+    /// The canonical initial state of the paper's relaxation test
+    /// (Table 3): both devices `(-1, I)`, host `(0, I)`, counter 0, with
+    /// the given programs.
+    #[must_use]
+    pub fn initial(prog1: Program, prog2: Program) -> Self {
+        let mut s = SystemState {
+            devs: [DeviceState::idle(-1), DeviceState::idle(-1)],
+            host: HCache::new(0, HState::I),
+            counter: 0,
+        };
+        s.devs[0].prog = prog1;
+        s.devs[1].prog = prog2;
+        s
+    }
+
+    /// Borrow a device's state.
+    #[must_use]
+    pub fn dev(&self, d: DeviceId) -> &DeviceState {
+        &self.devs[d.index()]
+    }
+
+    /// Mutably borrow a device's state.
+    pub fn dev_mut(&mut self, d: DeviceId) -> &mut DeviceState {
+        &mut self.devs[d.index()]
+    }
+
+    /// Mint a fresh transaction identifier (`Counter := Counter + 1`,
+    /// returning the pre-increment value, as in paper Figure 4's
+    /// `InvalidLoad` rule which sends `(RdShared, Counter)` and then
+    /// increments).
+    pub fn fresh_tid(&mut self) -> Tid {
+        let t = self.counter;
+        self.counter += 1;
+        t
+    }
+
+    /// Is the whole system quiescent: all programs retired, all channels
+    /// empty, every cache line stable?
+    ///
+    /// Terminal states of a *correct* configuration must be quiescent —
+    /// this is the deadlock-freedom smoke check the model checker applies
+    /// (the paper leaves full liveness to future work, §8).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.devs.iter().all(|d| {
+            d.prog.is_empty() && d.channels_quiet() && d.cache.state.is_stable()
+        }) && self.host.state.is_stable()
+    }
+
+    /// Does `device` currently *hold or is it about to hold* a readable
+    /// copy of the line? This is the host's "perfect tracking" view
+    /// (paper §8): a device counts as a sharer if its line grants read
+    /// access, if it is evicting a copy the host has not yet released
+    /// (no eviction GO in flight), or if a granted GO is still in flight
+    /// towards it (the `ISAD ∧ H2DRsp ≠ []` carve-out of the paper's
+    /// transient-SWMR invariant conjunct).
+    #[must_use]
+    pub fn tracked_sharer(&self, device: DeviceId) -> bool {
+        let dev = self.dev(device);
+        match dev.cache.state {
+            DState::S | DState::M => true,
+            // An S→M upgrade in flight still holds its readable S copy.
+            DState::SMAD | DState::SMD | DState::SMA => true,
+            // Evicting, but the host has not answered yet: the copy is
+            // still the host's to revoke. Once the eviction GO is in
+            // flight the host has released the device.
+            DState::SIA | DState::SIAC | DState::MIA => dev.h2d_rsp.is_empty(),
+            // GO consumed or data consumed: the grant has landed.
+            DState::ISD | DState::ISA => true,
+            // Request granted but the GO (or its data) still in flight.
+            DState::ISAD => !dev.h2d_rsp.is_empty() || !dev.h2d_data.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Does `device` hold (or is it about to hold) the line in `M`?
+    /// Host-side perfect tracking used when deciding whether a dirty copy
+    /// must be snooped.
+    #[must_use]
+    pub fn tracked_owner(&self, device: DeviceId) -> bool {
+        let dev = self.dev(device);
+        match dev.cache.state {
+            DState::M => true,
+            DState::MIA => dev.h2d_rsp.is_empty(),
+            DState::IMD | DState::IMA | DState::SMD | DState::SMA => true,
+            DState::IMAD | DState::SMAD => {
+                !dev.h2d_rsp.is_empty() || !dev.h2d_data.is_empty()
+            }
+            _ => false,
+        }
+    }
+
+    /// Total in-flight messages across all channels.
+    #[must_use]
+    pub fn messages_in_flight(&self) -> usize {
+        self.devs.iter().map(DeviceState::messages_in_flight).sum()
+    }
+
+    /// Remaining instructions across both programs.
+    #[must_use]
+    pub fn instructions_remaining(&self) -> usize {
+        self.devs.iter().map(|d| d.prog.len()).sum()
+    }
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "host: {}   counter: {}", self.host, self.counter)?;
+        for d in DeviceId::ALL {
+            let dev = self.dev(d);
+            writeln!(
+                f,
+                "dev{d}: cache {}  prog [{}]",
+                dev.cache,
+                dev.prog.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            )?;
+            writeln!(
+                f,
+                "      D2HReq {}  D2HRsp {}  D2HData {}",
+                dev.d2h_req, dev.d2h_rsp, dev.d2h_data
+            )?;
+            writeln!(
+                f,
+                "      H2DReq {}  H2DRsp {}  H2DData {}  buf {}",
+                dev.h2d_req, dev.h2d_rsp, dev.h2d_data, dev.buffer
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::programs;
+
+    #[test]
+    fn initial_state_matches_table3_row_zero() {
+        let s = SystemState::initial(programs::store(42), programs::load());
+        assert_eq!(s.dev(DeviceId::D1).cache, DCache::new(-1, DState::I));
+        assert_eq!(s.dev(DeviceId::D2).cache, DCache::new(-1, DState::I));
+        assert_eq!(s.host, HCache::new(0, HState::I));
+        assert_eq!(s.counter, 0);
+        assert!(!s.is_quiescent(), "programs pending");
+    }
+
+    #[test]
+    fn quiescence_requires_everything_drained() {
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        assert!(s.is_quiescent());
+        s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(crate::msg::D2HReqType::RdOwn, 0));
+        assert!(!s.is_quiescent());
+    }
+
+    #[test]
+    fn fresh_tid_returns_then_increments() {
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        assert_eq!(s.fresh_tid(), 0);
+        assert_eq!(s.fresh_tid(), 1);
+        assert_eq!(s.counter, 2);
+    }
+
+    #[test]
+    fn tracked_sharer_covers_in_flight_go() {
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        let d = DeviceId::D2;
+        s.dev_mut(d).cache.state = DState::ISAD;
+        assert!(!s.tracked_sharer(d), "ISAD with no GO in flight is not yet a sharer");
+        s.dev_mut(d)
+            .h2d_rsp
+            .push(H2DRsp::new(crate::msg::H2DRspType::GO, DState::S, 0));
+        assert!(s.tracked_sharer(d), "ISAD with GO in flight is a sharer");
+    }
+
+    #[test]
+    fn tracked_owner_covers_granted_states() {
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        for st in [DState::M, DState::MIA, DState::IMD, DState::SMA] {
+            s.dev_mut(DeviceId::D1).cache.state = st;
+            assert!(s.tracked_owner(DeviceId::D1), "{st} should be tracked as owner");
+        }
+        s.dev_mut(DeviceId::D1).cache.state = DState::S;
+        assert!(!s.tracked_owner(DeviceId::D1));
+    }
+
+    #[test]
+    fn retire_instr_pops_head() {
+        let mut s = SystemState::initial(programs::loads(2), Vec::new());
+        assert_eq!(s.dev(DeviceId::D1).next_instr(), Some(Instruction::Load));
+        s.dev_mut(DeviceId::D1).retire_instr();
+        assert_eq!(s.dev(DeviceId::D1).prog.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn retire_instr_panics_when_empty() {
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        s.dev_mut(DeviceId::D1).retire_instr();
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        assert_eq!(s.messages_in_flight(), 0);
+        s.dev_mut(DeviceId::D1).h2d_data.push(DataMsg::new(0, 5));
+        s.dev_mut(DeviceId::D2).d2h_rsp.push(D2HRsp::new(crate::msg::D2HRspType::RspIHitSE, 0));
+        assert_eq!(s.messages_in_flight(), 2);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let s = SystemState::initial(programs::load(), programs::store(1));
+        let txt = s.to_string();
+        for needle in ["host:", "counter:", "dev1:", "dev2:", "D2HReq", "H2DRsp", "buf"] {
+            assert!(txt.contains(needle), "display missing {needle}: {txt}");
+        }
+    }
+}

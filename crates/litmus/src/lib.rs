@@ -1,0 +1,40 @@
+//! # cxl-litmus — scenario verification for the CXL.cache model
+//!
+//! The paper's §5 validates the formal model by *scenario verification*:
+//! litmus tests that confirm expected behaviour in every interleaving
+//! (§5.1), and restriction tests showing that relaxing a CXL ordering rule
+//! makes coherence violations reachable (§5.2). This crate reproduces that
+//! workflow on top of the `cxl-core` model and the `cxl-mc` checker:
+//!
+//! - [`Litmus`] / [`LitmusResult`] — the harness: initial state +
+//!   configuration + expectation, explored exhaustively;
+//! - [`suite`] — the paper's eight litmus tests plus this reproduction's
+//!   extras;
+//! - [`relax`] — the restriction-necessity tests (paper Table 3 among
+//!   them);
+//! - [`tables`] — exact replays of the paper's Tables 1–3;
+//! - [`render`] — transition-table rendering in the paper's format;
+//! - [`msc`] — message-sequence-chart rendering (paper Figure 5).
+//!
+//! ## Example: regenerate paper Table 1
+//!
+//! ```
+//! let (_trace, table) = cxl_litmus::tables::table1();
+//! let text = table.to_text();
+//! assert!(text.contains("SharedEvict1"));
+//! assert!(text.contains("GO_WritePullDrop"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod litmus;
+pub mod msc;
+pub mod relax;
+pub mod render;
+mod replay;
+pub mod suite;
+pub mod tables;
+
+pub use litmus::{Expectation, FinalCheck, Litmus, LitmusResult};
+pub use replay::{replay, ReplayError};

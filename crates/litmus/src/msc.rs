@@ -1,0 +1,315 @@
+//! Message-sequence-chart rendering (paper Figure 5).
+//!
+//! Figure 5 of the paper presents the snoop-pushes-GO violation as a
+//! message-sequence chart between `DCache1`, `HCache` and `DCache2`. This
+//! module derives MSC events from a trace by diffing consecutive states'
+//! channels, and renders them as an ASCII chart with three lifelines and
+//! per-step cache-state annotations.
+
+use cxl_core::{DeviceId, SystemState};
+use cxl_mc::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A party in the chart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Party {
+    /// Device 1 (left lifeline).
+    Device1,
+    /// The host (centre lifeline).
+    Host,
+    /// Device 2 (right lifeline).
+    Device2,
+}
+
+impl Party {
+    /// The party for a device id.
+    #[must_use]
+    pub fn device(d: DeviceId) -> Party {
+        match d {
+            DeviceId::D1 => Party::Device1,
+            DeviceId::D2 => Party::Device2,
+        }
+    }
+}
+
+impl fmt::Display for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Party::Device1 => write!(f, "DCache1"),
+            Party::Host => write!(f, "HCache"),
+            Party::Device2 => write!(f, "DCache2"),
+        }
+    }
+}
+
+/// One chart event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MscEvent {
+    /// A message was sent (appended to a channel).
+    Message {
+        /// Sender lifeline.
+        from: Party,
+        /// Receiver lifeline.
+        to: Party,
+        /// Message label (its `Display` form).
+        label: String,
+    },
+    /// A cache line changed state, annotated on its lifeline.
+    StateChange {
+        /// The lifeline whose cache changed.
+        party: Party,
+        /// e.g. `I → ISAD`.
+        label: String,
+    },
+}
+
+/// Derive the events of one transition by diffing `before` and `after`.
+#[must_use]
+pub fn diff_events(before: &SystemState, after: &SystemState) -> Vec<MscEvent> {
+    let mut events = Vec::new();
+    for d in DeviceId::ALL {
+        let (b, a) = (before.dev(d), after.dev(d));
+        let dev = Party::device(d);
+        // Channels are FIFO: pops happen at the head, pushes at the tail.
+        // The messages appended by this transition are `new[s..]`, where
+        // `s` is the longest suffix of `old` that is a prefix of `new`
+        // (the surviving messages).
+        fn appended(old: Vec<String>, new: Vec<String>) -> Vec<String> {
+            let max_s = old.len().min(new.len());
+            let survivors = (0..=max_s)
+                .rev()
+                .find(|&s| old[old.len() - s..] == new[..s])
+                .unwrap_or(0);
+            new[survivors..].to_vec()
+        }
+        macro_rules! sends {
+            ($chan:ident, $from:expr, $to:expr) => {
+                let old: Vec<String> = b.$chan.iter().map(ToString::to_string).collect();
+                let new: Vec<String> = a.$chan.iter().map(ToString::to_string).collect();
+                for label in appended(old, new) {
+                    events.push(MscEvent::Message { from: $from, to: $to, label });
+                }
+            };
+        }
+        sends!(d2h_req, dev, Party::Host);
+        sends!(d2h_rsp, dev, Party::Host);
+        sends!(d2h_data, dev, Party::Host);
+        sends!(h2d_req, Party::Host, dev);
+        sends!(h2d_rsp, Party::Host, dev);
+        sends!(h2d_data, Party::Host, dev);
+        if b.cache.state != a.cache.state {
+            events.push(MscEvent::StateChange {
+                party: dev,
+                label: format!("{} → {}", b.cache.state, a.cache.state),
+            });
+        }
+    }
+    if before.host.state != after.host.state {
+        events.push(MscEvent::StateChange {
+            party: Party::Host,
+            label: format!("{} → {}", before.host.state, after.host.state),
+        });
+    }
+    events
+}
+
+/// A full message-sequence chart.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Msc {
+    /// Chart caption.
+    pub caption: String,
+    /// Events in trace order, tagged with the rule that produced them.
+    pub steps: Vec<(String, Vec<MscEvent>)>,
+}
+
+impl Msc {
+    /// Build the chart for a trace.
+    #[must_use]
+    pub fn from_trace(caption: impl Into<String>, trace: &Trace) -> Self {
+        let mut steps = Vec::new();
+        let mut prev = &trace.initial;
+        for step in &trace.steps {
+            steps.push((step.rule.name(), diff_events(prev, &step.state)));
+            prev = &step.state;
+        }
+        Msc { caption: caption.into(), steps }
+    }
+
+    /// ASCII rendering with three lifelines (paper Figure 5's layout).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        const LEFT: usize = 10; // Device1 lifeline column
+        const MID: usize = 44; // Host lifeline column
+        const RIGHT: usize = 78; // Device2 lifeline column
+        let mut out = String::new();
+        out.push_str(&self.caption);
+        out.push('\n');
+        let mut header = vec![' '; RIGHT + 10];
+        for (col, name) in [(LEFT, "DCache1"), (MID, "HCache"), (RIGHT, "DCache2")] {
+            for (i, ch) in name.chars().enumerate() {
+                header[col - name.len() / 2 + i] = ch;
+            }
+        }
+        out.push_str(header.iter().collect::<String>().trim_end());
+        out.push('\n');
+
+        let lifelines = |out: &mut String| {
+            let mut line = vec![' '; RIGHT + 1];
+            line[LEFT] = '|';
+            line[MID] = '|';
+            line[RIGHT] = '|';
+            out.push_str(&line.iter().collect::<String>());
+            out.push('\n');
+        };
+
+        for (rule, events) in &self.steps {
+            lifelines(&mut out);
+            let mut annotated = false;
+            for ev in events {
+                match ev {
+                    MscEvent::Message { from, to, label } => {
+                        let (a, b) = match (from, to) {
+                            (Party::Device1, Party::Host) => (LEFT, MID),
+                            (Party::Host, Party::Device1) => (MID, LEFT),
+                            (Party::Device2, Party::Host) => (RIGHT, MID),
+                            (Party::Host, Party::Device2) => (MID, RIGHT),
+                            _ => (LEFT, RIGHT),
+                        };
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        let mut line = vec![' '; RIGHT + 1];
+                        line[LEFT] = '|';
+                        line[MID] = '|';
+                        line[RIGHT] = '|';
+                        for c in line.iter_mut().take(hi).skip(lo + 1) {
+                            *c = '-';
+                        }
+                        if a < b {
+                            line[hi - 1] = '>';
+                        } else {
+                            line[lo + 1] = '<';
+                        }
+                        // Centre the label in the span.
+                        let span = hi - lo;
+                        let text: String = label.chars().take(span.saturating_sub(4)).collect();
+                        let start = lo + 1 + (span.saturating_sub(text.len())) / 2;
+                        for (i, ch) in text.chars().enumerate() {
+                            if start + i < hi {
+                                line[start + i] = ch;
+                            }
+                        }
+                        let mut s: String = line.iter().collect();
+                        if !annotated {
+                            s.push_str(&format!("   [{rule}]"));
+                            annotated = true;
+                        }
+                        out.push_str(s.trim_end());
+                        out.push('\n');
+                    }
+                    MscEvent::StateChange { party, label } => {
+                        let col = match party {
+                            Party::Device1 => LEFT,
+                            Party::Host => MID,
+                            Party::Device2 => RIGHT,
+                        };
+                        let mut line = vec![' '; RIGHT + 1];
+                        line[LEFT] = '|';
+                        line[MID] = '|';
+                        line[RIGHT] = '|';
+                        let text = format!("({label})");
+                        let start = (col + 2).min(RIGHT.saturating_sub(text.len()));
+                        for (i, ch) in text.chars().enumerate() {
+                            if start + i <= RIGHT && line[start + i] == ' ' {
+                                line[start + i] = ch;
+                            }
+                        }
+                        let mut s: String = line.iter().collect::<String>();
+                        if !annotated {
+                            s.push_str(&format!("   [{rule}]"));
+                            annotated = true;
+                        }
+                        out.push_str(s.trim_end());
+                        out.push('\n');
+                    }
+                }
+            }
+            if !annotated {
+                let mut line = vec![' '; RIGHT + 1];
+                line[LEFT] = '|';
+                line[MID] = '|';
+                line[RIGHT] = '|';
+                out.push_str(&format!("{}   [{rule}]", line.iter().collect::<String>()));
+                out.push('\n');
+            }
+        }
+        lifelines(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Msc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay;
+    use cxl_core::instr::programs;
+    use cxl_core::{ProtocolConfig, RuleId, Ruleset, Shape};
+
+    fn load_trace() -> Trace {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::load(), vec![]);
+        replay(
+            &rules,
+            &init,
+            &[
+                RuleId::new(Shape::InvalidLoad, DeviceId::D1),
+                RuleId::new(Shape::HostInvalidRdShared, DeviceId::D1),
+                RuleId::new(Shape::IsadGo, DeviceId::D1),
+                RuleId::new(Shape::IsdData, DeviceId::D1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diff_detects_sends_and_state_changes() {
+        let trace = load_trace();
+        let events = diff_events(&trace.initial, &trace.steps[0].state);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MscEvent::Message { from: Party::Device1, to: Party::Host, label } if label.contains("RdShared")
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MscEvent::StateChange { party: Party::Device1, label } if label == "I → ISAD"
+        )));
+    }
+
+    #[test]
+    fn host_grant_sends_go_and_data() {
+        let trace = load_trace();
+        let events = diff_events(&trace.steps[0].state, &trace.steps[1].state);
+        let msgs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                MscEvent::Message { to: Party::Device1, label, .. } => Some(label.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(msgs.len(), 2, "GO and Data: {msgs:?}");
+    }
+
+    #[test]
+    fn chart_renders_all_lifelines_and_rules() {
+        let msc = Msc::from_trace("load flow", &load_trace());
+        let txt = msc.to_text();
+        for needle in ["DCache1", "HCache", "DCache2", "[InvalidLoad1]", "RdShared", "--"] {
+            assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
+        }
+    }
+}

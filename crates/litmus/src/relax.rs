@@ -1,0 +1,141 @@
+//! Restriction-necessity tests (paper §5.2).
+//!
+//! "Because such restrictions place constraints on implementations of
+//! CXL.cache, one would reasonably expect that each of these restrictions
+//! is *necessary* — i.e. that removing a restriction would compromise the
+//! correctness of the protocol. We show that scenario verification using
+//! our Isabelle model can confirm this: that if a particular restriction
+//! is relaxed, additional states become reachable, and coherence
+//! violations can be observed."
+//!
+//! Each function returns a [`Litmus`] whose expectation encodes what the
+//! relaxation breaks in *this* model:
+//!
+//! | relaxation | expected outcome |
+//! |---|---|
+//! | Snoop-pushes-GO | SWMR violation (paper Table 3 / Figure 5) |
+//! | naive transient tracking | SWMR violation |
+//! | GO-cannot-tailgate-snoop | invariant violation / stuck state |
+//! | one-snoop-per-line | no effect (subsumed by the blocking host — cf. the redundancy the paper itself reports in §4.2) |
+
+use crate::litmus::{Expectation, Litmus};
+use cxl_core::instr::programs;
+use cxl_core::{DState, DeviceId, HState, ProtocolConfig, Relaxation, StateBuilder, SystemState};
+
+/// `snoop_pushes_go_test` (paper Table 3): with the Snoop-pushes-GO rule
+/// relaxed, device 2 answers a snoop ahead of its pending GO-S and both
+/// devices end up with valid copies — an SWMR violation.
+#[must_use]
+pub fn snoop_pushes_go_test() -> Litmus {
+    Litmus {
+        name: "snoop_pushes_go_test".into(),
+        description: "paper Table 3 / Figure 5: a snoop overtaking a GO breaks SWMR".into(),
+        config: ProtocolConfig::relaxed(Relaxation::SnoopPushesGo),
+        initial: SystemState::initial(programs::store(42), programs::load()),
+        expectation: Expectation::SwmrViolation,
+    }
+}
+
+/// `naive_tracking_test`: if the host's tracking ignores in-flight GO
+/// grants (dropping the `ISAD ∧ H2DRsp ≠ []` carve-out of the paper's §6
+/// transient-SWMR conjunct), it grants conflicting ownership — an SWMR
+/// violation.
+#[must_use]
+pub fn naive_tracking_test() -> Litmus {
+    Litmus {
+        name: "naive_tracking_test".into(),
+        description:
+            "ignoring in-flight GO grants in the sharer tracking breaks SWMR (paper §6's \
+             transient-SWMR carve-out is necessary)"
+                .into(),
+        config: ProtocolConfig::relaxed(Relaxation::NaiveTransientTracking),
+        initial: SystemState::initial(programs::store(42), programs::load()),
+        expectation: Expectation::SwmrViolation,
+    }
+}
+
+/// `go_tailgate_test`: with GO-cannot-tailgate-snoop relaxed, the host may
+/// answer a `DirtyEvict` while a snoop to the evictor is in flight; the
+/// snoop then finds an invalidated line and the transaction wedges — an
+/// invariant violation or stuck state.
+#[must_use]
+pub fn go_tailgate_test() -> Litmus {
+    let initial = StateBuilder::new()
+        .dev_cache(DeviceId::D1, 1, DState::M)
+        .dev_cache(DeviceId::D2, 0, DState::I)
+        .host(0, HState::M)
+        .prog(DeviceId::D1, programs::evict())
+        .prog(DeviceId::D2, programs::store(9))
+        .build();
+    Litmus {
+        name: "go_tailgate_test".into(),
+        description:
+            "a GO tailgating a snoop strands the snoop at an invalidated device (CXL \
+             §3.2.5.2's restriction is necessary)"
+                .into(),
+        config: ProtocolConfig::relaxed(Relaxation::GoCannotTailgateSnoop),
+        initial,
+        expectation: Expectation::InvariantViolationOrDeadlock,
+    }
+}
+
+/// `one_snoop_test`: relaxing one-snoop-per-line has no observable effect
+/// in this model, because the blocking host never has two transactions —
+/// and hence never two snoops — in flight. This mirrors the redundancy the
+/// paper found in the standard itself (§4.2: rule 11 of CXL §3.2.5.14
+/// repeats §3.2.5.5).
+#[must_use]
+pub fn one_snoop_test() -> Litmus {
+    Litmus {
+        name: "one_snoop_test".into(),
+        description:
+            "one-snoop-per-line is subsumed by the blocking host in this model (cf. the \
+             redundancy the paper reports in §4.2)"
+                .into(),
+        config: ProtocolConfig::relaxed(Relaxation::OneSnoopPerLine),
+        initial: SystemState::initial(programs::store(42), programs::load()),
+        expectation: Expectation::NoEffect,
+    }
+}
+
+/// All restriction tests, in paper order.
+#[must_use]
+pub fn restriction_suite() -> Vec<Litmus> {
+    vec![snoop_pushes_go_test(), naive_tracking_test(), go_tailgate_test(), one_snoop_test()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snoop_pushes_go_relaxation_reaches_swmr_violation() {
+        let res = snoop_pushes_go_test().run();
+        assert!(res.passed, "{res}");
+        let witness = res.witness.expect("witness trace");
+        // The buggy rule must be on the violating path (paper Table 3).
+        assert!(
+            witness.rule_names().iter().any(|r| r.contains("IsadSnpInvBuggy")),
+            "violation should go through the buggy ISADSnpInv rule: {:?}",
+            witness.rule_names()
+        );
+    }
+
+    #[test]
+    fn naive_tracking_reaches_swmr_violation() {
+        let res = naive_tracking_test().run();
+        assert!(res.passed, "{res}");
+    }
+
+    #[test]
+    fn go_tailgate_breaks_protocol() {
+        let res = go_tailgate_test().run();
+        assert!(res.passed, "{res}");
+    }
+
+    #[test]
+    fn one_snoop_relaxation_is_subsumed() {
+        let res = one_snoop_test().run();
+        assert!(res.passed, "{res}");
+    }
+}

@@ -1,0 +1,434 @@
+//! The explicit-state model checker.
+//!
+//! The paper explores its transition system inside Isabelle via the
+//! `value` command with manual pruning (§5); here a breadth-first
+//! enumeration with hashed state deduplication plays that role, made
+//! exhaustive rather than semi-automatic. For bounded device programs the
+//! model is finite-state (the invariant guarantees singleton channels), so
+//! exhaustive exploration decides SWMR for every bounded configuration.
+
+use crate::property::Property;
+use crate::report::{Deadlock, Report, Step, Trace, Violation};
+use cxl_core::{RuleId, Ruleset, SystemState};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A pruning predicate: states for which it returns `true` are recorded
+/// but not expanded. This reproduces the paper's §5 practice of "manually
+/// prun\[ing\] the tree of possible paths by adding extra predicates, in
+/// order to guide Isabelle towards a solution".
+pub type Prune = Arc<dyn Fn(&SystemState) -> bool + Send + Sync>;
+
+/// Exploration options.
+#[derive(Clone)]
+pub struct CheckOptions {
+    /// Stop after this many distinct states (the exploration is then
+    /// marked truncated).
+    pub max_states: usize,
+    /// Stop after this BFS depth, if set.
+    pub max_depth: Option<usize>,
+    /// Stop after collecting this many property violations.
+    pub max_violations: usize,
+    /// Worker threads for successor expansion and property checking.
+    pub threads: usize,
+    /// Optional pruning predicate (see [`Prune`]).
+    pub prune: Option<Prune>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            max_states: 10_000_000,
+            max_depth: None,
+            max_violations: 1,
+            threads: 1,
+            prune: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for CheckOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckOptions")
+            .field("max_states", &self.max_states)
+            .field("max_depth", &self.max_depth)
+            .field("max_violations", &self.max_violations)
+            .field("threads", &self.threads)
+            .field("prune", &self.prune.is_some())
+            .finish()
+    }
+}
+
+/// The result of [`ModelChecker::explore`]: the report plus the full set
+/// of reachable states (the exact universe the obligation matrix of
+/// `cxl-sketch` quantifies over).
+#[derive(Debug)]
+pub struct Exploration {
+    /// Statistics and findings.
+    pub report: Report,
+    /// Every distinct state visited, in discovery (BFS) order.
+    pub states: Vec<Arc<SystemState>>,
+}
+
+/// A breadth-first explicit-state model checker over a [`Ruleset`].
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::{ProtocolConfig, Ruleset, SystemState};
+/// use cxl_core::instr::programs;
+/// use cxl_mc::{ModelChecker, SwmrProperty};
+///
+/// let mc = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
+/// let init = SystemState::initial(programs::store(42), programs::load());
+/// let report = mc.check(&init, &[&SwmrProperty]);
+/// assert!(report.clean());
+/// ```
+#[derive(Debug)]
+pub struct ModelChecker {
+    rules: Ruleset,
+    opts: CheckOptions,
+}
+
+impl ModelChecker {
+    /// A checker with default options.
+    #[must_use]
+    pub fn new(rules: Ruleset) -> Self {
+        ModelChecker { rules, opts: CheckOptions::default() }
+    }
+
+    /// A checker with explicit options.
+    #[must_use]
+    pub fn with_options(rules: Ruleset, opts: CheckOptions) -> Self {
+        ModelChecker { rules, opts }
+    }
+
+    /// The rule set being explored.
+    #[must_use]
+    pub fn rules(&self) -> &Ruleset {
+        &self.rules
+    }
+
+    /// The exploration options.
+    #[must_use]
+    pub fn options(&self) -> &CheckOptions {
+        &self.opts
+    }
+
+    /// Explore and return just the report.
+    #[must_use]
+    pub fn check(&self, initial: &SystemState, props: &[&dyn Property]) -> Report {
+        self.explore(initial, props).report
+    }
+
+    /// Explore all states reachable from `initial`, checking `props` on
+    /// every state (including the initial one), detecting non-quiescent
+    /// terminal states, and retaining the visited set.
+    #[must_use]
+    pub fn explore(&self, initial: &SystemState, props: &[&dyn Property]) -> Exploration {
+        let start = Instant::now();
+        let mut report = Report::default();
+
+        // Arena of discovered states + parent links for trace rebuilding.
+        let mut states: Vec<Arc<SystemState>> = Vec::new();
+        let mut parents: Vec<Option<(usize, RuleId)>> = Vec::new();
+        let mut index: HashMap<Arc<SystemState>, usize> = HashMap::new();
+
+        let init = Arc::new(initial.clone());
+        states.push(Arc::clone(&init));
+        parents.push(None);
+        index.insert(init, 0);
+
+        self.check_state(0, &states, &parents, props, &mut report);
+
+        let mut frontier: Vec<usize> = vec![0];
+        let mut depth = 0usize;
+
+        'outer: while !frontier.is_empty() {
+            if let Some(md) = self.opts.max_depth {
+                if depth >= md {
+                    report.truncated = true;
+                    break;
+                }
+            }
+
+            // Phase 1: expand the frontier (possibly in parallel).
+            let expanded = self.expand(&frontier, &states);
+
+            // Phase 2: merge, dedupe, link parents, count firings.
+            let mut new_indices = Vec::new();
+            for (parent, rule, succ) in expanded {
+                *report.rule_firings.entry(rule.name()).or_insert(0) += 1;
+                report.transitions += 1;
+                let succ = Arc::new(succ);
+                if let Some(&_existing) = index.get(&succ) {
+                    continue;
+                }
+                let id = states.len();
+                states.push(Arc::clone(&succ));
+                parents.push(Some((parent, rule)));
+                index.insert(succ, id);
+                new_indices.push(id);
+                if states.len() >= self.opts.max_states {
+                    report.truncated = true;
+                    break;
+                }
+            }
+
+            // Phase 3: check properties and terminal status of new states.
+            for &id in &new_indices {
+                self.check_state(id, &states, &parents, props, &mut report);
+                if report.violations.len() >= self.opts.max_violations
+                    && !report.violations.is_empty()
+                {
+                    break 'outer;
+                }
+            }
+
+            // Terminal detection for the *previous* frontier happens via
+            // expansion: a frontier state with no successors is terminal.
+            depth += 1;
+            report.depth = depth;
+            if report.truncated {
+                break;
+            }
+            frontier = new_indices;
+        }
+
+        // Terminal states: re-scan all states for ones with no successors.
+        // (Cheap relative to exploration; avoids bookkeeping corner cases
+        // when the search stops early.)
+        if !report.truncated && report.violations.is_empty() {
+            for (id, st) in states.iter().enumerate() {
+                if self.successor_count(st) == 0 {
+                    report.terminal_states += 1;
+                    if !st.is_quiescent() {
+                        report.deadlocks.push(Deadlock {
+                            trace: rebuild_trace(id, &states, &parents),
+                        });
+                    }
+                }
+            }
+        }
+
+        report.states = states.len();
+        report.elapsed = start.elapsed();
+        Exploration { report, states }
+    }
+
+    /// All states reachable from `initial` (no properties checked).
+    #[must_use]
+    pub fn reachable(&self, initial: &SystemState) -> Vec<Arc<SystemState>> {
+        self.explore(initial, &[]).states
+    }
+
+    fn successor_count(&self, s: &SystemState) -> usize {
+        if let Some(prune) = &self.opts.prune {
+            if prune(s) {
+                return 0;
+            }
+        }
+        self.rules.successors(s).len()
+    }
+
+    fn expand(
+        &self,
+        frontier: &[usize],
+        states: &[Arc<SystemState>],
+    ) -> Vec<(usize, RuleId, SystemState)> {
+        let expand_one = |&id: &usize| -> Vec<(usize, RuleId, SystemState)> {
+            let st = &states[id];
+            if let Some(prune) = &self.opts.prune {
+                if prune(st) {
+                    return Vec::new();
+                }
+            }
+            self.rules
+                .successors(st)
+                .into_iter()
+                .map(|(rule, succ)| (id, rule, succ))
+                .collect()
+        };
+
+        if self.opts.threads <= 1 || frontier.len() < 2 * self.opts.threads {
+            frontier.iter().flat_map(&expand_one).collect()
+        } else {
+            let chunk = frontier.len().div_ceil(self.opts.threads);
+            type ChunkOut = Vec<(usize, RuleId, SystemState)>;
+            let results: Mutex<Vec<(usize, ChunkOut)>> =
+                Mutex::new(Vec::new());
+            crossbeam::thread::scope(|scope| {
+                for (ci, ids) in frontier.chunks(chunk).enumerate() {
+                    let results = &results;
+                    scope.spawn(move |_| {
+                        let out: Vec<_> = ids.iter().flat_map(expand_one).collect();
+                        results.lock().push((ci, out));
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            let mut chunks = results.into_inner();
+            chunks.sort_by_key(|(ci, _)| *ci);
+            chunks.into_iter().flat_map(|(_, v)| v).collect()
+        }
+    }
+
+    fn check_state(
+        &self,
+        id: usize,
+        states: &[Arc<SystemState>],
+        parents: &[Option<(usize, RuleId)>],
+        props: &[&dyn Property],
+        report: &mut Report,
+    ) {
+        let st = &states[id];
+        for p in props {
+            let outcome = p.check(st);
+            if let crate::property::PropertyOutcome::Violated(detail) = outcome {
+                report.violations.push(Violation {
+                    property: p.name().to_string(),
+                    detail,
+                    trace: rebuild_trace(id, states, parents),
+                });
+                if report.violations.len() >= self.opts.max_violations {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild the trace from the initial state to state `id` via parent
+/// links.
+fn rebuild_trace(
+    id: usize,
+    states: &[Arc<SystemState>],
+    parents: &[Option<(usize, RuleId)>],
+) -> Trace {
+    let mut rev = Vec::new();
+    let mut cur = id;
+    while let Some((parent, rule)) = parents[cur] {
+        rev.push(Step { rule, state: (*states[cur]).clone() });
+        cur = parent;
+    }
+    rev.reverse();
+    Trace { initial: (*states[cur]).clone(), steps: rev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::{boolean_property, SwmrProperty};
+    use cxl_core::instr::programs;
+    use cxl_core::{ProtocolConfig, Relaxation};
+
+    fn checker(cfg: ProtocolConfig) -> ModelChecker {
+        ModelChecker::new(Ruleset::new(cfg))
+    }
+
+    #[test]
+    fn empty_programs_yield_single_quiescent_state() {
+        let mc = checker(ProtocolConfig::strict());
+        let exp = mc.explore(&SystemState::initial(vec![], vec![]), &[&SwmrProperty]);
+        assert_eq!(exp.report.states, 1);
+        assert_eq!(exp.report.terminal_states, 1);
+        assert!(exp.report.clean());
+    }
+
+    #[test]
+    fn single_load_explores_and_terminates_cleanly() {
+        let mc = checker(ProtocolConfig::strict());
+        let exp = mc.explore(&SystemState::initial(programs::load(), vec![]), &[&SwmrProperty]);
+        assert!(exp.report.clean(), "{}", exp.report);
+        assert!(exp.report.states > 3);
+        assert!(!exp.report.truncated);
+        // Every terminal state is quiescent; the load must complete.
+        assert!(exp.report.terminal_states >= 1);
+    }
+
+    #[test]
+    fn store_load_race_is_coherent_under_strict_config() {
+        let mc = checker(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::store(42), programs::load());
+        let report = mc.check(&init, &[&SwmrProperty]);
+        assert!(report.clean(), "{report}");
+        assert!(report.states > 20, "the race should produce real interleaving");
+    }
+
+    #[test]
+    fn violation_traces_replay_from_initial_state() {
+        // Force a violation with a trivially false property and confirm the
+        // trace replays.
+        let mc = checker(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::load(), vec![]);
+        let p = boolean_property("no_isad", |s: &SystemState| {
+            s.dev(cxl_core::DeviceId::D1).cache.state != cxl_core::DState::ISAD
+        });
+        let report = mc.check(&init, &[&p]);
+        assert_eq!(report.violations.len(), 1);
+        let trace = &report.violations[0].trace;
+        // Replay the trace through the rule engine.
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let mut cur = trace.initial.clone();
+        for step in &trace.steps {
+            cur = rules.try_fire(step.rule, &cur).expect("trace step must be enabled");
+            assert_eq!(&cur, &step.state, "trace state mismatch");
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential() {
+        let init = SystemState::initial(programs::store(1), programs::store(2));
+        let seq = checker(ProtocolConfig::strict()).explore(&init, &[]);
+        let opts = CheckOptions { threads: 4, ..CheckOptions::default() };
+        let par = ModelChecker::with_options(Ruleset::new(ProtocolConfig::strict()), opts)
+            .explore(&init, &[]);
+        assert_eq!(seq.report.states, par.report.states);
+        assert_eq!(seq.report.transitions, par.report.transitions);
+    }
+
+    #[test]
+    fn prune_limits_expansion() {
+        let init = SystemState::initial(programs::load(), vec![]);
+        let opts = CheckOptions {
+            prune: Some(Arc::new(|s: &SystemState| s.counter > 0) as Prune),
+            ..CheckOptions::default()
+        };
+        let mc = ModelChecker::with_options(Ruleset::new(ProtocolConfig::strict()), opts);
+        let exp = mc.explore(&init, &[]);
+        assert_eq!(exp.report.states, 2, "only the first transition survives pruning");
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let init = SystemState::initial(programs::stores(0, 3), programs::loads(3));
+        let opts = CheckOptions { max_states: 50, ..CheckOptions::default() };
+        let mc = ModelChecker::with_options(Ruleset::new(ProtocolConfig::strict()), opts);
+        let exp = mc.explore(&init, &[]);
+        assert!(exp.report.truncated);
+        assert!(exp.report.states <= 51);
+    }
+
+    #[test]
+    fn snoop_pushes_go_relaxation_breaks_swmr() {
+        // The headline result (paper Table 3 / Figure 5): relaxing
+        // Snoop-pushes-GO makes an SWMR violation reachable.
+        let mc = checker(ProtocolConfig::relaxed(Relaxation::SnoopPushesGo));
+        let init = SystemState::initial(programs::store(42), programs::load());
+        let report = mc.check(&init, &[&SwmrProperty]);
+        assert!(
+            !report.violations.is_empty(),
+            "relaxed model must reach an SWMR violation: {report}"
+        );
+    }
+
+    #[test]
+    fn naive_tracking_relaxation_breaks_swmr() {
+        let mc = checker(ProtocolConfig::relaxed(Relaxation::NaiveTransientTracking));
+        let init = SystemState::initial(programs::store(42), programs::load());
+        let report = mc.check(&init, &[&SwmrProperty]);
+        assert!(!report.violations.is_empty(), "naive tracking must violate SWMR: {report}");
+    }
+}

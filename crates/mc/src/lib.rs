@@ -1,0 +1,55 @@
+//! # cxl-mc — explicit-state model checking for the CXL.cache model
+//!
+//! The paper validates its Isabelle model by bounded exploration (the
+//! `value` command with manual pruning, §5) and by a mechanised inductive
+//! proof (§6). This crate is the exploration substrate of the Rust
+//! reproduction: a breadth-first explicit-state model checker over the
+//! `cxl-core` transition system with
+//!
+//! - hashed state deduplication and parent links for counterexample
+//!   traces (the raw material of the paper's Tables 1–3);
+//! - pluggable safety [`Property`]s — [`SwmrProperty`] (Definition 6.1),
+//!   [`InvariantProperty`] (the §6 conjunct invariant), and ad-hoc
+//!   closures;
+//! - deadlock (non-quiescent terminal state) detection;
+//! - optional pruning predicates, reproducing the paper's guided-search
+//!   workflow;
+//! - optional multi-threaded frontier expansion.
+//!
+//! For bounded device programs the model is finite-state, so exploration
+//! here is *exhaustive* — every reachable state is checked, which is the
+//! reproduction's substitute for the theorem-prover proof (see
+//! `DESIGN.md` §4).
+//!
+//! ## Example: the headline verification
+//!
+//! ```
+//! use cxl_core::{ProtocolConfig, Relaxation, Ruleset, SystemState};
+//! use cxl_core::instr::programs;
+//! use cxl_mc::{ModelChecker, SwmrProperty};
+//!
+//! let init = SystemState::initial(programs::store(42), programs::load());
+//!
+//! // The faithful model is coherent…
+//! let strict = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
+//! assert!(strict.check(&init, &[&SwmrProperty]).clean());
+//!
+//! // …and relaxing Snoop-pushes-GO breaks SWMR (paper Table 3).
+//! let relaxed = ModelChecker::new(Ruleset::new(ProtocolConfig::relaxed(
+//!     Relaxation::SnoopPushesGo,
+//! )));
+//! assert!(!relaxed.check(&init, &[&SwmrProperty]).clean());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod checker;
+mod property;
+mod report;
+
+pub use checker::{CheckOptions, Exploration, ModelChecker, Prune};
+pub use property::{
+    boolean_property, FnProperty, InvariantProperty, Property, PropertyOutcome, SwmrProperty,
+};
+pub use report::{Deadlock, Report, Step, Trace, Violation};

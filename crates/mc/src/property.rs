@@ -1,0 +1,204 @@
+//! Safety properties checked during exploration.
+//!
+//! The paper checks two kinds of per-state condition: the SWMR property
+//! (Definition 6.1) and its strengthened inductive invariant (§6). Both are
+//! instances of [`Property`]; litmus tests add ad-hoc closures via
+//! [`FnProperty`].
+
+use cxl_core::{swmr, Invariant, SystemState};
+use std::fmt;
+use std::sync::Arc;
+
+/// The outcome of checking a property on one state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropertyOutcome {
+    /// The property holds.
+    Holds,
+    /// The property is violated; the string explains how (e.g. which
+    /// invariant conjunct failed).
+    Violated(String),
+}
+
+impl PropertyOutcome {
+    /// Does the property hold?
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, PropertyOutcome::Holds)
+    }
+}
+
+impl fmt::Display for PropertyOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyOutcome::Holds => write!(f, "holds"),
+            PropertyOutcome::Violated(why) => write!(f, "violated: {why}"),
+        }
+    }
+}
+
+/// A safety property checked on every explored state.
+pub trait Property: Send + Sync {
+    /// Short name used in reports (e.g. `SWMR`).
+    fn name(&self) -> &str;
+
+    /// Check the property on one state.
+    fn check(&self, s: &SystemState) -> PropertyOutcome;
+}
+
+/// The Single-Writer-Multiple-Reader property (paper Definition 6.1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwmrProperty;
+
+impl Property for SwmrProperty {
+    fn name(&self) -> &str {
+        "SWMR"
+    }
+
+    fn check(&self, s: &SystemState) -> PropertyOutcome {
+        if swmr(s) {
+            PropertyOutcome::Holds
+        } else {
+            PropertyOutcome::Violated(format!(
+                "DCache1 = {}, DCache2 = {}",
+                s.dev(cxl_core::DeviceId::D1).cache,
+                s.dev(cxl_core::DeviceId::D2).cache,
+            ))
+        }
+    }
+}
+
+/// The full inductive invariant as a property: reports the first violated
+/// conjunct by name.
+#[derive(Clone)]
+pub struct InvariantProperty {
+    name: String,
+    invariant: Arc<Invariant>,
+}
+
+impl InvariantProperty {
+    /// Wrap an invariant.
+    #[must_use]
+    pub fn new(invariant: Invariant) -> Self {
+        InvariantProperty { name: "Invariant".to_string(), invariant: Arc::new(invariant) }
+    }
+
+    /// Wrap an invariant under a custom report name.
+    #[must_use]
+    pub fn named(name: impl Into<String>, invariant: Invariant) -> Self {
+        InvariantProperty { name: name.into(), invariant: Arc::new(invariant) }
+    }
+
+    /// The wrapped invariant.
+    #[must_use]
+    pub fn invariant(&self) -> &Invariant {
+        &self.invariant
+    }
+}
+
+impl Property for InvariantProperty {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&self, s: &SystemState) -> PropertyOutcome {
+        match self.invariant.first_violation(s) {
+            None => PropertyOutcome::Holds,
+            Some(c) => PropertyOutcome::Violated(format!("conjunct {c} — {}", c.doc())),
+        }
+    }
+}
+
+impl fmt::Debug for InvariantProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InvariantProperty")
+            .field("name", &self.name)
+            .field("conjuncts", &self.invariant.len())
+            .finish()
+    }
+}
+
+/// A property defined by a closure, for litmus-test expectations.
+pub struct FnProperty<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnProperty<F>
+where
+    F: Fn(&SystemState) -> PropertyOutcome + Send + Sync,
+{
+    /// Wrap a closure as a property.
+    #[must_use]
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnProperty { name: name.into(), f }
+    }
+}
+
+impl<F> Property for FnProperty<F>
+where
+    F: Fn(&SystemState) -> PropertyOutcome + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&self, s: &SystemState) -> PropertyOutcome {
+        (self.f)(s)
+    }
+}
+
+/// Convenience: a boolean closure property (violation message is generic).
+#[must_use]
+pub fn boolean_property<F>(name: impl Into<String>, f: F) -> FnProperty<impl Fn(&SystemState) -> PropertyOutcome + Send + Sync>
+where
+    F: Fn(&SystemState) -> bool + Send + Sync,
+{
+    FnProperty::new(name, move |s: &SystemState| {
+        if f(s) {
+            PropertyOutcome::Holds
+        } else {
+            PropertyOutcome::Violated("predicate returned false".to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_core::{DState, DeviceId, ProtocolConfig};
+
+    #[test]
+    fn swmr_property_reports_both_caches() {
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.dev_mut(DeviceId::D1).cache.state = DState::M;
+        s.dev_mut(DeviceId::D2).cache.state = DState::M;
+        let out = SwmrProperty.check(&s);
+        match out {
+            PropertyOutcome::Violated(why) => {
+                assert!(why.contains("DCache1") && why.contains("DCache2"));
+            }
+            PropertyOutcome::Holds => panic!("M+M must violate SWMR"),
+        }
+    }
+
+    #[test]
+    fn invariant_property_names_the_conjunct() {
+        let prop = InvariantProperty::new(Invariant::for_config(&ProtocolConfig::strict()));
+        let mut s = SystemState::initial(vec![], vec![]);
+        s.dev_mut(DeviceId::D1).cache.state = DState::S; // host I but a sharer exists
+        match prop.check(&s) {
+            PropertyOutcome::Violated(why) => assert!(why.contains("conjunct"), "{why}"),
+            PropertyOutcome::Holds => panic!("directory drift must be flagged"),
+        }
+    }
+
+    #[test]
+    fn boolean_property_adapts_closures() {
+        let p = boolean_property("counter_small", |s: &SystemState| s.counter < 10);
+        let mut s = SystemState::initial(vec![], vec![]);
+        assert!(p.check(&s).holds());
+        s.counter = 11;
+        assert!(!p.check(&s).holds());
+        assert_eq!(p.name(), "counter_small");
+    }
+}

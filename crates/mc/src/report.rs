@@ -1,0 +1,200 @@
+//! Exploration results: statistics, violations with counterexample traces,
+//! and deadlock reports.
+
+use cxl_core::{RuleId, SystemState};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// One step of a counterexample trace: the rule fired and the state it
+/// produced.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// The state after firing.
+    pub state: SystemState,
+}
+
+/// A full counterexample: the initial state followed by the steps leading
+/// to the offending state (the paper's Tables 1–3 are renderings of such
+/// traces).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The initial state.
+    pub initial: SystemState,
+    /// The steps, in firing order.
+    pub steps: Vec<Step>,
+}
+
+impl Trace {
+    /// The final state of the trace (the initial state if empty).
+    #[must_use]
+    pub fn last_state(&self) -> &SystemState {
+        self.steps.last().map_or(&self.initial, |s| &s.state)
+    }
+
+    /// Number of transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is this the empty trace (just the initial state)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The rule names along the trace, in order.
+    #[must_use]
+    pub fn rule_names(&self) -> Vec<String> {
+        self.steps.iter().map(|s| s.rule.name()).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "(initial state)")?;
+        write!(f, "{}", self.initial)?;
+        for step in &self.steps {
+            writeln!(f, "--- {} ---", step.rule.name())?;
+            write!(f, "{}", step.state)?;
+        }
+        Ok(())
+    }
+}
+
+/// A property violation found during exploration.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the violated property.
+    pub property: String,
+    /// Explanation (e.g. the violated invariant conjunct).
+    pub detail: String,
+    /// Counterexample trace from the initial state to the violating state.
+    pub trace: Trace,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation of {}: {}", self.property, self.detail)?;
+        writeln!(f, "after {} steps: {}", self.trace.len(), self.trace.rule_names().join(" → "))
+    }
+}
+
+/// A terminal (no enabled rule) state that is not quiescent — a deadlock
+/// or stuck protocol state. The strict model must have none; relaxed
+/// models may (paper §5.2's "additional states become reachable").
+#[derive(Clone, Debug)]
+pub struct Deadlock {
+    /// Trace from the initial state to the stuck state.
+    pub trace: Trace,
+}
+
+/// Aggregate statistics and findings of one exploration.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions (edges) examined.
+    pub transitions: usize,
+    /// Deepest BFS layer reached.
+    pub depth: usize,
+    /// True if the exploration hit a state or depth bound before
+    /// exhausting the reachable space.
+    pub truncated: bool,
+    /// Property violations (bounded by the checker's options).
+    pub violations: Vec<Violation>,
+    /// Non-quiescent terminal states.
+    pub deadlocks: Vec<Deadlock>,
+    /// Terminal states total (quiescent + deadlocked).
+    pub terminal_states: usize,
+    /// How often each rule fired, by rule name (a coverage measure for the
+    /// rule set).
+    pub rule_firings: BTreeMap<String, u64>,
+    /// Wall-clock exploration time.
+    pub elapsed: Duration,
+}
+
+impl Report {
+    /// Did every checked property hold on every visited state, with no
+    /// deadlocks?
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks.is_empty()
+    }
+
+    /// Rules that never fired (given the full rule-name universe); useful
+    /// for coverage audits.
+    #[must_use]
+    pub fn unfired_rules(&self, all_rules: &[RuleId]) -> Vec<String> {
+        all_rules
+            .iter()
+            .map(|r| r.name())
+            .filter(|n| !self.rule_firings.contains_key(n))
+            .collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "states: {}  transitions: {}  depth: {}  terminals: {}  truncated: {}",
+            self.states, self.transitions, self.depth, self.terminal_states, self.truncated
+        )?;
+        writeln!(
+            f,
+            "violations: {}  deadlocks: {}  elapsed: {:?}",
+            self.violations.len(),
+            self.deadlocks.len(),
+            self.elapsed
+        )?;
+        for v in &self.violations {
+            write!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_core::{DeviceId, Shape};
+
+    #[test]
+    fn trace_accessors() {
+        let initial = SystemState::initial(vec![], vec![]);
+        let mut t = Trace { initial: initial.clone(), steps: vec![] };
+        assert!(t.is_empty());
+        assert_eq!(t.last_state(), &initial);
+        let mut s2 = initial.clone();
+        s2.counter = 1;
+        t.steps.push(Step { rule: RuleId::new(Shape::InvalidLoad, DeviceId::D1), state: s2 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.last_state().counter, 1);
+        assert_eq!(t.rule_names(), vec!["InvalidLoad1"]);
+    }
+
+    #[test]
+    fn report_clean_logic() {
+        let mut r = Report::default();
+        assert!(r.clean());
+        r.deadlocks.push(Deadlock {
+            trace: Trace { initial: SystemState::initial(vec![], vec![]), steps: vec![] },
+        });
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn unfired_rules_subtracts_firings() {
+        let mut r = Report::default();
+        let all = vec![
+            RuleId::new(Shape::InvalidLoad, DeviceId::D1),
+            RuleId::new(Shape::InvalidLoad, DeviceId::D2),
+        ];
+        r.rule_firings.insert("InvalidLoad1".into(), 3);
+        assert_eq!(r.unfired_rules(&all), vec!["InvalidLoad2"]);
+    }
+}

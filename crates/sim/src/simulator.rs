@@ -1,0 +1,194 @@
+//! The random-walk simulator: one seeded path through the model's
+//! nondeterminism per run, with latency and traffic accounting.
+//!
+//! Where the model checker (`cxl-mc`) explores *all* interleavings, the
+//! simulator samples one path per seed — the cheap way to run workloads
+//! far longer than exhaustive exploration can handle, while still
+//! asserting SWMR on every visited state.
+
+use crate::stats::SimStats;
+use crate::workload::WorkloadSpec;
+use cxl_core::instr::Instruction;
+use cxl_core::{swmr, DeviceId, ProtocolConfig, Ruleset, SystemState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-walk simulator over a [`Ruleset`].
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::ProtocolConfig;
+/// use cxl_sim::{InstructionMix, Simulator, WorkloadSpec};
+///
+/// let sim = Simulator::new(ProtocolConfig::strict());
+/// let spec = WorkloadSpec::new(6, InstructionMix::balanced(), 7);
+/// let stats = sim.run_workload(&spec, 3);
+/// assert_eq!(stats.runs, 3);
+/// assert!(stats.instructions > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    rules: Ruleset,
+    /// Abort a run after this many steps (a liveness tripwire; the strict
+    /// model always quiesces long before).
+    pub max_steps: u64,
+}
+
+impl Simulator {
+    /// A simulator over the given configuration.
+    #[must_use]
+    pub fn new(config: ProtocolConfig) -> Self {
+        Simulator { rules: Ruleset::new(config), max_steps: 100_000 }
+    }
+
+    /// The underlying rule set.
+    #[must_use]
+    pub fn rules(&self) -> &Ruleset {
+        &self.rules
+    }
+
+    /// Run one seeded walk from `initial` to quiescence.
+    ///
+    /// # Panics
+    /// Panics if SWMR is violated on any visited state, if the walk
+    /// exceeds `max_steps`, or if it reaches a non-quiescent terminal
+    /// state — any of these is a model regression.
+    #[must_use]
+    pub fn run(&self, initial: &SystemState, seed: u64) -> SimStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = SimStats { runs: 1, ..SimStats::default() };
+        let mut state = initial.clone();
+        // Per-device step at which the current head instruction became
+        // active.
+        let mut head_since = [0u64; 2];
+        let mut step = 0u64;
+
+        loop {
+            assert!(swmr(&state), "SWMR violated during simulation:\n{state}");
+            let succs = self.rules.successors(&state);
+            if succs.is_empty() {
+                assert!(
+                    state.is_quiescent(),
+                    "simulation wedged in a non-quiescent state:\n{state}"
+                );
+                break;
+            }
+            let (rule, next) = {
+                let pick = rng.gen_range(0..succs.len());
+                succs.into_iter().nth(pick).expect("index in range")
+            };
+            step += 1;
+            assert!(step <= self.max_steps, "simulation exceeded {} steps", self.max_steps);
+            stats.record_firing(rule.shape.category());
+
+            // Data-traffic accounting: count D2H data sends.
+            for d in DeviceId::ALL {
+                let before = state.dev(d).d2h_data.len();
+                let after = next.dev(d).d2h_data.len();
+                if after > before {
+                    stats.data_messages += (after - before) as u64;
+                    if next.dev(d).d2h_data.as_slice().last().is_some_and(|m| m.bogus) {
+                        stats.bogus_data_messages += 1;
+                    }
+                }
+            }
+
+            // Retirement accounting: latency = steps the instruction spent
+            // at the program head.
+            for d in DeviceId::ALL {
+                let before = state.dev(d).prog.len();
+                let after = next.dev(d).prog.len();
+                if after < before {
+                    let kind = match state.dev(d).next_instr() {
+                        Some(Instruction::Load) => "Load",
+                        Some(Instruction::Store(_)) => "Store",
+                        Some(Instruction::Evict) => "Evict",
+                        None => unreachable!("retired from an empty program"),
+                    };
+                    stats.record_retire(kind, step - head_since[d.index()]);
+                    head_since[d.index()] = step;
+                }
+            }
+            state = next;
+        }
+        stats
+    }
+
+    /// Run `runs` differently-seeded walks of one workload and aggregate.
+    #[must_use]
+    pub fn run_workload(&self, spec: &WorkloadSpec, runs: usize) -> SimStats {
+        let (p1, p2) = spec.generate();
+        let initial = SystemState::initial(p1, p2);
+        let mut total = SimStats::default();
+        for i in 0..runs {
+            let stats = self.run(&initial, spec.seed.wrapping_add(i as u64 * 0x9e37_79b9));
+            total.merge(&stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::InstructionMix;
+    use cxl_core::instr::programs;
+
+    #[test]
+    fn single_run_retires_everything() {
+        let sim = Simulator::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::store(42), programs::load());
+        let stats = sim.run(&init, 1);
+        assert_eq!(stats.instructions, 2);
+        assert!(stats.steps >= 8, "a store+load needs at least the full flows");
+        assert_eq!(stats.runs, 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let sim = Simulator::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::stores(0, 3), programs::loads(3));
+        let a = sim.run(&init, 9);
+        let b = sim.run(&init, 9);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn workload_batch_aggregates() {
+        let sim = Simulator::new(ProtocolConfig::full());
+        let spec = WorkloadSpec::new(5, InstructionMix::balanced(), 11);
+        let stats = sim.run_workload(&spec, 4);
+        assert_eq!(stats.runs, 4);
+        assert_eq!(stats.instructions, 4 * 10, "5 instrs × 2 devices × 4 runs");
+    }
+
+    #[test]
+    fn evict_heavy_workloads_produce_bogus_traffic_under_baseline() {
+        // Stale dirty evictions force bogus pulls in the strict model.
+        let sim = Simulator::new(ProtocolConfig::strict());
+        let spec = WorkloadSpec::new(12, InstructionMix::evict_heavy(), 5);
+        let mut total = SimStats::default();
+        for k in 0..20 {
+            let s = sim.run_workload(&WorkloadSpec { seed: spec.seed + k, ..spec }, 1);
+            total.merge(&s);
+        }
+        assert!(total.data_messages > 0);
+        // Not every seed races an eviction, but across 20 some do.
+        assert!(
+            total.bogus_data_messages > 0,
+            "expected at least one stale eviction across 20 eviction-heavy runs"
+        );
+    }
+
+    #[test]
+    fn latency_is_positive_for_missing_loads() {
+        let sim = Simulator::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::load(), vec![]);
+        let stats = sim.run(&init, 3);
+        let lat = &stats.latency["Load"];
+        assert_eq!(lat.count, 1);
+        assert!(lat.min >= 4, "a cold load takes issue + host grant + GO + data");
+    }
+}

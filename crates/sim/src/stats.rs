@@ -1,0 +1,199 @@
+//! Simulation statistics: per-instruction latency and message traffic.
+
+use cxl_core::RuleCategory;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Latency summary (in simulation steps) for one instruction kind.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LatencySummary {
+    /// Instructions retired.
+    pub count: usize,
+    /// Total steps spent at the program head.
+    pub total_steps: u64,
+    /// Minimum latency.
+    pub min: u64,
+    /// Maximum latency.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    pub(crate) fn record(&mut self, latency: u64) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.total_steps += latency;
+    }
+
+    /// Mean latency in steps.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics of one simulation run (or a batch).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SimStats {
+    /// Runs aggregated.
+    pub runs: usize,
+    /// Total transition steps.
+    pub steps: u64,
+    /// Instructions retired, total.
+    pub instructions: usize,
+    /// Latency per instruction kind (`Load` / `Store` / `Evict`).
+    pub latency: BTreeMap<String, LatencySummary>,
+    /// Rule firings by category (a traffic proxy: each `DeviceSnoop`
+    /// firing is a snoop processed, each `HostRequest` a request served…).
+    pub category_firings: BTreeMap<String, u64>,
+    /// D2H data messages sent, split by bogus flag — the §4.4 traffic
+    /// metric.
+    pub data_messages: u64,
+    /// Bogus (stale-eviction) data messages among them.
+    pub bogus_data_messages: u64,
+}
+
+impl SimStats {
+    /// Record one rule firing.
+    pub(crate) fn record_firing(&mut self, category: RuleCategory) {
+        *self.category_firings.entry(category.to_string()).or_insert(0) += 1;
+        self.steps += 1;
+    }
+
+    /// Record a retired instruction and its latency.
+    pub(crate) fn record_retire(&mut self, kind: &str, latency: u64) {
+        self.instructions += 1;
+        self.latency.entry(kind.to_string()).or_default().record(latency);
+    }
+
+    /// Instructions retired per 100 steps — the throughput figure.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 100.0 / self.steps as f64
+        }
+    }
+
+    /// Merge another run's statistics in.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.runs += other.runs;
+        self.steps += other.steps;
+        self.instructions += other.instructions;
+        for (k, v) in &other.latency {
+            let e = self.latency.entry(k.clone()).or_default();
+            if e.count == 0 {
+                *e = v.clone();
+            } else {
+                e.min = e.min.min(v.min);
+                e.max = e.max.max(v.max);
+                e.count += v.count;
+                e.total_steps += v.total_steps;
+            }
+        }
+        for (k, v) in &other.category_firings {
+            *self.category_firings.entry(k.clone()).or_insert(0) += v;
+        }
+        self.data_messages += other.data_messages;
+        self.bogus_data_messages += other.bogus_data_messages;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "runs: {}  steps: {}  instructions: {}  throughput: {:.1} instr/100 steps",
+            self.runs,
+            self.steps,
+            self.instructions,
+            self.throughput()
+        )?;
+        for (kind, lat) in &self.latency {
+            writeln!(
+                f,
+                "  {kind:<6} latency: mean {:.1}  min {}  max {}  (n={})",
+                lat.mean(),
+                lat.min,
+                lat.max,
+                lat.count
+            )?;
+        }
+        for (cat, n) in &self.category_firings {
+            writeln!(f, "  firings[{cat}]: {n}")?;
+        }
+        writeln!(
+            f,
+            "  D2H data messages: {} ({} bogus)",
+            self.data_messages, self.bogus_data_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_tracks_extremes() {
+        let mut l = LatencySummary::default();
+        l.record(5);
+        l.record(1);
+        l.record(9);
+        assert_eq!(l.min, 1);
+        assert_eq!(l.max, 9);
+        assert_eq!(l.count, 3);
+        assert!((l.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimStats { runs: 1, ..SimStats::default() };
+        a.record_firing(RuleCategory::DeviceIssue);
+        a.record_retire("Load", 3);
+        let mut b = SimStats { runs: 1, ..SimStats::default() };
+        b.record_firing(RuleCategory::DeviceIssue);
+        b.record_firing(RuleCategory::HostRequest);
+        b.record_retire("Load", 7);
+        a.merge(&b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.latency["Load"].max, 7);
+        assert_eq!(a.category_firings["DeviceIssue"], 2);
+    }
+
+    #[test]
+    fn throughput_is_per_100_steps() {
+        let mut s = SimStats::default();
+        for _ in 0..50 {
+            s.record_firing(RuleCategory::DeviceIssue);
+        }
+        for _ in 0..10 {
+            s.record_retire("Evict", 5);
+        }
+        assert!((s.throughput() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let mut s = SimStats { runs: 1, ..SimStats::default() };
+        s.record_firing(RuleCategory::DeviceSnoop);
+        s.record_retire("Store", 4);
+        let txt = s.to_string();
+        for needle in ["throughput", "Store", "DeviceSnoop", "data messages"] {
+            assert!(txt.contains(needle), "missing {needle} in {txt}");
+        }
+    }
+}

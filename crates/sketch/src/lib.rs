@@ -1,0 +1,49 @@
+//! # cxl-sketch — the proof-obligation matrix engine
+//!
+//! The paper's SWMR proof is organised as an n×m matrix of preservation
+//! lemmas — 796 invariant conjuncts × 68 transition rules = 53,332
+//! obligations (Figure 1) — discharged by concurrently driving Isabelle's
+//! sledgehammer through the authors' `super_sketch` tool (Figure 6, §7).
+//!
+//! This crate reproduces that workflow with model-checking machinery in
+//! place of the theorem prover:
+//!
+//! - [`Universe`] — the states an obligation quantifies over: the *exact*
+//!   reachable set of bounded configurations plus an optional randomised
+//!   extension probing beyond reachability;
+//! - [`ObligationMatrix`] — builds the conjunct × rule matrix and
+//!   discharges every cell concurrently over the universe;
+//! - [`MatrixReport`] / [`SessionStats`] — the statistics the paper
+//!   reports (obligation counts, discharge rate, per-rule timing);
+//! - [`rule_lemma_script`] / [`matrix_script`] — Isar-style proof-script
+//!   skeletons with discharged subgoals filled in and failures left as
+//!   `sorry`, reproducing Figure 6's output format.
+//!
+//! ## Example
+//!
+//! ```
+//! use cxl_core::{Invariant, ProtocolConfig, Ruleset};
+//! use cxl_core::instr::Instruction;
+//! use cxl_sketch::{ObligationMatrix, Universe};
+//!
+//! let cfg = ProtocolConfig::strict();
+//! let rules = Ruleset::new(cfg);
+//! let universe = Universe::reachable(
+//!     &rules,
+//!     &[(vec![Instruction::Store(42)], vec![Instruction::Load])],
+//! );
+//! let matrix = ObligationMatrix::new(Invariant::for_config(&cfg), rules);
+//! let report = matrix.discharge(&universe, 2);
+//! assert!(report.inductive(), "every obligation discharges");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod matrix;
+mod script;
+mod universe;
+
+pub use matrix::{CellCounterexample, CellResult, MatrixReport, ObligationMatrix, RuleSummary};
+pub use script::{matrix_script, per_rule_table, rule_lemma_script, SessionStats};
+pub use universe::{default_program_grid, random_state, Universe};

@@ -1,0 +1,62 @@
+//! Property tests for the obligation-matrix engine: discharge results are
+//! independent of thread count and stable across repeated runs, and the
+//! universe construction is deterministic per seed.
+
+use cxl_core::instr::Instruction;
+use cxl_core::{Invariant, ProtocolConfig, Ruleset};
+use cxl_sketch::{ObligationMatrix, SessionStats, Universe};
+
+fn universe(seed: u64) -> (Ruleset, Universe) {
+    let rules = Ruleset::new(ProtocolConfig::strict());
+    let grid = vec![(vec![Instruction::Store(42)], vec![Instruction::Load])];
+    let u = Universe::reachable(&rules, &grid).with_random(400, seed);
+    (rules, u)
+}
+
+#[test]
+fn discharge_is_thread_count_invariant() {
+    let (rules, u) = universe(5);
+    let cfg = ProtocolConfig::strict();
+    let matrix = ObligationMatrix::new(Invariant::fine_grained(&cfg), rules);
+    let baseline: Vec<bool> =
+        matrix.discharge(&u, 1).cells.iter().map(|c| c.holds).collect();
+    for threads in [2, 3, 8] {
+        let verdicts: Vec<bool> =
+            matrix.discharge(&u, threads).cells.iter().map(|c| c.holds).collect();
+        assert_eq!(baseline, verdicts, "thread count {threads} changed verdicts");
+    }
+}
+
+#[test]
+fn universe_is_seed_deterministic() {
+    let (_, a) = universe(11);
+    let (_, b) = universe(11);
+    assert_eq!(a.len(), b.len());
+    assert!(a.states.iter().zip(&b.states).all(|(x, y)| x == y));
+    let (_, c) = universe(12);
+    assert_ne!(
+        a.states.iter().zip(&c.states).filter(|(x, y)| x != y).count(),
+        0,
+        "different seeds should differ"
+    );
+}
+
+#[test]
+fn stats_roundtrip_through_json() {
+    let (rules, u) = universe(3);
+    let cfg = ProtocolConfig::strict();
+    let matrix = ObligationMatrix::new(Invariant::for_config(&cfg), rules);
+    let report = matrix.discharge(&u, 2);
+    let stats = SessionStats::from_report(&report);
+    let json = serde_json::to_string(&stats).expect("serialise");
+    assert!(json.contains(&format!("\"obligations\":{}", stats.obligations)));
+}
+
+#[test]
+fn hypothesis_filtering_matches_manual_filter() {
+    let (_, u) = universe(17);
+    let inv = Invariant::for_config(&ProtocolConfig::strict());
+    let fast = u.satisfying(&inv).len();
+    let manual = u.states.iter().filter(|s| inv.holds(s)).count();
+    assert_eq!(fast, manual);
+}

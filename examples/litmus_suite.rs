@@ -1,0 +1,27 @@
+//! Run the scenario-verification suite (paper §5.1): the paper's eight
+//! litmus tests plus this reproduction's extras, each explored
+//! exhaustively, and print the paper's Tables 1 and 2 regenerated from the
+//! model.
+//!
+//! Run with: `cargo run --example litmus_suite`
+
+use cxl_litmus::{suite, tables};
+
+fn main() {
+    println!("=== litmus suite (paper §5.1) ===\n");
+    let mut all_passed = true;
+    for lit in suite::full_suite() {
+        let res = lit.run();
+        all_passed &= res.passed;
+        print!("{res}");
+    }
+    assert!(all_passed, "every litmus test must pass");
+
+    println!("\n=== paper Table 1, regenerated ===\n");
+    let (_, t1) = tables::table1();
+    println!("{t1}");
+
+    println!("=== paper Table 2, regenerated ===\n");
+    let (_, t2) = tables::table2();
+    println!("{t2}");
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core model's invariants:
+//! random programs, random walks, and structural properties of rule
+//! application.
+
+use cxl_repro::core::instr::Instruction;
+use cxl_repro::core::{swmr, Invariant, ProtocolConfig, RuleId, Ruleset, SystemState};
+use proptest::prelude::*;
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Load),
+        (-5i64..100).prop_map(Instruction::Store),
+        Just(Instruction::Evict),
+    ]
+}
+
+fn arb_program(max_len: usize) -> impl Strategy<Value = Vec<Instruction>> {
+    proptest::collection::vec(arb_instruction(), 0..=max_len)
+}
+
+/// Walk one pseudo-random path from `init` to quiescence, checking `check`
+/// on every state; returns the number of steps.
+fn random_walk(
+    rules: &Ruleset,
+    init: &SystemState,
+    choice_seed: u64,
+    mut check: impl FnMut(&SystemState),
+) -> usize {
+    let mut s = init.clone();
+    let mut steps = 0usize;
+    let mut seed = choice_seed;
+    check(&s);
+    loop {
+        let succs = rules.successors(&s);
+        if succs.is_empty() {
+            break;
+        }
+        // Simple deterministic LCG so failures replay exactly.
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pick = (seed >> 33) as usize % succs.len();
+        s = succs.into_iter().nth(pick).expect("index in range").1;
+        steps += 1;
+        check(&s);
+        assert!(steps < 10_000, "walk did not terminate");
+    }
+    assert!(s.is_quiescent(), "terminal state must be quiescent:\n{s}");
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every random path through the strict model maintains SWMR and the
+    /// full invariant and ends quiescent (a sampled version of the
+    /// Theorem 6.2 analogue).
+    #[test]
+    fn random_paths_stay_coherent(
+        p1 in arb_program(4),
+        p2 in arb_program(4),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ProtocolConfig::strict();
+        let rules = Ruleset::new(cfg);
+        let inv = Invariant::for_config(&cfg);
+        let init = SystemState::initial(p1, p2);
+        random_walk(&rules, &init, seed, |s| {
+            assert!(swmr(s), "SWMR violated on:\n{s}");
+            if let Some(c) = inv.first_violation(s) {
+                panic!("invariant conjunct {c} violated on:\n{s}");
+            }
+        });
+    }
+
+    /// The same, under the full configuration (all optional behaviours).
+    #[test]
+    fn random_paths_stay_coherent_full_config(
+        p1 in arb_program(3),
+        p2 in arb_program(3),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ProtocolConfig::full();
+        let rules = Ruleset::new(cfg);
+        let inv = Invariant::for_config(&cfg);
+        let init = SystemState::initial(p1, p2);
+        random_walk(&rules, &init, seed, |s| {
+            assert!(swmr(s), "SWMR violated on:\n{s}");
+            assert!(inv.holds(s), "invariant violated on:\n{s}");
+        });
+    }
+
+    /// Structural facts about a single rule application: the counter never
+    /// decreases, at most one instruction retires, and message counts
+    /// change by a bounded amount.
+    #[test]
+    fn rule_application_is_structurally_bounded(
+        p1 in arb_program(3),
+        p2 in arb_program(3),
+        seed in any::<u64>(),
+    ) {
+        let rules = Ruleset::new(ProtocolConfig::full());
+        let init = SystemState::initial(p1, p2);
+        let mut prev = init.clone();
+        random_walk(&rules, &init, seed, |s| {
+            assert!(s.counter >= prev.counter);
+            assert!(s.counter <= prev.counter + 1);
+            let before = prev.instructions_remaining();
+            let after = s.instructions_remaining();
+            assert!(after == before || after + 1 == before);
+            let dm = s.messages_in_flight() as i64 - prev.messages_in_flight() as i64;
+            assert!((-2..=2).contains(&dm));
+            prev = s.clone();
+        });
+    }
+
+    /// Rule firing is a pure function of the state: firing twice gives
+    /// identical successors, and `successors` is deterministic.
+    #[test]
+    fn successor_computation_is_deterministic(
+        p1 in arb_program(3),
+        p2 in arb_program(3),
+    ) {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let init = SystemState::initial(p1, p2);
+        let a: Vec<(RuleId, SystemState)> = rules.successors(&init);
+        let b: Vec<(RuleId, SystemState)> = rules.successors(&init);
+        prop_assert_eq!(&a, &b);
+        for (rule, succ) in &a {
+            let fired = rules.try_fire(*rule, &init);
+            prop_assert_eq!(fired.as_ref(), Some(succ));
+        }
+    }
+
+    /// System states serialise and deserialise losslessly (serde).
+    #[test]
+    fn system_state_serde_roundtrip(
+        p1 in arb_program(3),
+        p2 in arb_program(3),
+        seed in any::<u64>(),
+    ) {
+        let rules = Ruleset::new(ProtocolConfig::full());
+        let init = SystemState::initial(p1, p2);
+        // Roundtrip a mid-walk state, which has interesting channel
+        // contents.
+        let mut sampled = init.clone();
+        let mut n = 0;
+        random_walk(&rules, &init, seed, |s| {
+            n += 1;
+            if n == 5 {
+                sampled = s.clone();
+            }
+        });
+        let json = serde_json::to_string(&sampled).expect("serialise");
+        let back: SystemState = serde_json::from_str(&json).expect("deserialise");
+        prop_assert_eq!(back, sampled);
+    }
+
+    /// The invariant structurally implies SWMR on arbitrary (even
+    /// unreachable) states.
+    #[test]
+    fn invariant_implies_swmr_on_arbitrary_states(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inv = Invariant::for_config(&ProtocolConfig::strict());
+        for _ in 0..20 {
+            let s = cxl_repro::sketch::random_state(&mut rng);
+            if inv.holds(&s) {
+                assert!(swmr(&s), "invariant held but SWMR failed on:\n{s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests for the paper's §5: the litmus suite and the
+//! restriction-necessity assessments, each explored exhaustively.
+
+use cxl_repro::litmus::{relax, suite};
+
+#[test]
+fn the_papers_eight_litmus_tests_pass() {
+    for lit in suite::paper_suite() {
+        let res = lit.run();
+        assert!(res.passed, "{res}");
+        assert!(res.report.states > 1, "{}: exploration happened", res.name);
+    }
+}
+
+#[test]
+fn the_extended_litmus_suite_passes() {
+    for lit in suite::full_suite() {
+        let res = lit.run();
+        assert!(res.passed, "{res}");
+    }
+}
+
+#[test]
+fn snoop_pushes_go_relaxation_reproduces_table3_class_violation() {
+    let res = relax::snoop_pushes_go_test().run();
+    assert!(res.passed, "{res}");
+    let witness = res.witness.expect("witness");
+    assert!(witness.rule_names().iter().any(|r| r.starts_with("IsadSnpInvBuggy")));
+    // The witness is minimal-ish: BFS finds a shortest path, which is the
+    // paper's 8-step flow (give or take completion-order nondeterminism).
+    assert!(witness.len() <= 10, "BFS witness unexpectedly long: {}", witness.len());
+}
+
+#[test]
+fn all_restriction_assessments_hold() {
+    for lit in relax::restriction_suite() {
+        let res = lit.run();
+        assert!(res.passed, "{res}");
+    }
+}
+
+#[test]
+fn relaxed_models_reach_more_states() {
+    // Paper §5.2: "if a particular restriction is relaxed, additional
+    // states become reachable".
+    use cxl_repro::core::instr::programs;
+    use cxl_repro::core::{ProtocolConfig, Relaxation, Ruleset, SystemState};
+    use cxl_repro::mc::ModelChecker;
+
+    let init = SystemState::initial(programs::store(42), programs::load());
+    let strict = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()))
+        .check(&init, &[])
+        .states;
+    let relaxed = ModelChecker::new(Ruleset::new(ProtocolConfig::relaxed(
+        Relaxation::SnoopPushesGo,
+    )))
+    .check(&init, &[])
+    .states;
+    assert!(
+        relaxed > strict,
+        "relaxation must enlarge the reachable space ({relaxed} vs {strict})"
+    );
+}
+
+#[test]
+fn stale_drop_ablation_shows_avoidable_traffic() {
+    // Paper §4.4: the GO_WritePullDrop optimisation avoids bogus D2H data
+    // traffic on stale dirty evictions.
+    let (rows, artifact) = cxl_repro::bench_harness::stale_drop_ablation();
+    assert!(!artifact.text.is_empty());
+    let baseline_bogus: u64 =
+        rows.iter().filter(|r| r.scenario.ends_with("baseline")).map(|r| r.bogus_pulls).sum();
+    let optimised_drops: u64 = rows
+        .iter()
+        .filter(|r| r.scenario.ends_with("with_drop_optimisation"))
+        .map(|r| r.drops)
+        .sum();
+    assert!(baseline_bogus > 0, "the racing scenarios must exercise stale evictions");
+    assert!(optimised_drops > 0, "the optimisation must expose drop transitions");
+}
+
+#[test]
+fn every_non_relaxed_rule_fires_somewhere() {
+    // Coverage audit: over the full-config exploration of a scenario grid,
+    // every rule except the deliberately buggy (relaxed-only) ones fires
+    // at least once — no dead rules in the reconstruction.
+    use cxl_repro::core::instr::Instruction::*;
+    use cxl_repro::core::{
+        DState, DeviceId, HState, ProtocolConfig, RuleCategory, Ruleset, StateBuilder,
+        SystemState,
+    };
+    use cxl_repro::mc::ModelChecker;
+
+    let cfg = ProtocolConfig::full();
+    let mc = ModelChecker::new(Ruleset::new(cfg));
+    let mut fired = std::collections::BTreeSet::new();
+    let scenarios = vec![
+        SystemState::initial(vec![Load, Store(1), Evict], vec![Store(2), Load, Evict]),
+        SystemState::initial(vec![Store(1), Evict, Load], vec![Evict, Store(2)]),
+        StateBuilder::new()
+            .dev_cache(DeviceId::D1, 0, DState::S)
+            .dev_cache(DeviceId::D2, 0, DState::S)
+            .host(0, HState::S)
+            .prog(DeviceId::D1, vec![Evict, Load])
+            .prog(DeviceId::D2, vec![Store(3), Evict])
+            .build(),
+        StateBuilder::new()
+            .dev_cache(DeviceId::D2, 5, DState::M)
+            .host(0, HState::M)
+            .prog(DeviceId::D1, vec![Load, Store(4)])
+            .prog(DeviceId::D2, vec![Evict, Load])
+            .build(),
+        // Racing S→M upgrades: whoever loses is snooped in SMAD.
+        StateBuilder::new()
+            .dev_cache(DeviceId::D1, 0, DState::S)
+            .dev_cache(DeviceId::D2, 0, DState::S)
+            .host(0, HState::S)
+            .prog(DeviceId::D1, vec![Store(6), Load])
+            .prog(DeviceId::D2, vec![Store(7), Load])
+            .build(),
+        // Read/write hits on an owned line (device 1).
+        StateBuilder::new()
+            .dev_cache(DeviceId::D1, 2, DState::M)
+            .host(0, HState::M)
+            .prog(DeviceId::D1, vec![Load, Store(8), Load])
+            .prog(DeviceId::D2, vec![Store(9)])
+            .build(),
+        // Write hit on an owned line (device 2).
+        StateBuilder::new()
+            .dev_cache(DeviceId::D2, 2, DState::M)
+            .host(0, HState::M)
+            .prog(DeviceId::D2, vec![Store(9), Evict])
+            .prog(DeviceId::D1, vec![Load])
+            .build(),
+    ];
+    for init in &scenarios {
+        let report = mc.check(init, &[]);
+        fired.extend(report.rule_firings.keys().cloned());
+    }
+    let rules = Ruleset::new(cfg);
+    let unfired: Vec<String> = rules
+        .rule_ids()
+        .iter()
+        .filter(|id| id.shape.category() != RuleCategory::Relaxed)
+        .map(|id| id.name())
+        .filter(|n| !fired.contains(n))
+        .collect();
+    assert!(unfired.is_empty(), "rules never exercised: {unfired:?}");
+}

@@ -1,0 +1,66 @@
+//! Integration tests for the workload simulator (`cxl-sim`): long seeded
+//! walks through generated workloads, asserting coherence throughout, and
+//! the §4.4 traffic comparison at workload scale.
+
+use cxl_repro::core::ProtocolConfig;
+use cxl_repro::sim::{InstructionMix, SimStats, Simulator, WorkloadSpec};
+
+#[test]
+fn long_workloads_run_coherently_under_both_configs() {
+    for cfg in [ProtocolConfig::strict(), ProtocolConfig::full()] {
+        let sim = Simulator::new(cfg);
+        for (i, mix) in [
+            InstructionMix::balanced(),
+            InstructionMix::read_heavy(),
+            InstructionMix::write_heavy(),
+            InstructionMix::evict_heavy(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spec = WorkloadSpec::new(24, mix, 1000 + i as u64);
+            let stats = sim.run_workload(&spec, 3);
+            assert_eq!(stats.instructions, 24 * 2 * 3, "every instruction retires");
+            assert!(stats.throughput() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn read_heavy_workloads_have_cheap_loads() {
+    // Shared hits retire in one step, so read-heavy mixes should show a
+    // low mean load latency relative to store latency.
+    let sim = Simulator::new(ProtocolConfig::strict());
+    let spec = WorkloadSpec::new(20, InstructionMix::read_heavy(), 77);
+    let mut total = SimStats::default();
+    for k in 0..10 {
+        total.merge(&sim.run_workload(&WorkloadSpec { seed: spec.seed + k, ..spec }, 1));
+    }
+    let load = total.latency.get("Load").expect("loads retired");
+    assert!(load.count > 100);
+    assert!(load.min == 1, "a shared-hit load retires in one step");
+}
+
+#[test]
+fn section_4_4_traffic_saving_at_workload_scale() {
+    // Across eviction-heavy workloads, the full config (which may answer
+    // stale DirtyEvicts with GO_WritePullDrop) sends no more bogus data
+    // than the baseline on the same seeds, and across many seeds it sends
+    // strictly less in aggregate.
+    let spec_base = WorkloadSpec::new(16, InstructionMix::evict_heavy(), 9000);
+    let mut baseline = SimStats::default();
+    let mut optimised = SimStats::default();
+    for k in 0..30 {
+        let spec = WorkloadSpec { seed: spec_base.seed + k, ..spec_base };
+        baseline.merge(&Simulator::new(ProtocolConfig::strict()).run_workload(&spec, 1));
+        optimised.merge(&Simulator::new(ProtocolConfig::full()).run_workload(&spec, 1));
+    }
+    assert!(baseline.bogus_data_messages > 0, "eviction-heavy runs must hit stale evictions");
+    assert!(
+        optimised.bogus_data_messages < baseline.bogus_data_messages,
+        "the §4.4 optimisation should reduce bogus traffic in aggregate \
+         (baseline {}, optimised {})",
+        baseline.bogus_data_messages,
+        optimised.bogus_data_messages
+    );
+}

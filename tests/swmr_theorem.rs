@@ -1,0 +1,75 @@
+//! The reproduction's substitute for paper Theorem 6.2
+//! (`SWMR_CXL_cache`): for bounded device programs the model is
+//! finite-state, and exhaustive exploration verifies that every reachable
+//! state satisfies SWMR and the full inductive invariant, and that the
+//! system is deadlock-free.
+
+use cxl_repro::core::instr::{programs, Instruction};
+use cxl_repro::core::{Invariant, ProtocolConfig, Ruleset, SystemState};
+use cxl_repro::mc::{InvariantProperty, ModelChecker, SwmrProperty};
+
+fn verify(cfg: ProtocolConfig, p1: Vec<Instruction>, p2: Vec<Instruction>) -> usize {
+    let inv = InvariantProperty::new(Invariant::for_config(&cfg));
+    let mc = ModelChecker::new(Ruleset::new(cfg));
+    let init = SystemState::initial(p1, p2);
+    let report = mc.check(&init, &[&SwmrProperty, &inv]);
+    assert!(report.clean(), "{report}");
+    assert!(!report.truncated);
+    report.states
+}
+
+#[test]
+fn theorem_6_2_analogue_on_the_headline_scenario() {
+    let states = verify(ProtocolConfig::strict(), programs::store(42), programs::load());
+    assert!(states > 20);
+}
+
+#[test]
+fn theorem_6_2_analogue_on_longer_programs() {
+    use Instruction::*;
+    let states = verify(
+        ProtocolConfig::strict(),
+        vec![Load, Store(1), Evict, Load],
+        vec![Store(2), Load, Evict],
+    );
+    assert!(states > 1_000, "long programs should exercise a large space, got {states}");
+}
+
+#[test]
+fn theorem_6_2_analogue_under_the_full_config() {
+    use Instruction::*;
+    verify(
+        ProtocolConfig::full(),
+        vec![Store(1), Evict, Load],
+        vec![Load, Store(2), Evict],
+    );
+}
+
+#[test]
+fn initial_states_satisfy_the_invariant() {
+    // Paper §6: "If initial_state(Σ) then inv(Σ)".
+    let cfg = ProtocolConfig::strict();
+    let inv = Invariant::for_config(&cfg);
+    use Instruction::*;
+    for p1 in [vec![], vec![Load], vec![Store(3)], vec![Evict, Load]] {
+        for p2 in [vec![], vec![Store(4)], vec![Evict]] {
+            assert!(inv.holds(&SystemState::initial(p1.clone(), p2.clone())));
+        }
+    }
+}
+
+#[test]
+fn fine_grained_invariant_agrees_with_standard_on_reachable_states() {
+    let cfg = ProtocolConfig::strict();
+    let std_inv = Invariant::for_config(&cfg);
+    let fine_inv = Invariant::fine_grained(&cfg);
+    let mc = ModelChecker::new(Ruleset::new(cfg));
+    let init = SystemState::initial(programs::store(42), programs::load());
+    for st in mc.reachable(&init) {
+        assert_eq!(
+            std_inv.holds(&st),
+            fine_inv.holds(&st),
+            "granularities must agree on:\n{st}"
+        );
+    }
+}
