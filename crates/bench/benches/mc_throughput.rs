@@ -1,0 +1,128 @@
+//! Model-checker throughput bench: states explored per second on the
+//! `stores(0,3)` × `loads(3)` workload — the headline figure of the
+//! exploration-pipeline rewrite (fingerprinted dedup, zero-alloc
+//! successor generation, no terminal rescan, persistent worker pool).
+//!
+//! Three pipelines are measured:
+//! - `naive` — the retained pre-optimisation reference
+//!   ([`cxl_mc::ModelChecker::explore_naive`]): SipHash dedup keyed by
+//!   whole states, per-call successor allocation, and a full
+//!   terminal-state rescan;
+//! - `optimized` — the rewritten single-threaded pipeline;
+//! - `optimized_par` — the same pipeline over the persistent worker pool.
+//!
+//! Besides the Criterion timings, the bench writes a durable
+//! `bench_results/mc_throughput.json` snapshot (best-of-N states/sec per
+//! pipeline plus speedups vs `naive`) so the throughput trajectory can be
+//! tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxl_bench::{BenchSnapshot, ThroughputRow};
+use cxl_core::instr::programs;
+use cxl_core::{ProtocolConfig, Ruleset, SystemState};
+use cxl_mc::{CheckOptions, ModelChecker};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "stores(0,3) x loads(3)";
+
+fn workload() -> SystemState {
+    SystemState::initial(programs::stores(0, 3), programs::loads(3))
+}
+
+fn par_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8)
+}
+
+/// Best-of-N wall time of one exploration variant.
+fn best_of<F: FnMut() -> (usize, usize)>(iters: u32, mut f: F) -> (usize, usize, Duration) {
+    let mut best = Duration::MAX;
+    let mut dims = (0, 0);
+    for _ in 0..iters {
+        let start = Instant::now();
+        dims = f();
+        best = best.min(start.elapsed());
+    }
+    (dims.0, dims.1, best)
+}
+
+fn snapshot_row(pipeline: &str, states: usize, transitions: usize, best: Duration) -> ThroughputRow {
+    let secs = best.as_secs_f64();
+    ThroughputRow {
+        pipeline: pipeline.to_string(),
+        workload: WORKLOAD.to_string(),
+        states,
+        transitions,
+        elapsed_secs: secs,
+        states_per_sec: if secs > 0.0 { states as f64 / secs } else { 0.0 },
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let init = workload();
+    let naive = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
+    let opt = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
+    let par = ModelChecker::with_options(
+        Ruleset::new(ProtocolConfig::strict()),
+        CheckOptions { threads: par_threads(), ..CheckOptions::default() },
+    );
+
+    // Pre-measure the space so Criterion throughput is per-state.
+    let states = opt.check(&init, &[]).states as u64;
+
+    let mut g = c.benchmark_group("mc_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(states));
+    g.bench_with_input(BenchmarkId::new("naive", WORKLOAD), &init, |b, init| {
+        b.iter(|| black_box(naive.explore_naive(init, &[]).report.states));
+    });
+    g.bench_with_input(BenchmarkId::new("optimized", WORKLOAD), &init, |b, init| {
+        b.iter(|| black_box(opt.check(init, &[])));
+    });
+    g.bench_with_input(BenchmarkId::new("optimized_par", WORKLOAD), &init, |b, init| {
+        b.iter(|| black_box(par.check(init, &[])));
+    });
+    g.finish();
+
+    // Durable snapshot: best-of-N per pipeline, speedups vs naive.
+    let iters: u32 =
+        std::env::var("CXL_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let (n_states, n_trans, n_best) = best_of(iters, || {
+        let r = naive.explore_naive(&init, &[]).report;
+        (r.states, r.transitions)
+    });
+    let (o_states, o_trans, o_best) = best_of(iters, || {
+        let r = opt.check(&init, &[]);
+        (r.states, r.transitions)
+    });
+    let (p_states, p_trans, p_best) = best_of(iters, || {
+        let r = par.check(&init, &[]);
+        (r.states, r.transitions)
+    });
+    assert_eq!((n_states, n_trans), (o_states, o_trans), "pipelines must agree");
+    assert_eq!((n_states, n_trans), (p_states, p_trans), "pipelines must agree");
+
+    let snapshot = BenchSnapshot::new(
+        "mc_throughput",
+        format!(
+            "best of {iters} runs; optimized_par uses {} worker threads; \
+             release profile; clean exhaustive run (no violations)",
+            par_threads()
+        ),
+        vec![
+            snapshot_row("naive", n_states, n_trans, n_best),
+            snapshot_row("optimized", o_states, o_trans, o_best),
+            snapshot_row("optimized_par", p_states, p_trans, p_best),
+        ],
+    );
+    match snapshot.write() {
+        Ok(path) => println!("snapshot written to {}", path.display()),
+        Err(e) => eprintln!("snapshot write failed: {e}"),
+    }
+    for (pipeline, ratio) in &snapshot.speedup_vs_baseline {
+        println!("speedup vs naive [{pipeline}]: {ratio:.2}x");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Machine-readable benchmark snapshots.
+//!
+//! Criterion's own JSON output lives under `target/` and disappears with
+//! it; the throughput numbers the ROADMAP tracks across PRs need a
+//! durable, diffable home. This module renders benchmark measurements
+//! into `bench_results/<name>.json` at the workspace root — the
+//! `mc_throughput` bench emits one on every run, and the committed
+//! snapshot records the measured before/after of the exploration-pipeline
+//! rewrite.
+
+use serde::Serialize;
+use std::io;
+use std::path::PathBuf;
+
+/// One measured exploration workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputRow {
+    /// Which pipeline ran (e.g. `naive`, `optimized`, `optimized_4threads`).
+    pub pipeline: String,
+    /// Workload label (e.g. `stores(0,3) x loads(3)`).
+    pub workload: String,
+    /// Distinct states explored.
+    pub states: usize,
+    /// Transitions examined.
+    pub transitions: usize,
+    /// Best-of-N wall time in seconds.
+    pub elapsed_secs: f64,
+    /// States discovered per second (states / elapsed).
+    pub states_per_sec: f64,
+}
+
+/// A named collection of measurements plus derived ratios.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchSnapshot {
+    /// Snapshot name (the bench that produced it).
+    pub name: String,
+    /// Free-form provenance note (host threads, iteration policy).
+    pub note: String,
+    /// The measurements.
+    pub rows: Vec<ThroughputRow>,
+    /// `states_per_sec` ratios relative to the first (baseline) row,
+    /// keyed by pipeline name.
+    pub speedup_vs_baseline: Vec<(String, f64)>,
+}
+
+impl BenchSnapshot {
+    /// Assemble a snapshot, deriving speedups against `rows[0]`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, note: impl Into<String>, rows: Vec<ThroughputRow>) -> Self {
+        let baseline = rows.first().map_or(0.0, |r| r.states_per_sec);
+        let speedup_vs_baseline = rows
+            .iter()
+            .map(|r| {
+                let ratio = if baseline > 0.0 { r.states_per_sec / baseline } else { 0.0 };
+                (r.pipeline.clone(), ratio)
+            })
+            .collect();
+        BenchSnapshot { name: name.into(), note: note.into(), rows, speedup_vs_baseline }
+    }
+
+    /// Write the snapshot as pretty-printed JSON to
+    /// `<workspace>/bench_results/<name>.json`, returning the path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = workspace_root().join("bench_results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        std::fs::write(&path, json + "\n")?;
+        Ok(path)
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_speedups() {
+        let snap = BenchSnapshot::new(
+            "t",
+            "",
+            vec![
+                ThroughputRow {
+                    pipeline: "naive".into(),
+                    workload: "w".into(),
+                    states: 10,
+                    transitions: 20,
+                    elapsed_secs: 2.0,
+                    states_per_sec: 5.0,
+                },
+                ThroughputRow {
+                    pipeline: "optimized".into(),
+                    workload: "w".into(),
+                    states: 10,
+                    transitions: 20,
+                    elapsed_secs: 0.5,
+                    states_per_sec: 20.0,
+                },
+            ],
+        );
+        assert_eq!(snap.speedup_vs_baseline[0], ("naive".to_string(), 1.0));
+        assert_eq!(snap.speedup_vs_baseline[1], ("optimized".to_string(), 4.0));
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"states_per_sec\""));
+    }
+
+    #[test]
+    fn workspace_root_contains_cargo_manifest() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+}

@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run -p cxl-bench --bin explore -- --p1 S42,E --p2 L,L \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
-//!     [--full] [--trace]
+//!     [--full] [--trace] [--threads N] [--firings]
 //! ```
 
 use cxl_core::instr::Instruction;
@@ -67,14 +67,34 @@ fn main() {
             cfg = ProtocolConfig::relaxed(parse_relaxation(&r)?);
         }
         let want_trace = args.iter().any(|a| a == "--trace");
+        let threads = arg_value(&args, "--threads")
+            .map(|t| t.parse::<usize>().map_err(|e| format!("bad --threads: {e}")))
+            .transpose()?
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
 
         let init = SystemState::initial(p1, p2);
         println!("configuration: {cfg:?}\ninitial state:\n{init}");
 
         let invariant = InvariantProperty::new(Invariant::for_config(&cfg));
-        let mc = ModelChecker::new(Ruleset::new(cfg));
+        let opts = cxl_mc::CheckOptions { threads, ..cxl_mc::CheckOptions::default() };
+        let mc = ModelChecker::with_options(Ruleset::new(cfg), opts);
         let report = mc.check(&init, &[&SwmrProperty, &invariant]);
         println!("{report}");
+        let secs = report.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            println!(
+                "throughput: {:.0} states/sec over {threads} thread(s)",
+                report.states as f64 / secs
+            );
+        }
+        if args.iter().any(|a| a == "--firings") {
+            println!("--- rule firings ---");
+            for (name, n) in report.rule_firings_by_name() {
+                println!("{name:<36} {n}");
+            }
+        }
 
         if let Some(v) = report.violations.first() {
             println!("--- counterexample ---");

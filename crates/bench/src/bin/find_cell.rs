@@ -9,7 +9,7 @@ fn main() {
     let inv = Invariant::fine_grained(&cfg);
     let mut clean = true;
     for seed in [2024u64, 7, 99, 12345] {
-        let universe = cxl_bench::default_universe(&rules, 20_000, seed);
+        let universe = cxl_bench::default_universe(&rules, 20_000, seed, 8);
         let matrix = cxl_sketch::ObligationMatrix::new(inv.clone(), rules.clone());
         let report = matrix.discharge(&universe, 8);
         println!(

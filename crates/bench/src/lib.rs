@@ -24,6 +24,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_results;
+
+pub use bench_results::{BenchSnapshot, ThroughputRow};
+
 use cxl_core::{Granularity, Invariant, ProtocolConfig, Relaxation, Ruleset, SystemState};
 use cxl_litmus::{relax, suite, tables};
 use cxl_mc::{ModelChecker, SwmrProperty};
@@ -141,11 +145,13 @@ impl Default for MatrixOptions {
     }
 }
 
-/// Build the default obligation universe for a configuration.
+/// Build the default obligation universe for a configuration, expanding
+/// each grid scenario over `threads` persistent workers.
 #[must_use]
-pub fn default_universe(rules: &Ruleset, random_states: usize, seed: u64) -> Universe {
+pub fn default_universe(rules: &Ruleset, random_states: usize, seed: u64, threads: usize) -> Universe {
     let grid = default_program_grid();
-    let mut u = Universe::reachable(rules, &grid);
+    let opts = cxl_mc::CheckOptions { threads, ..cxl_mc::CheckOptions::default() };
+    let mut u = Universe::reachable_with_options(rules, &grid, opts);
     if random_states > 0 {
         u = u.with_random(random_states, seed);
     }
@@ -157,7 +163,7 @@ pub fn default_universe(rules: &Ruleset, random_states: usize, seed: u64) -> Uni
 pub fn run_matrix(opts: MatrixOptions) -> (SessionStats, cxl_sketch::MatrixReport) {
     let cfg = ProtocolConfig::strict();
     let rules = Ruleset::new(cfg);
-    let universe = default_universe(&rules, opts.random_states, opts.seed);
+    let universe = default_universe(&rules, opts.random_states, opts.seed, opts.threads);
     let invariant = match opts.granularity {
         Granularity::Fine => Invariant::fine_grained(&cfg),
         Granularity::Standard => Invariant::for_config(&cfg),
@@ -475,18 +481,19 @@ pub fn stale_drop_ablation() -> (Vec<AblationRow>, Artifact) {
         ] {
             let mc = ModelChecker::new(Ruleset::new(cfg));
             let report = mc.check(init, &[]);
-            let firings = |name: &str| -> u64 {
+            let firings = |shape: cxl_core::Shape| -> u64 {
                 report
                     .rule_firings
                     .iter()
-                    .filter(|(k, _)| k.starts_with(name))
+                    .filter(|(k, _)| k.shape == shape)
                     .map(|(_, v)| *v)
                     .sum()
             };
             rows.push(AblationRow {
                 scenario: format!("{label}/{cfg_label}"),
-                bogus_pulls: firings("IiaGoWritePull") - firings("IiaGoWritePullDrop"),
-                drops: firings("IiaGoWritePullDrop") + firings("HostStaleDirtyEvictDrop"),
+                bogus_pulls: firings(cxl_core::Shape::IiaGoWritePull),
+                drops: firings(cxl_core::Shape::IiaGoWritePullDrop)
+                    + firings(cxl_core::Shape::HostStaleDirtyEvictDrop),
                 states: report.states,
             });
         }

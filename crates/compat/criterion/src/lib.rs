@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benches in this workspace author against the criterion API
+//! (`benchmark_group`, `bench_with_input`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros). This stand-in runs each
+//! routine a small number of timed iterations and prints a one-line
+//! summary, so `cargo bench` works offline. Set `CXL_BENCH_ITERS` to raise
+//! the iteration count for steadier numbers.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as criterion provides.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Iterations per measured routine (default 3; `CXL_BENCH_ITERS`
+/// overrides).
+fn iterations() -> u32 {
+    std::env::var("CXL_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), param) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+/// The per-routine timing driver handed to bench closures.
+pub struct Bencher {
+    last: Option<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.last = Some(start.elapsed() / self.iters);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark routine.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { last: None, iters: iterations() };
+        f(&mut b);
+        self.report(&id.label, b.last);
+        self
+    }
+
+    /// Run one benchmark routine with an input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher { last: None, iters: iterations() };
+        f(&mut b, input);
+        self.report(&id.label, b.last);
+        self
+    }
+
+    fn report(&self, label: &str, elapsed: Option<Duration>) {
+        match elapsed {
+            Some(d) => {
+                let mut line = format!("bench {}/{label}: {:?}/iter", self.name, d);
+                if let Some(Throughput::Elements(n)) = self.throughput {
+                    let secs = d.as_secs_f64();
+                    if secs > 0.0 {
+                        let rate = n as f64 / secs;
+                        line.push_str(&format!("  ({rate:.0} elem/s)"));
+                    }
+                }
+                println!("{line}");
+            }
+            None => println!("bench {}/{label}: no measurement", self.name),
+        }
+    }
+
+    /// Finish the group (a no-op for the stand-in).
+    pub fn finish(self) {}
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Run one top-level benchmark routine.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { last: None, iters: iterations() };
+        f(&mut b);
+        match b.last {
+            Some(d) => println!("bench {}: {:?}/iter", id.label, d),
+            None => println!("bench {}: no measurement", id.label),
+        }
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups, as criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic SplitMix64 generator behind the `rand` 0.8 API
+//! subset this workspace uses: `StdRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, `Rng::gen_bool`, and `SliceRandom::choose`. The
+//! stream differs from upstream rand, but every consumer in this workspace
+//! only relies on *seeded determinism*, not on a particular stream.
+
+/// Construction of seeded generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)`; `high > low` is required.
+    fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss,
+                    clippy::cast_possible_wrap)]
+            fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(high > low, "gen_range requires a non-empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let x = (u128::from(rng.next_u64())) % span;
+                (low as i128 + x as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> u64 {
+        let (low, high) = (*self.start(), *self.end());
+        if low == 0 && high == u64::MAX {
+            return rng.next_u64();
+        }
+        low + rng.next_u64() % (high - low + 1)
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample_from(self, rng: &mut dyn RngCore) -> usize {
+        let (low, high) = (*self.start(), *self.end());
+        low + (rng.next_u64() as usize) % (high - low + 1)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, as in `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        // 53 high bits → uniform in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Slice sampling helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        #[allow(clippy::cast_possible_truncation)]
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() as usize) % self.len();
+                self.get(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-5i64..100);
+            assert!((-5..100).contains(&x));
+            let y = rng.gen_range(0..3u8);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn choose_covers_the_slice() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &x = items.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

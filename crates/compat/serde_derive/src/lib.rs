@@ -1,0 +1,357 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Because the sandbox has no registry access, `syn`/`quote` are
+//! unavailable; this crate parses the item token stream by hand. It
+//! supports exactly the shapes the workspace uses:
+//!
+//! - structs with named fields (optionally generic over type parameters),
+//! - unit structs,
+//! - enums whose variants are unit or single-field tuple variants.
+//!
+//! Anything else produces a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum ItemKind {
+    /// Named fields.
+    Struct(Vec<String>),
+    /// No fields.
+    UnitStruct,
+    /// Variants with their payload shapes.
+    Enum(Vec<(String, VariantKind)>),
+}
+
+/// Payload shape of one enum variant.
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute brackets after `#`, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<T, U>`-style generics, returning the type-parameter names.
+fn parse_generics(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.peek() {
+        Some(tt) if is_punct(tt, '<') => {
+            tokens.next();
+        }
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, got {other:?}"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma. Only `<`/`>`
+        // need depth tracking: bracketed groups arrive as single tokens.
+        let mut depth = 0usize;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantKind)> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, got {other:?}"),
+            None => break,
+        };
+        let mut kind = VariantKind::Unit;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0usize;
+                let mut commas = 0usize;
+                for tt in &inner {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+                        _ => {}
+                    }
+                }
+                assert!(
+                    commas == 0 && !inner.is_empty(),
+                    "serde stand-in derive supports only single-field tuple variants \
+                     (variant `{name}`)"
+                );
+                kind = VariantKind::Newtype;
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                kind = VariantKind::Struct(parse_named_fields(g.stream()));
+                tokens.next();
+            }
+            _ => {}
+        }
+        variants.push((name, kind));
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ',') => {}
+            Some(other) => panic!("expected `,` after variant, got {other:?}"),
+            None => break,
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut tokens);
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, generics, kind: ItemKind::Struct(parse_named_fields(g.stream())) }
+            }
+            Some(tt) if is_punct(&tt, ';') => Item { name, generics, kind: ItemKind::UnitStruct },
+            other => panic!(
+                "serde stand-in derive supports only named-field or unit structs \
+                 (`{name}` body: {other:?})"
+            ),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, generics, kind: ItemKind::Enum(parse_variants(g.stream())) }
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounds = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let args = item.generics.join(", ");
+        (format!("<{bounds}>"), format!("{}<{args}>", item.name))
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (generics, ty) = impl_header(&item, "Serialize");
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Newtype => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantKind::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pattern = fields.join(", ");
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{v} {{ {pattern} }} => ::serde::Value::Map(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (generics, ty) = impl_header(&item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::de_field(__v, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("Ok({name} {{ {inits} }})")
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Newtype => format!(
+                        "\"{v}\" => {{\n\
+                             let __p = __payload.ok_or_else(|| ::serde::DeError(\
+                                 \"missing payload for variant {v}\".to_string()))?;\n\
+                             Ok({name}::{v}(::serde::Deserialize::from_value(__p)?))\n\
+                         }}"
+                    ),
+                    VariantKind::Unit => format!("\"{v}\" => Ok({name}::{v}),"),
+                    VariantKind::Struct(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::de_field(__p, \"{f}\")?)?,"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let __p = __payload.ok_or_else(|| ::serde::DeError(\
+                                     \"missing payload for variant {v}\".to_string()))?;\n\
+                                 Ok({name}::{v} {{ {inits} }})\n\
+                             }}"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let (__name, __payload) = ::serde::de_variant(__v)?;\n\
+                 let _ = __payload;\n\
+                 match __name {{\n\
+                     {arms}\n\
+                     __other => Err(::serde::DeError(format!(\
+                         \"unknown variant {{__other}} for {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("generated Deserialize impl must parse")
+}

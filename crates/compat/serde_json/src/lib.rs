@@ -1,0 +1,353 @@
+//! Offline stand-in for `serde_json`: renders the serde stand-in's
+//! [`Value`] trees to JSON text and parses JSON text back.
+
+pub use serde::Value;
+use serde::{Deserialize, DeError, Serialize};
+use std::fmt;
+
+/// JSON (de)serialisation error.
+#[derive(Clone, Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Render a serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Serialise to compact JSON.
+///
+/// # Errors
+/// Infallible for this implementation; the `Result` mirrors serde_json.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Infallible for this implementation; the `Result` mirrors serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Deserialise from JSON text.
+///
+/// # Errors
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Build a JSON object [`Value`] from literal keys and serialisable
+/// values.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+}
+
+// ---------------------------------------------------------------------
+// Printer.
+// ---------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(unit) = indent {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str(unit);
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            pad(out, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            pad(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+/// Parse JSON text into a [`Value`].
+///
+/// # Errors
+/// Returns an error on malformed input or trailing garbage.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { chars: s.chars().peekable() };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.chars.peek().is_some() {
+        return Err(Error("trailing characters after JSON value".into()));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        match self.chars.next() {
+            Some(got) if got == c => Ok(()),
+            got => Err(Error(format!("expected `{c}`, got {got:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        for expected in kw.chars() {
+            self.expect(expected)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('n') => self.keyword("null", Value::Null),
+            Some('t') => self.keyword("true", Value::Bool(true)),
+            Some('f') => self.keyword("false", Value::Bool(false)),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('[') => self.seq(),
+            Some('{') => self.map(),
+            Some(c) if *c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err(Error("unterminated string".into())),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self
+                                .chars
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            code = code * 16 + c;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                        );
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let mut text = String::new();
+        while let Some(c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(*c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad float `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error(format!("bad integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error(format!("bad integer `{text}`: {e}")))
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&']') {
+            self.chars.next();
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => {}
+                Some(']') => return Ok(Value::Seq(items)),
+                other => return Err(Error(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Map(entries)),
+                other => return Err(Error(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::Int(-3)),
+            ("b".to_string(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+            ("c".to_string(), Value::Str("x \"y\" ⊥\n".to_string())),
+            ("d".to_string(), Value::UInt(18_446_744_073_709_551_615)),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "name": "x", "n": 3usize });
+        assert_eq!(v.get("name"), Some(&Value::Str("x".to_string())));
+        assert_eq!(v.get("n"), Some(&Value::UInt(3)));
+    }
+
+    #[test]
+    fn floats_print_with_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+}

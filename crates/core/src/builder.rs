@@ -43,8 +43,8 @@ impl StateBuilder {
 
     /// Set a device's program.
     #[must_use]
-    pub fn prog(mut self, d: DeviceId, prog: Program) -> Self {
-        self.state.dev_mut(d).prog = prog;
+    pub fn prog(mut self, d: DeviceId, prog: impl Into<Program>) -> Self {
+        self.state.dev_mut(d).prog = prog.into();
         self
     }
 

@@ -1,0 +1,277 @@
+//! Fast hashing for state fingerprints.
+//!
+//! The model checker's hot loop probes a dedup index once per generated
+//! successor. With `std`'s default SipHash and a `HashMap<SystemState, _>`
+//! every probe re-hashes the entire twenty-component state. This module
+//! provides the two pieces that remove that cost:
+//!
+//! - [`FxHasher`] — the Firefox/rustc multiply-rotate hash (the same
+//!   construction as the `rustc-hash` crate, reimplemented here because
+//!   the build environment is offline). It is not DoS-resistant, which is
+//!   irrelevant for model checking, and is several times faster than
+//!   SipHash on short keys.
+//! - [`FpIndex`] — a fingerprint-keyed index: states are hashed **once**
+//!   at discovery into a 64-bit fingerprint via [`FxHasher`]; the index
+//!   maps fingerprints to arena slots through an identity-hashed table, so
+//!   a probe is one u64 lookup plus (only on fingerprint collision) a full
+//!   state comparison.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-hash/FxHash construction: `hash = (hash.rol(5) ^ word) * K`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A no-op hasher for keys that are **already** hashes (fingerprints).
+///
+/// Feeding a 64-bit fingerprint through SipHash again would waste the work
+/// [`FxHasher`] already did; this hasher passes the key through untouched.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityHasher {
+    hash: u64,
+}
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only accepts u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = i;
+    }
+}
+
+/// `BuildHasher` for [`IdentityHasher`].
+pub type IdentityBuildHasher = BuildHasherDefault<IdentityHasher>;
+
+/// One fingerprint bucket: almost always a single slot; collisions get a
+/// spilled vector.
+#[derive(Clone, Debug)]
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// A fingerprint-keyed dedup index over an external arena.
+///
+/// The index stores `u32` arena slots keyed by 64-bit fingerprints. The
+/// caller supplies an equality closure that compares the probing state
+/// against an arena slot, so the index itself never touches state data
+/// and never re-hashes a state.
+#[derive(Clone, Debug, Default)]
+pub struct FpIndex {
+    map: HashMap<u64, Bucket, IdentityBuildHasher>,
+}
+
+impl FpIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        FpIndex::default()
+    }
+
+    /// An empty index with room for `cap` fingerprints.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        FpIndex { map: HashMap::with_capacity_and_hasher(cap, IdentityBuildHasher::default()) }
+    }
+
+    /// Number of indexed slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map
+            .values()
+            .map(|b| match b {
+                Bucket::One(_) => 1,
+                Bucket::Many(v) => v.len(),
+            })
+            .sum()
+    }
+
+    /// Is the index empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Read-only probe: the indexed slot whose state matches, if any.
+    pub fn probe(&self, fp: u64, mut same: impl FnMut(u32) -> bool) -> Option<u32> {
+        match self.map.get(&fp)? {
+            Bucket::One(id) => same(*id).then_some(*id),
+            Bucket::Many(ids) => ids.iter().copied().find(|&id| same(id)),
+        }
+    }
+
+    /// Probe for a state with fingerprint `fp`, using `same` to compare
+    /// the probing state with an already-indexed arena slot. Returns the
+    /// existing slot on a hit; otherwise records `candidate` under `fp`
+    /// and returns `None`.
+    pub fn insert(
+        &mut self,
+        fp: u64,
+        candidate: u32,
+        mut same: impl FnMut(u32) -> bool,
+    ) -> Option<u32> {
+        match self.map.entry(fp) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Bucket::One(candidate));
+                None
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                match e.get_mut() {
+                    Bucket::One(id) => {
+                        if same(*id) {
+                            return Some(*id);
+                        }
+                        let existing = *id;
+                        *e.get_mut() = Bucket::Many(vec![existing, candidate]);
+                        None
+                    }
+                    Bucket::Many(ids) => {
+                        if let Some(&hit) = ids.iter().find(|&&id| same(id)) {
+                            return Some(hit);
+                        }
+                        ids.push(candidate);
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fx_hash_of<T: Hash>(x: &T) -> u64 {
+        let mut h = FxHasher::default();
+        x.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn fx_hash_is_deterministic_and_spreads() {
+        let a = fx_hash_of(&(1u64, "abc", [3u8; 5]));
+        let b = fx_hash_of(&(1u64, "abc", [3u8; 5]));
+        assert_eq!(a, b);
+        assert_ne!(fx_hash_of(&1u64), fx_hash_of(&2u64));
+    }
+
+    #[test]
+    fn fp_index_dedups_and_handles_collisions() {
+        let arena = ["a", "b", "c"];
+        let mut idx = FpIndex::new();
+        // Force every key to fingerprint 7 to exercise collision buckets.
+        assert_eq!(idx.insert(7, 0, |id| arena[id as usize] == "a"), None);
+        assert_eq!(idx.insert(7, 1, |id| arena[id as usize] == "b"), None);
+        assert_eq!(idx.insert(7, 0, |id| arena[id as usize] == "a"), Some(0));
+        assert_eq!(idx.insert(7, 1, |id| arena[id as usize] == "b"), Some(1));
+        assert_eq!(idx.insert(7, 2, |id| arena[id as usize] == "c"), None);
+        assert_eq!(idx.insert(7, 2, |id| arena[id as usize] == "c"), Some(2));
+        assert_eq!(idx.len(), 3);
+        // Distinct fingerprints never compare states.
+        assert_eq!(idx.insert(8, 9, |_| panic!("no comparison needed")), None);
+    }
+}

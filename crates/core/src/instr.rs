@@ -10,6 +10,7 @@
 
 use crate::ids::Val;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// One instruction of a device program.
@@ -42,8 +43,133 @@ impl fmt::Display for Instruction {
     }
 }
 
-/// A device program: a list of instructions executed head-first.
-pub type Program = Vec<Instruction>;
+/// A device program: a queue of instructions executed head-first.
+///
+/// Programs used to be bare `Vec<Instruction>`s consumed with
+/// `remove(0)`, making an n-instruction program O(n²) to retire — visible
+/// in the model checker's hot loop, where every successor state clones and
+/// later consumes programs. The queue is now a [`VecDeque`], so
+/// [`Program::pop_front`] is O(1). Equality and hashing remain *sequence*
+/// semantics (two programs are equal iff they hold the same remaining
+/// instructions in the same order), so `SystemState` dedup behaviour is
+/// unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Program {
+    items: VecDeque<Instruction>,
+}
+
+impl Program {
+    /// The empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program { items: VecDeque::new() }
+    }
+
+    /// Remaining instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the program fully retired?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The instruction at the head (`head(DProg)` in the paper), by value.
+    #[must_use]
+    pub fn head(&self) -> Option<Instruction> {
+        self.items.front().copied()
+    }
+
+    /// The instruction at the head, by reference (Vec-compatible name).
+    #[must_use]
+    pub fn first(&self) -> Option<&Instruction> {
+        self.items.front()
+    }
+
+    /// Retire the head instruction in O(1) (`DProg := tail(DProg)`).
+    pub fn pop_front(&mut self) -> Option<Instruction> {
+        self.items.pop_front()
+    }
+
+    /// Append an instruction at the tail.
+    pub fn push_back(&mut self, instr: Instruction) {
+        self.items.push_back(instr);
+    }
+
+    /// Insert an instruction at `index` (used by state synthesis to plant
+    /// a program head matching a transient cache state).
+    pub fn insert(&mut self, index: usize, instr: Instruction) {
+        self.items.insert(index, instr);
+    }
+
+    /// Iterate head-first over the remaining instructions.
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, Instruction> {
+        self.items.iter()
+    }
+}
+
+impl From<Vec<Instruction>> for Program {
+    fn from(items: Vec<Instruction>) -> Self {
+        Program { items: items.into() }
+    }
+}
+
+impl From<&[Instruction]> for Program {
+    fn from(items: &[Instruction]) -> Self {
+        Program { items: items.iter().copied().collect() }
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<I: IntoIterator<Item = Instruction>>(iter: I) -> Self {
+        Program { items: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::collections::vec_deque::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Instruction;
+    type IntoIter = std::collections::vec_deque::IntoIter<Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl PartialEq<Vec<Instruction>> for Program {
+    fn eq(&self, other: &Vec<Instruction>) -> bool {
+        self.items.iter().eq(other.iter())
+    }
+}
+
+impl PartialEq<Program> for Vec<Instruction> {
+    fn eq(&self, other: &Program) -> bool {
+        other == self
+    }
+}
+
+impl Serialize for Program {
+    fn to_value(&self) -> serde::Value {
+        self.items.to_value()
+    }
+}
+
+impl Deserialize for Program {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Program { items: VecDeque::from_value(v)? })
+    }
+}
 
 /// Convenience constructors for the common litmus programs.
 pub mod programs {
@@ -53,25 +179,25 @@ pub mod programs {
     /// `[Load]`
     #[must_use]
     pub fn load() -> Program {
-        vec![Instruction::Load]
+        vec![Instruction::Load].into()
     }
 
     /// `[Store(v)]`
     #[must_use]
     pub fn store(v: Val) -> Program {
-        vec![Instruction::Store(v)]
+        vec![Instruction::Store(v)].into()
     }
 
     /// `[Evict]`
     #[must_use]
     pub fn evict() -> Program {
-        vec![Instruction::Evict]
+        vec![Instruction::Evict].into()
     }
 
     /// `n` consecutive loads.
     #[must_use]
     pub fn loads(n: usize) -> Program {
-        vec![Instruction::Load; n]
+        vec![Instruction::Load; n].into()
     }
 
     /// Stores of `base, base+1, …` (`n` of them), so each write is
@@ -84,13 +210,13 @@ pub mod programs {
     /// `n` consecutive evicts (paper Table 1 uses `[Evict, Evict]`).
     #[must_use]
     pub fn evicts(n: usize) -> Program {
-        vec![Instruction::Evict; n]
+        vec![Instruction::Evict; n].into()
     }
 
     /// The empty program.
     #[must_use]
     pub fn idle() -> Program {
-        Vec::new()
+        Program::new()
     }
 }
 

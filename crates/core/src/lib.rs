@@ -50,6 +50,7 @@ pub mod builder;
 pub mod cacheline;
 pub mod channel;
 pub mod config;
+pub mod fasthash;
 pub mod ids;
 pub mod instr;
 pub mod invariant;
@@ -61,6 +62,7 @@ pub use builder::StateBuilder;
 pub use cacheline::{DCache, DState, HCache, HState};
 pub use channel::Channel;
 pub use config::{ProtocolConfig, Relaxation};
+pub use fasthash::{FpIndex, FxBuildHasher, FxHasher};
 pub use ids::{DeviceId, Tid, Val};
 pub use instr::{Instruction, Program};
 pub use invariant::{swmr, Conjunct, Family, Granularity, Invariant};

@@ -21,6 +21,7 @@
 mod device;
 mod host;
 
+use crate::cacheline::{DState, HState};
 use crate::config::ProtocolConfig;
 use crate::ids::DeviceId;
 use crate::state::SystemState;
@@ -347,6 +348,224 @@ impl Shape {
     pub fn rule_name(self, dev: DeviceId) -> String {
         format!("{self:?}{dev}")
     }
+
+    /// The device cache state a *device-side* shape requires of its
+    /// acting device, or `None` for host-side shapes. This is the
+    /// bucketing key of [`Ruleset::successors_into`]: a state only ever
+    /// consults the shapes filed under its two devices' cache states.
+    #[must_use]
+    pub fn device_state_key(self) -> Option<DState> {
+        match self {
+            Shape::InvalidLoad | Shape::InvalidStore | Shape::InvalidEvict => Some(DState::I),
+            Shape::SharedLoad
+            | Shape::SharedStore
+            | Shape::SharedEvict
+            | Shape::SharedEvictNoData
+            | Shape::SharedSnpInv => Some(DState::S),
+            Shape::ModifiedLoad
+            | Shape::ModifiedStore
+            | Shape::ModifiedEvict
+            | Shape::ModifiedSnpInv
+            | Shape::ModifiedSnpData => Some(DState::M),
+            Shape::IsadGo | Shape::IsadData | Shape::IsadSnpInvBuggy => Some(DState::ISAD),
+            Shape::IsdData | Shape::IsdSnpInv => Some(DState::ISD),
+            Shape::IsaGo => Some(DState::ISA),
+            Shape::IsdiData => Some(DState::ISDI),
+            Shape::ImadGo | Shape::ImadData => Some(DState::IMAD),
+            Shape::ImdData => Some(DState::IMD),
+            Shape::ImaGo => Some(DState::IMA),
+            Shape::SmadGo | Shape::SmadData | Shape::SmadSnpInv => Some(DState::SMAD),
+            Shape::SmdData => Some(DState::SMD),
+            Shape::SmaGo => Some(DState::SMA),
+            Shape::SiaGoWritePullDrop | Shape::SiaGoWritePull | Shape::SiaSnpInv => {
+                Some(DState::SIA)
+            }
+            Shape::SiacGoWritePullDrop | Shape::SiacSnpInv => Some(DState::SIAC),
+            Shape::MiaGoWritePull | Shape::MiaSnpInv | Shape::MiaSnpData => Some(DState::MIA),
+            Shape::IiaGoWritePull | Shape::IiaGoWritePullDrop => Some(DState::IIA),
+            _ => None,
+        }
+    }
+
+    /// The host states under which a *host-side* shape can possibly fire,
+    /// or `None` for device-side shapes — the host half of the bucketing
+    /// key of [`Ruleset::successors_into`].
+    #[must_use]
+    pub fn host_state_keys(self) -> Option<&'static [HState]> {
+        match self {
+            Shape::HostInvalidRdShared | Shape::HostInvalidRdOwn => Some(&[HState::I]),
+            Shape::HostSharedRdShared
+            | Shape::HostSharedRdOwnLast
+            | Shape::HostSharedRdOwnOther
+            | Shape::HostCleanEvictDropLast
+            | Shape::HostCleanEvictDropNotLast
+            | Shape::HostCleanEvictPullLast
+            | Shape::HostCleanEvictPullNotLast
+            | Shape::HostCleanEvictNoDataLast
+            | Shape::HostCleanEvictNoDataNotLast
+            | Shape::HostCleanedDirtyEvictDrop
+            | Shape::HostCleanedDirtyEvictPull => Some(&[HState::S]),
+            Shape::HostModifiedRdShared
+            | Shape::HostModifiedRdOwn
+            | Shape::HostModifiedDirtyEvict => Some(&[HState::M]),
+            Shape::HostSadRspSFwdM | Shape::HostSadData => Some(&[HState::SAD]),
+            Shape::HostSdData => Some(&[HState::SD]),
+            Shape::HostSaRspSFwdM => Some(&[HState::SA]),
+            Shape::HostMadRspIFwdM | Shape::HostMadData => Some(&[HState::MAD]),
+            Shape::HostMdData => Some(&[HState::MD]),
+            Shape::HostMaSnpRsp => Some(&[HState::MA]),
+            Shape::HostIdData => Some(&[HState::ID]),
+            Shape::HostStaleDirtyEvictPull
+            | Shape::HostStaleDirtyEvictDrop
+            | Shape::HostStaleCleanEvictDrop => Some(&[HState::I, HState::S, HState::M]),
+            Shape::HostBlockedData => Some(&[HState::IB, HState::SB, HState::MB]),
+            Shape::HostEagerStaleDirtyEvict => Some(&[
+                HState::SAD,
+                HState::SD,
+                HState::SA,
+                HState::MAD,
+                HState::MA,
+                HState::MD,
+            ]),
+            _ => None,
+        }
+    }
+
+    /// A cheap **necessary** condition for this shape to be enabled for
+    /// `dev` in `state` — the guard pre-check of the exploration hot path.
+    ///
+    /// Every arm restates only the *leading* guards of the corresponding
+    /// rule function (required cache/host state plus the non-emptiness of
+    /// the channel or program the rule consumes from); configuration
+    /// toggles and the deeper guards stay in the rule itself. The
+    /// contract, enforced by `prefilter_is_sound_for_every_rule` below and
+    /// by the workspace's differential tests, is one-sided:
+    /// `try_fire(..).is_some()` implies `quick_enabled(..)`. The pre-check
+    /// rejects the vast majority of the 138 rule instances per state
+    /// without cloning a candidate successor.
+    #[must_use]
+    #[inline]
+    pub fn quick_enabled(self, s: &SystemState, d: DeviceId) -> bool {
+        use crate::instr::Instruction as I;
+        let dev = s.dev(d);
+        let cs = dev.cache.state;
+        let head = dev.prog.head();
+        match self {
+            // Device issue: stable state + matching program head.
+            Shape::InvalidLoad => cs == DState::I && head == Some(I::Load),
+            Shape::InvalidStore => cs == DState::I && matches!(head, Some(I::Store(_))),
+            Shape::InvalidEvict => cs == DState::I && head == Some(I::Evict),
+            Shape::SharedLoad => cs == DState::S && head == Some(I::Load),
+            Shape::SharedStore => cs == DState::S && matches!(head, Some(I::Store(_))),
+            Shape::SharedEvict | Shape::SharedEvictNoData => {
+                cs == DState::S && head == Some(I::Evict)
+            }
+            Shape::ModifiedLoad => cs == DState::M && head == Some(I::Load),
+            Shape::ModifiedStore => cs == DState::M && matches!(head, Some(I::Store(_))),
+            Shape::ModifiedEvict => cs == DState::M && head == Some(I::Evict),
+            // Device completion: transient state + a message to consume.
+            Shape::IsadGo => cs == DState::ISAD && !dev.h2d_rsp.is_empty(),
+            Shape::IsadData => cs == DState::ISAD && !dev.h2d_data.is_empty(),
+            Shape::IsdData => cs == DState::ISD && !dev.h2d_data.is_empty(),
+            Shape::IsaGo => cs == DState::ISA && !dev.h2d_rsp.is_empty(),
+            Shape::ImadGo => cs == DState::IMAD && !dev.h2d_rsp.is_empty(),
+            Shape::ImadData => cs == DState::IMAD && !dev.h2d_data.is_empty(),
+            Shape::ImdData => cs == DState::IMD && !dev.h2d_data.is_empty(),
+            Shape::ImaGo => cs == DState::IMA && !dev.h2d_rsp.is_empty(),
+            Shape::SmadGo => cs == DState::SMAD && !dev.h2d_rsp.is_empty(),
+            Shape::SmadData => cs == DState::SMAD && !dev.h2d_data.is_empty(),
+            Shape::SmdData => cs == DState::SMD && !dev.h2d_data.is_empty(),
+            Shape::SmaGo => cs == DState::SMA && !dev.h2d_rsp.is_empty(),
+            Shape::SiaGoWritePullDrop | Shape::SiaGoWritePull => {
+                cs == DState::SIA && !dev.h2d_rsp.is_empty()
+            }
+            Shape::SiacGoWritePullDrop => cs == DState::SIAC && !dev.h2d_rsp.is_empty(),
+            Shape::MiaGoWritePull => cs == DState::MIA && !dev.h2d_rsp.is_empty(),
+            Shape::IiaGoWritePull | Shape::IiaGoWritePullDrop => {
+                cs == DState::IIA && !dev.h2d_rsp.is_empty()
+            }
+            Shape::IsdiData => cs == DState::ISDI && !dev.h2d_data.is_empty(),
+            // Device snoops: matching state + a pending snoop.
+            Shape::SharedSnpInv => cs == DState::S && !dev.h2d_req.is_empty(),
+            Shape::ModifiedSnpInv | Shape::ModifiedSnpData => {
+                cs == DState::M && !dev.h2d_req.is_empty()
+            }
+            Shape::IsdSnpInv => cs == DState::ISD && !dev.h2d_req.is_empty(),
+            Shape::SmadSnpInv => cs == DState::SMAD && !dev.h2d_req.is_empty(),
+            Shape::SiaSnpInv => cs == DState::SIA && !dev.h2d_req.is_empty(),
+            Shape::SiacSnpInv => cs == DState::SIAC && !dev.h2d_req.is_empty(),
+            Shape::MiaSnpInv | Shape::MiaSnpData => {
+                cs == DState::MIA && !dev.h2d_req.is_empty()
+            }
+            Shape::IsadSnpInvBuggy => cs == DState::ISAD && !dev.h2d_req.is_empty(),
+            // Host request admission: host state + a pending request from
+            // the requester.
+            Shape::HostInvalidRdShared | Shape::HostInvalidRdOwn => {
+                s.host.state == HState::I && !dev.d2h_req.is_empty()
+            }
+            Shape::HostSharedRdShared
+            | Shape::HostSharedRdOwnLast
+            | Shape::HostSharedRdOwnOther => {
+                s.host.state == HState::S && !dev.d2h_req.is_empty()
+            }
+            Shape::HostModifiedRdShared | Shape::HostModifiedRdOwn => {
+                s.host.state == HState::M && !dev.d2h_req.is_empty()
+            }
+            // Host response/data collection: consumes from the *other*
+            // device.
+            Shape::HostSadRspSFwdM => {
+                s.host.state == HState::SAD && !s.dev(d.other()).d2h_rsp.is_empty()
+            }
+            Shape::HostSadData => {
+                s.host.state == HState::SAD && !s.dev(d.other()).d2h_data.is_empty()
+            }
+            Shape::HostSdData => {
+                s.host.state == HState::SD && !s.dev(d.other()).d2h_data.is_empty()
+            }
+            Shape::HostSaRspSFwdM => {
+                s.host.state == HState::SA && !s.dev(d.other()).d2h_rsp.is_empty()
+            }
+            Shape::HostMadRspIFwdM => {
+                s.host.state == HState::MAD && !s.dev(d.other()).d2h_rsp.is_empty()
+            }
+            Shape::HostMadData => {
+                s.host.state == HState::MAD && !s.dev(d.other()).d2h_data.is_empty()
+            }
+            Shape::HostMdData => {
+                s.host.state == HState::MD && !s.dev(d.other()).d2h_data.is_empty()
+            }
+            Shape::HostMaSnpRsp => {
+                s.host.state == HState::MA && !s.dev(d.other()).d2h_rsp.is_empty()
+            }
+            // Host evictions.
+            Shape::HostCleanEvictDropLast
+            | Shape::HostCleanEvictDropNotLast
+            | Shape::HostCleanEvictPullLast
+            | Shape::HostCleanEvictPullNotLast
+            | Shape::HostCleanedDirtyEvictDrop
+            | Shape::HostCleanedDirtyEvictPull => {
+                s.host.state == HState::S && cs == DState::SIA && !dev.d2h_req.is_empty()
+            }
+            Shape::HostCleanEvictNoDataLast | Shape::HostCleanEvictNoDataNotLast => {
+                s.host.state == HState::S && cs == DState::SIAC && !dev.d2h_req.is_empty()
+            }
+            Shape::HostModifiedDirtyEvict => {
+                s.host.state == HState::M && cs == DState::MIA && !dev.d2h_req.is_empty()
+            }
+            Shape::HostIdData => s.host.state == HState::ID && !dev.d2h_data.is_empty(),
+            Shape::HostStaleDirtyEvictPull
+            | Shape::HostStaleDirtyEvictDrop
+            | Shape::HostStaleCleanEvictDrop => {
+                cs == DState::IIA && s.host.state.is_stable() && !dev.d2h_req.is_empty()
+            }
+            Shape::HostBlockedData => {
+                s.host.state.is_blocked_on_pull() && !dev.d2h_data.is_empty()
+            }
+            Shape::HostEagerStaleDirtyEvict => {
+                cs == DState::MIA && !dev.h2d_req.is_empty() && !dev.d2h_req.is_empty()
+            }
+        }
+    }
 }
 
 impl fmt::Display for Shape {
@@ -372,6 +591,18 @@ impl RuleId {
     #[must_use]
     pub fn new(shape: Shape, dev: DeviceId) -> Self {
         RuleId { shape, dev }
+    }
+
+    /// Total number of rule instances (shapes × devices).
+    pub const INSTANCE_COUNT: usize = Shape::ALL.len() * 2;
+
+    /// The instance's position in [`Ruleset::rule_ids`]'s canonical order
+    /// — a dense `0..INSTANCE_COUNT` key for flat per-rule counters, so
+    /// hot loops never need a map keyed by `RuleId`.
+    #[must_use]
+    #[inline]
+    pub fn dense_index(self) -> usize {
+        (self.shape as usize) * 2 + self.dev.index()
     }
 
     /// Paper-style name, e.g. `HostModifiedDirtyEvict1`.
@@ -405,21 +636,46 @@ impl fmt::Display for RuleId {
 pub struct Ruleset {
     config: ProtocolConfig,
     ids: Vec<RuleId>,
+    /// Per `(DState, device)` bucket: dense indices of the device-side
+    /// rule instances whose acting device must hold that cache state.
+    device_buckets: Vec<Vec<u16>>,
+    /// Per `HState` bucket: dense indices of the host-side rule instances
+    /// (both devices) that can possibly fire under that host state.
+    host_buckets: Vec<Vec<u16>>,
 }
 
 impl Ruleset {
     /// Build the rule set for `config`. All shapes are instantiated; rules
     /// whose enabling condition depends on the configuration simply never
-    /// fire when disabled.
+    /// fire when disabled. Rule instances are additionally bucketed by
+    /// the cache/host state their leading guard requires, so successor
+    /// generation consults a handful of candidates per state instead of
+    /// scanning all [`RuleId::INSTANCE_COUNT`].
     #[must_use]
     pub fn new(config: ProtocolConfig) -> Self {
-        let mut ids = Vec::with_capacity(Shape::ALL.len() * 2);
+        let mut ids = Vec::with_capacity(RuleId::INSTANCE_COUNT);
         for &shape in Shape::ALL {
             for dev in DeviceId::ALL {
                 ids.push(RuleId::new(shape, dev));
             }
         }
-        Ruleset { config, ids }
+
+        let mut device_buckets = vec![Vec::new(); DState::ALL.len() * 2];
+        let mut host_buckets = vec![Vec::new(); HState::ALL.len()];
+        for &id in &ids {
+            let dense = u16::try_from(id.dense_index()).expect("instance count fits u16");
+            if let Some(ds) = id.shape.device_state_key() {
+                device_buckets[(ds as usize) * 2 + id.dev.index()].push(dense);
+            } else if let Some(hs) = id.shape.host_state_keys() {
+                for &h in hs {
+                    host_buckets[h as usize].push(dense);
+                }
+            } else {
+                unreachable!("shape {:?} has neither a device nor a host bucket key", id.shape);
+            }
+        }
+
+        Ruleset { config, ids, device_buckets, host_buckets }
     }
 
     /// The configuration this rule set runs under.
@@ -450,6 +706,61 @@ impl Ruleset {
     /// All enabled transitions from `state`, as `(rule, successor)` pairs.
     #[must_use]
     pub fn successors(&self, state: &SystemState) -> Vec<(RuleId, SystemState)> {
+        let mut out = Vec::new();
+        self.successors_into(state, &mut out);
+        out
+    }
+
+    /// [`Self::successors`] into a caller-owned buffer, for zero-alloc
+    /// steady-state successor generation: the buffer is cleared and
+    /// refilled, so a caller that reuses it across a BFS frontier stops
+    /// allocating once the buffer has grown to the widest fan-out.
+    ///
+    /// Each of the 138 rule instances is first screened by
+    /// [`Shape::quick_enabled`], which rejects most without constructing a
+    /// candidate successor; the surviving few run their full guards in
+    /// [`Self::try_fire`]. The enabled set is identical to
+    /// [`Self::successors_naive`] — the differential tests in
+    /// `tests/differential.rs` hold the two paths equal over whole
+    /// exploration runs.
+    pub fn successors_into(&self, state: &SystemState, out: &mut Vec<(RuleId, SystemState)>) {
+        out.clear();
+        // Gather the candidate rule instances from the three buckets the
+        // state keys into (one per device cache state, one for the host
+        // state), then fire them in canonical dense-index order so the
+        // successor order is identical to the naive full scan. The
+        // candidate list is bounded by the widest bucket sum (well under
+        // 64), so it lives on the stack.
+        let mut candidates = [0u16; 64];
+        let mut n = 0usize;
+        let mut push_all = |bucket: &[u16]| {
+            candidates[n..n + bucket.len()].copy_from_slice(bucket);
+            n += bucket.len();
+        };
+        for d in DeviceId::ALL {
+            let cs = state.dev(d).cache.state;
+            push_all(&self.device_buckets[(cs as usize) * 2 + d.index()]);
+        }
+        push_all(&self.host_buckets[state.host.state as usize]);
+        let candidates = &mut candidates[..n];
+        candidates.sort_unstable();
+
+        for &mut dense in candidates {
+            let id = self.ids[dense as usize];
+            if !id.shape.quick_enabled(state, id.dev) {
+                continue;
+            }
+            if let Some(next) = self.try_fire(id, state) {
+                out.push((id, next));
+            }
+        }
+    }
+
+    /// Reference successor generation: fire every rule's full guard with
+    /// no pre-screening. Kept as the oracle the optimized path
+    /// ([`Self::successors_into`]) is differentially tested against.
+    #[must_use]
+    pub fn successors_naive(&self, state: &SystemState) -> Vec<(RuleId, SystemState)> {
         let mut out = Vec::new();
         for &id in &self.ids {
             if let Some(next) = self.try_fire(id, state) {
@@ -517,6 +828,101 @@ mod tests {
                 ),
                 "{id} claims perfect tracking but is device-side"
             );
+        }
+    }
+
+    #[test]
+    fn every_shape_has_exactly_one_bucket_key() {
+        for &shape in Shape::ALL {
+            let dev_key = shape.device_state_key().is_some();
+            let host_key = shape.host_state_keys().is_some();
+            assert!(
+                dev_key ^ host_key,
+                "{shape:?} must have exactly one bucketing key (device: {dev_key}, \
+                 host: {host_key})"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_buckets_fit_the_stack_buffer() {
+        // successors_into gathers candidates into a fixed [u16; 64]: the
+        // worst case is the widest device bucket for each device plus the
+        // widest host bucket.
+        let rules = Ruleset::default();
+        let widest_dev = (0..DState::ALL.len() * 2)
+            .map(|i| rules.device_buckets[i].len())
+            .max()
+            .unwrap_or(0);
+        let widest_host =
+            (0..HState::ALL.len()).map(|i| rules.host_buckets[i].len()).max().unwrap_or(0);
+        assert!(
+            2 * widest_dev + widest_host <= 64,
+            "candidate buffer too small: 2×{widest_dev} + {widest_host} > 64"
+        );
+    }
+
+    #[test]
+    fn dense_index_matches_canonical_order() {
+        let rules = Ruleset::default();
+        for (pos, &id) in rules.rule_ids().iter().enumerate() {
+            assert_eq!(id.dense_index(), pos, "{id} dense index out of order");
+        }
+        assert_eq!(rules.rule_ids().len(), RuleId::INSTANCE_COUNT);
+    }
+
+    #[test]
+    fn prefilter_is_sound_for_every_rule() {
+        // quick_enabled must over-approximate enabledness: wherever the
+        // full guard fires, the pre-check must have let it through. Walk a
+        // few BFS levels of a scenario that exercises loads, stores and
+        // evictions under the maximal configuration, plus a relaxed one
+        // for the buggy shapes.
+        use crate::config::Relaxation;
+        let configs = [
+            ProtocolConfig::full(),
+            ProtocolConfig::relaxed(Relaxation::SnoopPushesGo),
+            ProtocolConfig::relaxed(Relaxation::GoCannotTailgateSnoop),
+        ];
+        for cfg in configs {
+            let rules = Ruleset::new(cfg);
+            let mut frontier = vec![SystemState::initial(
+                programs::stores(0, 2),
+                vec![crate::instr::Instruction::Load, crate::instr::Instruction::Evict],
+            )];
+            for _ in 0..6 {
+                let mut next = Vec::new();
+                for st in &frontier {
+                    for &id in rules.rule_ids() {
+                        if let Some(succ) = rules.try_fire(id, st) {
+                            assert!(
+                                id.shape.quick_enabled(st, id.dev),
+                                "{id} fired but quick_enabled rejected it in\n{st}"
+                            );
+                            next.push(succ);
+                        }
+                    }
+                }
+                next.truncate(64); // keep the walk cheap
+                frontier = next;
+            }
+        }
+    }
+
+    #[test]
+    fn successors_match_naive_reference() {
+        let rules = Ruleset::new(ProtocolConfig::full());
+        let mut frontier = vec![SystemState::initial(programs::store(1), programs::load())];
+        let mut scratch = Vec::new();
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                rules.successors_into(st, &mut scratch);
+                let naive = rules.successors_naive(st);
+                assert_eq!(scratch, naive, "optimized/naive divergence in\n{st}");
+                next.extend(scratch.drain(..).map(|(_, s)| s));
+            }
+            frontier = next;
         }
     }
 

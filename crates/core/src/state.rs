@@ -44,7 +44,7 @@ impl DeviceState {
     #[must_use]
     pub fn idle(val: Val) -> Self {
         DeviceState {
-            prog: Vec::new(),
+            prog: Program::new(),
             cache: DCache::invalid(val),
             d2h_req: Channel::new(),
             d2h_rsp: Channel::new(),
@@ -59,17 +59,16 @@ impl DeviceState {
     /// The next instruction to execute, if any (`head(DProgᵢ)`).
     #[must_use]
     pub fn next_instr(&self) -> Option<Instruction> {
-        self.prog.first().copied()
+        self.prog.head()
     }
 
-    /// Retire the head instruction (`DProgᵢ := tail(DProgᵢ)`).
+    /// Retire the head instruction (`DProgᵢ := tail(DProgᵢ)`) in O(1).
     ///
     /// # Panics
     /// Panics if the program is empty — rules must guard on
     /// [`Self::next_instr`] before retiring.
     pub fn retire_instr(&mut self) {
-        assert!(!self.prog.is_empty(), "retire_instr on an empty program");
-        self.prog.remove(0);
+        assert!(self.prog.pop_front().is_some(), "retire_instr on an empty program");
     }
 
     /// Are all channels between this device and the host empty?
@@ -114,15 +113,30 @@ impl SystemState {
     /// (Table 3): both devices `(-1, I)`, host `(0, I)`, counter 0, with
     /// the given programs.
     #[must_use]
-    pub fn initial(prog1: Program, prog2: Program) -> Self {
+    pub fn initial(prog1: impl Into<Program>, prog2: impl Into<Program>) -> Self {
         let mut s = SystemState {
             devs: [DeviceState::idle(-1), DeviceState::idle(-1)],
             host: HCache::new(0, HState::I),
             counter: 0,
         };
-        s.devs[0].prog = prog1;
-        s.devs[1].prog = prog2;
+        s.devs[0].prog = prog1.into();
+        s.devs[1].prog = prog2.into();
         s
+    }
+
+    /// The state's 64-bit fingerprint: a fast, deterministic hash of all
+    /// twenty components via [`crate::fasthash::FxHasher`].
+    ///
+    /// The model checker hashes each state **once** at discovery and keys
+    /// its dedup index by this value (full equality is only consulted on
+    /// fingerprint collision), instead of re-SipHashing whole states on
+    /// every probe.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::fasthash::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
     }
 
     /// Borrow a device's state.

@@ -170,16 +170,17 @@ impl Litmus {
                     ));
                 }
                 if let Some(check) = final_check {
-                    // Re-explore terminal states for the final check.
+                    // Re-explore for the final check; terminal states come
+                    // from the exploration's recorded successor counts, so
+                    // no state's successors are generated a second time.
                     let exploration = mc.explore(&self.initial, &[]);
                     let mut checked = 0usize;
-                    for st in &exploration.states {
-                        if mc.rules().successors(st).is_empty() {
-                            checked += 1;
-                            if !check(st) {
-                                ok = false;
-                                notes.push(format!("final-state check failed on:\n{st}"));
-                            }
+                    for id in exploration.terminal_indices() {
+                        let st = &exploration.states[id];
+                        checked += 1;
+                        if !check(st) {
+                            ok = false;
+                            notes.push(format!("final-state check failed on:\n{st}"));
                         }
                     }
                     notes.push(format!("final-state check passed on {checked} terminal states"));

@@ -6,13 +6,41 @@
 //! exhaustive rather than semi-automatic. For bounded device programs the
 //! model is finite-state (the invariant guarantees singleton channels), so
 //! exhaustive exploration decides SWMR for every bounded configuration.
+//!
+//! ## The hot path
+//!
+//! Exploration throughput is the binding constraint on how large a
+//! program grid the reproduction can decide, so the pipeline is built
+//! around four ideas:
+//!
+//! - **Fingerprinted dedup** — every discovered state is hashed once with
+//!   [`cxl_core::FxHasher`] into a 64-bit fingerprint; the visited set is
+//!   a [`cxl_core::FpIndex`] keyed by that fingerprint through an identity
+//!   hasher, so a dedup probe costs one u64 lookup (full state equality
+//!   runs only on fingerprint collision).
+//! - **Zero-alloc successor generation** —
+//!   [`cxl_core::Ruleset::successors_into`] fills a reused scratch buffer
+//!   and screens all 138 rule instances with cheap per-shape guard
+//!   pre-checks before cloning anything.
+//! - **No terminal rescan** — per-state successor counts are recorded
+//!   during forward expansion, so terminal states (and deadlocks) fall out
+//!   of the BFS itself instead of a second full successor-generation pass
+//!   over every reached state (which doubled clean-run work).
+//! - **A persistent worker pool** — with `threads > 1`, workers live for
+//!   the whole search inside one [`std::thread::scope`], pull frontier
+//!   chunks from a shared queue into per-worker scratch buffers, and the
+//!   driver merges chunk results in deterministic (chunk-index) order.
+//!   Property checking over freshly discovered states uses the same pool.
+//!
+//! The pre-optimisation algorithm survives as
+//! [`ModelChecker::explore_naive`], the oracle for the differential tests
+//! that pin the optimized pipeline to bit-identical exploration results.
 
 use crate::property::Property;
 use crate::report::{Deadlock, Report, Step, Trace, Violation};
-use cxl_core::{RuleId, Ruleset, SystemState};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
+use cxl_core::{FpIndex, RuleId, Ruleset, SystemState};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// A pruning predicate: states for which it returns `true` are recorded
@@ -61,6 +89,14 @@ impl std::fmt::Debug for CheckOptions {
     }
 }
 
+/// Sentinel for "this state was never expanded" in
+/// [`Exploration::successor_counts`].
+pub const NOT_EXPANDED: u32 = u32::MAX;
+
+/// One frontier state's expansion: its arena id and full (pre-dedup)
+/// successor list with precomputed fingerprints.
+type ExpandedState = (usize, Vec<(RuleId, SystemState, u64)>);
+
 /// The result of [`ModelChecker::explore`]: the report plus the full set
 /// of reachable states (the exact universe the obligation matrix of
 /// `cxl-sketch` quantifies over).
@@ -70,6 +106,34 @@ pub struct Exploration {
     pub report: Report,
     /// Every distinct state visited, in discovery (BFS) order.
     pub states: Vec<Arc<SystemState>>,
+    /// Per-state successor counts recorded during forward expansion
+    /// (pre-dedup fan-out), indexed like [`Self::states`]. States the
+    /// search stopped before expanding hold [`NOT_EXPANDED`]. A pruned
+    /// state records 0, mirroring the naive checker's terminal notion.
+    pub successor_counts: Vec<u32>,
+}
+
+impl Exploration {
+    /// Was state `id` expanded with zero successors (i.e. is it terminal)?
+    /// `None` when the search stopped before expanding it.
+    #[must_use]
+    pub fn is_terminal(&self, id: usize) -> Option<bool> {
+        match self.successor_counts.get(id) {
+            Some(&NOT_EXPANDED) | None => None,
+            Some(&n) => Some(n == 0),
+        }
+    }
+
+    /// Indices of all terminal states, in discovery order. On a clean,
+    /// non-truncated run every state has been expanded, so this is exact —
+    /// without re-running successor generation over the visited set.
+    pub fn terminal_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.successor_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n == 0)
+            .map(|(id, _)| id)
+    }
 }
 
 /// A breadth-first explicit-state model checker over a [`Ruleset`].
@@ -128,20 +192,71 @@ impl ModelChecker {
     /// terminal states, and retaining the visited set.
     #[must_use]
     pub fn explore(&self, initial: &SystemState, props: &[&dyn Property]) -> Exploration {
+        if self.opts.threads <= 1 {
+            return self.run(initial, props, None);
+        }
+        let shared = PoolShared::new(&self.rules, self.opts.prune.as_ref(), props);
+        std::thread::scope(|scope| {
+            for _ in 0..self.opts.threads {
+                scope.spawn(|| shared.worker_loop());
+            }
+            let out = self.run(initial, props, Some(&shared));
+            shared.shutdown();
+            out
+        })
+    }
+
+    /// All states reachable from `initial` (no properties checked).
+    #[must_use]
+    pub fn reachable(&self, initial: &SystemState) -> Vec<Arc<SystemState>> {
+        self.explore(initial, &[]).states
+    }
+
+    // -----------------------------------------------------------------
+    // The optimized search.
+    // -----------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        &self,
+        initial: &SystemState,
+        props: &[&dyn Property],
+        pool: Option<&PoolShared<'_>>,
+    ) -> Exploration {
         let start = Instant::now();
         let mut report = Report::default();
 
-        // Arena of discovered states + parent links for trace rebuilding.
+        // Arena of discovered states + parent links for trace rebuilding
+        // + per-state successor counts (recorded at expansion time).
         let mut states: Vec<Arc<SystemState>> = Vec::new();
         let mut parents: Vec<Option<(usize, RuleId)>> = Vec::new();
-        let mut index: HashMap<Arc<SystemState>, usize> = HashMap::new();
+        let mut succ_counts: Vec<u32> = Vec::new();
+        let mut index = FpIndex::new();
+
+        // Side arena for over-cap states checked transiently after
+        // `max_states` truncation, so a state reached twice in the
+        // truncated tail is deduped and checked once.
+        let mut transient: Vec<SystemState> = Vec::new();
+        let mut transient_index = FpIndex::new();
+
+        // Flat per-rule firing counters (dense-indexed); folded into the
+        // report's BTreeMap once at the end, so the hot loop does one
+        // array increment per transition instead of a map operation.
+        let mut firings = vec![0u64; RuleId::INSTANCE_COUNT];
 
         let init = Arc::new(initial.clone());
+        let init_fp = init.fingerprint();
         states.push(Arc::clone(&init));
         parents.push(None);
-        index.insert(init, 0);
+        succ_counts.push(NOT_EXPANDED);
+        index.insert(init_fp, 0, |_| unreachable!("empty index"));
 
         self.check_state(0, &states, &parents, props, &mut report);
+
+        // Scratch buffer for sequential expansion: reused across the
+        // whole search, so successor generation stops allocating once it
+        // has grown to the widest fan-out.
+        let mut scratch: Vec<(RuleId, SystemState)> = Vec::new();
 
         let mut frontier: Vec<usize> = vec![0];
         let mut depth = 0usize;
@@ -154,41 +269,186 @@ impl ModelChecker {
                 }
             }
 
-            // Phase 1: expand the frontier (possibly in parallel).
-            let expanded = self.expand(&frontier, &states);
-
-            // Phase 2: merge, dedupe, link parents, count firings.
+            // Phases 1+2: expand the frontier and merge — dedupe by
+            // fingerprint, link parents, count firings, record per-state
+            // successor counts, detect terminals. A frontier state that
+            // expands to zero successors is terminal; frontier order is
+            // discovery order, so deadlock traces come out in the order
+            // the naive rescan produced. Once `max_states` is reached no
+            // further states are stored, but the remainder of the batch
+            // is still deduped and property-checked transiently, so a
+            // violation inside the truncated batch is reported rather
+            // than silently dropped.
+            //
+            // The sequential driver merges straight out of the reused
+            // scratch buffer (one move per stored state); the parallel
+            // driver merges the pool's chunk results in deterministic
+            // frontier order.
             let mut new_indices = Vec::new();
-            for (parent, rule, succ) in expanded {
-                *report.rule_firings.entry(rule.name()).or_insert(0) += 1;
+            let mut merge = |parent: usize,
+                             rule: RuleId,
+                             succ: SystemState,
+                             fp: u64,
+                             states: &mut Vec<Arc<SystemState>>,
+                             parents: &mut Vec<Option<(usize, RuleId)>>,
+                             succ_counts: &mut Vec<u32>,
+                             report: &mut Report|
+             -> bool {
+                firings[rule.dense_index()] += 1;
                 report.transitions += 1;
-                let succ = Arc::new(succ);
-                if let Some(&_existing) = index.get(&succ) {
-                    continue;
+                if report.truncated {
+                    // Over-cap tail: dedup against both the stored arena
+                    // (read-only probe) and the transient side arena,
+                    // then property-check genuinely new states once.
+                    let known = index.probe(fp, |id| *states[id as usize] == succ).is_some();
+                    if !known {
+                        let candidate =
+                            u32::try_from(transient.len()).expect("state count fits u32");
+                        let seen = transient_index
+                            .insert(fp, candidate, |id| transient[id as usize] == succ)
+                            .is_some();
+                        if !seen {
+                            transient.push(succ);
+                            let succ = transient.last().expect("just pushed");
+                            self.check_transient(
+                                parent, rule, succ, states, parents, props, report,
+                            );
+                            if report.violations.len() >= self.opts.max_violations
+                                && !report.violations.is_empty()
+                            {
+                                return true;
+                            }
+                        }
+                    }
+                    return false;
                 }
-                let id = states.len();
-                states.push(Arc::clone(&succ));
+                let candidate = u32::try_from(states.len()).expect("state count fits u32");
+                if index.insert(fp, candidate, |id| *states[id as usize] == succ).is_some() {
+                    return false;
+                }
+                states.push(Arc::new(succ));
                 parents.push(Some((parent, rule)));
-                index.insert(succ, id);
-                new_indices.push(id);
+                succ_counts.push(NOT_EXPANDED);
+                new_indices.push(candidate as usize);
                 if states.len() >= self.opts.max_states {
                     report.truncated = true;
-                    break;
+                }
+                false
+            };
+
+            // Narrow frontiers expand inline even when a pool exists:
+            // shipping a handful of states through the queue costs more
+            // than expanding them (the merge order is identical either
+            // way, so the choice is invisible in the results).
+            match pool {
+                Some(pool) if frontier.len() >= 2 * self.opts.threads => {
+                    let expanded: Vec<ExpandedState> = pool.expand(&frontier, &states);
+                    for (parent, succs) in &expanded {
+                        succ_counts[*parent] =
+                            u32::try_from(succs.len()).unwrap_or(u32::MAX - 1);
+                        if succs.is_empty() {
+                            report.terminal_states += 1;
+                            if !states[*parent].is_quiescent() {
+                                report.deadlocks.push(Deadlock {
+                                    trace: rebuild_trace(*parent, &states, &parents),
+                                });
+                            }
+                        }
+                    }
+                    'par_merge: for (parent, succs) in expanded {
+                        for (rule, succ, fp) in succs {
+                            if merge(
+                                parent,
+                                rule,
+                                succ,
+                                fp,
+                                &mut states,
+                                &mut parents,
+                                &mut succ_counts,
+                                &mut report,
+                            ) {
+                                break 'par_merge;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    'seq_merge: for &parent in &frontier {
+                        let pruned =
+                            self.opts.prune.as_ref().is_some_and(|prune| prune(&states[parent]));
+                        if pruned {
+                            scratch.clear();
+                        } else {
+                            self.rules.successors_into(&states[parent], &mut scratch);
+                        }
+                        succ_counts[parent] =
+                            u32::try_from(scratch.len()).unwrap_or(u32::MAX - 1);
+                        if scratch.is_empty() {
+                            report.terminal_states += 1;
+                            if !states[parent].is_quiescent() {
+                                report.deadlocks.push(Deadlock {
+                                    trace: rebuild_trace(parent, &states, &parents),
+                                });
+                            }
+                            continue;
+                        }
+                        for (rule, succ) in scratch.drain(..) {
+                            let fp = succ.fingerprint();
+                            if merge(
+                                parent,
+                                rule,
+                                succ,
+                                fp,
+                                &mut states,
+                                &mut parents,
+                                &mut succ_counts,
+                                &mut report,
+                            ) {
+                                break 'seq_merge;
+                            }
+                        }
+                    }
                 }
             }
 
-            // Phase 3: check properties and terminal status of new states.
-            for &id in &new_indices {
-                self.check_state(id, &states, &parents, props, &mut report);
-                if report.violations.len() >= self.opts.max_violations
-                    && !report.violations.is_empty()
-                {
-                    break 'outer;
+            if report.violations.len() >= self.opts.max_violations
+                && !report.violations.is_empty()
+            {
+                break 'outer;
+            }
+
+            // Phase 3: check properties of the newly *stored* states —
+            // in parallel over the pool when available, with violations
+            // applied in deterministic discovery order either way.
+            if !props.is_empty() && !new_indices.is_empty() {
+                match pool {
+                    Some(pool) if new_indices.len() >= 2 * self.opts.threads => {
+                        let mut found = pool.check(&new_indices, &states);
+                        found.sort_by_key(|&(id, prop_idx, _)| (id, prop_idx));
+                        for (id, prop_idx, detail) in found {
+                            report.violations.push(Violation {
+                                property: props[prop_idx].name().to_string(),
+                                detail,
+                                trace: rebuild_trace(id, &states, &parents),
+                            });
+                            if report.violations.len() >= self.opts.max_violations {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    _ => {
+                        for &id in &new_indices {
+                            self.check_state(id, &states, &parents, props, &mut report);
+                            if report.violations.len() >= self.opts.max_violations
+                                && !report.violations.is_empty()
+                            {
+                                break 'outer;
+                            }
+                        }
+                    }
                 }
             }
 
-            // Terminal detection for the *previous* frontier happens via
-            // expansion: a frontier state with no successors is terminal.
             depth += 1;
             report.depth = depth;
             if report.truncated {
@@ -197,81 +457,54 @@ impl ModelChecker {
             frontier = new_indices;
         }
 
-        // Terminal states: re-scan all states for ones with no successors.
-        // (Cheap relative to exploration; avoids bookkeeping corner cases
-        // when the search stops early.)
-        if !report.truncated && report.violations.is_empty() {
-            for (id, st) in states.iter().enumerate() {
-                if self.successor_count(st) == 0 {
-                    report.terminal_states += 1;
-                    if !st.is_quiescent() {
-                        report.deadlocks.push(Deadlock {
-                            trace: rebuild_trace(id, &states, &parents),
-                        });
-                    }
-                }
-            }
+        // Terminal statistics were collected on the fly; they are only
+        // meaningful (and only reported, matching the naive checker) when
+        // the exploration ran to completion with no violations.
+        if report.truncated || !report.violations.is_empty() {
+            report.terminal_states = 0;
+            report.deadlocks.clear();
         }
 
+        report.rule_firings = self
+            .rules
+            .rule_ids()
+            .iter()
+            .zip(&firings)
+            .filter(|(_, &n)| n > 0)
+            .map(|(&id, &n)| (id, n))
+            .collect();
         report.states = states.len();
         report.elapsed = start.elapsed();
-        Exploration { report, states }
+        Exploration { report, states, successor_counts: succ_counts }
     }
 
-    /// All states reachable from `initial` (no properties checked).
-    #[must_use]
-    pub fn reachable(&self, initial: &SystemState) -> Vec<Arc<SystemState>> {
-        self.explore(initial, &[]).states
-    }
-
-    fn successor_count(&self, s: &SystemState) -> usize {
-        if let Some(prune) = &self.opts.prune {
-            if prune(s) {
-                return 0;
-            }
-        }
-        self.rules.successors(s).len()
-    }
-
-    fn expand(
+    /// Property-check a successor that was *not* stored because the state
+    /// cap was already reached. Its trace is its parent's trace plus the
+    /// final step.
+    #[allow(clippy::too_many_arguments)]
+    fn check_transient(
         &self,
-        frontier: &[usize],
+        parent: usize,
+        rule: RuleId,
+        succ: &SystemState,
         states: &[Arc<SystemState>],
-    ) -> Vec<(usize, RuleId, SystemState)> {
-        let expand_one = |&id: &usize| -> Vec<(usize, RuleId, SystemState)> {
-            let st = &states[id];
-            if let Some(prune) = &self.opts.prune {
-                if prune(st) {
-                    return Vec::new();
+        parents: &[Option<(usize, RuleId)>],
+        props: &[&dyn Property],
+        report: &mut Report,
+    ) {
+        for p in props {
+            if let crate::property::PropertyOutcome::Violated(detail) = p.check(succ) {
+                let mut trace = rebuild_trace(parent, states, parents);
+                trace.steps.push(Step { rule, state: succ.clone() });
+                report.violations.push(Violation {
+                    property: p.name().to_string(),
+                    detail,
+                    trace,
+                });
+                if report.violations.len() >= self.opts.max_violations {
+                    return;
                 }
             }
-            self.rules
-                .successors(st)
-                .into_iter()
-                .map(|(rule, succ)| (id, rule, succ))
-                .collect()
-        };
-
-        if self.opts.threads <= 1 || frontier.len() < 2 * self.opts.threads {
-            frontier.iter().flat_map(&expand_one).collect()
-        } else {
-            let chunk = frontier.len().div_ceil(self.opts.threads);
-            type ChunkOut = Vec<(usize, RuleId, SystemState)>;
-            let results: Mutex<Vec<(usize, ChunkOut)>> =
-                Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
-                for (ci, ids) in frontier.chunks(chunk).enumerate() {
-                    let results = &results;
-                    scope.spawn(move |_| {
-                        let out: Vec<_> = ids.iter().flat_map(expand_one).collect();
-                        results.lock().push((ci, out));
-                    });
-                }
-            })
-            .expect("worker thread panicked");
-            let mut chunks = results.into_inner();
-            chunks.sort_by_key(|(ci, _)| *ci);
-            chunks.into_iter().flat_map(|(_, v)| v).collect()
         }
     }
 
@@ -297,6 +530,307 @@ impl ModelChecker {
                 }
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // The naive reference implementation.
+    // -----------------------------------------------------------------
+
+    /// The pre-optimisation exploration algorithm, retained verbatim as
+    /// the oracle for differential testing and as the baseline of the
+    /// `mc_throughput` bench: a `HashMap<Arc<SystemState>, usize>` visited
+    /// set (full SipHash per probe), freshly allocated successor vectors,
+    /// per-level `String`-free but allocation-heavy merging, and a
+    /// terminal-state rescan that re-runs successor generation over every
+    /// reached state after the search.
+    #[must_use]
+    pub fn explore_naive(&self, initial: &SystemState, props: &[&dyn Property]) -> Exploration {
+        let start = Instant::now();
+        let mut report = Report::default();
+
+        let mut states: Vec<Arc<SystemState>> = Vec::new();
+        let mut parents: Vec<Option<(usize, RuleId)>> = Vec::new();
+        let mut index: HashMap<Arc<SystemState>, usize> = HashMap::new();
+
+        let init = Arc::new(initial.clone());
+        states.push(Arc::clone(&init));
+        parents.push(None);
+        index.insert(init, 0);
+
+        self.check_state(0, &states, &parents, props, &mut report);
+
+        let mut frontier: Vec<usize> = vec![0];
+        let mut depth = 0usize;
+
+        'outer: while !frontier.is_empty() {
+            if let Some(md) = self.opts.max_depth {
+                if depth >= md {
+                    report.truncated = true;
+                    break;
+                }
+            }
+
+            let mut expanded = Vec::new();
+            for &id in &frontier {
+                let st = &states[id];
+                if let Some(prune) = &self.opts.prune {
+                    if prune(st) {
+                        continue;
+                    }
+                }
+                for (rule, succ) in self.rules.successors_naive(st) {
+                    expanded.push((id, rule, succ));
+                }
+            }
+
+            let mut new_indices = Vec::new();
+            for (parent, rule, succ) in expanded {
+                *report.rule_firings.entry(rule).or_insert(0) += 1;
+                report.transitions += 1;
+                let succ = Arc::new(succ);
+                if index.contains_key(&succ) {
+                    continue;
+                }
+                let id = states.len();
+                states.push(Arc::clone(&succ));
+                parents.push(Some((parent, rule)));
+                index.insert(succ, id);
+                new_indices.push(id);
+                if states.len() >= self.opts.max_states {
+                    report.truncated = true;
+                    break;
+                }
+            }
+
+            for &id in &new_indices {
+                self.check_state(id, &states, &parents, props, &mut report);
+                if report.violations.len() >= self.opts.max_violations
+                    && !report.violations.is_empty()
+                {
+                    break 'outer;
+                }
+            }
+
+            depth += 1;
+            report.depth = depth;
+            if report.truncated {
+                break;
+            }
+            frontier = new_indices;
+        }
+
+        // The naive terminal-state rescan: a second full pass of
+        // successor generation over every reached state.
+        let mut succ_counts = vec![NOT_EXPANDED; states.len()];
+        if !report.truncated && report.violations.is_empty() {
+            for (id, st) in states.iter().enumerate() {
+                let n = self.naive_successor_count(st);
+                succ_counts[id] = u32::try_from(n).unwrap_or(u32::MAX - 1);
+                if n == 0 {
+                    report.terminal_states += 1;
+                    if !st.is_quiescent() {
+                        report.deadlocks.push(Deadlock {
+                            trace: rebuild_trace(id, &states, &parents),
+                        });
+                    }
+                }
+            }
+        }
+
+        report.states = states.len();
+        report.elapsed = start.elapsed();
+        Exploration { report, states, successor_counts: succ_counts }
+    }
+
+    fn naive_successor_count(&self, s: &SystemState) -> usize {
+        if let Some(prune) = &self.opts.prune {
+            if prune(s) {
+                return 0;
+            }
+        }
+        self.rules.successors_naive(s).len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------
+
+/// A unit of work handed to the pool.
+enum Job {
+    /// Expand a chunk of frontier states (arena id + state).
+    Expand { chunk: usize, items: Vec<(usize, Arc<SystemState>)> },
+    /// Property-check a chunk of freshly stored states.
+    Check { chunk: usize, items: Vec<(usize, Arc<SystemState>)> },
+}
+
+/// A finished unit of work.
+enum JobResult {
+    /// Per input state: its full successor list with fingerprints.
+    Expanded { chunk: usize, out: Vec<ExpandedState> },
+    /// `(state id, property index, violation detail)` triples.
+    Checked { chunk: usize, out: Vec<(usize, usize, String)> },
+}
+
+struct JobQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// State shared between the driver and the persistent workers. Workers
+/// are spawned once per [`ModelChecker::explore`] call inside a
+/// [`std::thread::scope`] and live for the whole search — no per-level
+/// thread spawning, no per-level lock on a merged output vector.
+struct PoolShared<'a> {
+    rules: &'a Ruleset,
+    prune: Option<&'a Prune>,
+    props: &'a [&'a dyn Property],
+    queue: Mutex<JobQueue>,
+    work_cv: Condvar,
+    results: Mutex<Vec<JobResult>>,
+    done_cv: Condvar,
+}
+
+impl<'a> PoolShared<'a> {
+    fn new(rules: &'a Ruleset, prune: Option<&'a Prune>, props: &'a [&'a dyn Property]) -> Self {
+        PoolShared {
+            rules,
+            prune,
+            props,
+            queue: Mutex::new(JobQueue { jobs: VecDeque::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.queue.lock().expect("queue poisoned").shutdown = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Worker body: pull jobs until shutdown, reusing one successor
+    /// scratch buffer across all jobs (the per-worker output buffer of
+    /// the frontier pipeline).
+    fn worker_loop(&self) {
+        let mut scratch: Vec<(RuleId, SystemState)> = Vec::new();
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.work_cv.wait(q).expect("queue poisoned");
+                }
+            };
+            let result = match job {
+                Job::Expand { chunk, items } => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for (id, state) in items {
+                        if self.prune.is_some_and(|prune| prune(&state)) {
+                            out.push((id, Vec::new()));
+                            continue;
+                        }
+                        self.rules.successors_into(&state, &mut scratch);
+                        let succs = scratch
+                            .drain(..)
+                            .map(|(rule, succ)| {
+                                let fp = succ.fingerprint();
+                                (rule, succ, fp)
+                            })
+                            .collect();
+                        out.push((id, succs));
+                    }
+                    JobResult::Expanded { chunk, out }
+                }
+                Job::Check { chunk, items } => {
+                    let mut out = Vec::new();
+                    for (id, state) in items {
+                        for (prop_idx, p) in self.props.iter().enumerate() {
+                            if let crate::property::PropertyOutcome::Violated(detail) =
+                                p.check(&state)
+                            {
+                                out.push((id, prop_idx, detail));
+                            }
+                        }
+                    }
+                    JobResult::Checked { chunk, out }
+                }
+            };
+            self.results.lock().expect("results poisoned").push(result);
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Enqueue `jobs` and block until all have completed.
+    fn submit_and_wait(&self, jobs: Vec<Job>) -> Vec<JobResult> {
+        let n = jobs.len();
+        {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            q.jobs.extend(jobs);
+        }
+        self.work_cv.notify_all();
+        let mut results = self.results.lock().expect("results poisoned");
+        while results.len() < n {
+            results = self.done_cv.wait(results).expect("results poisoned");
+        }
+        std::mem::take(&mut *results)
+    }
+
+    /// Chunk size balancing queue overhead against load balance.
+    fn chunk_size(len: usize) -> usize {
+        (len / 64).clamp(16, 512)
+    }
+
+    /// Expand a frontier across the pool, returning per-state successor
+    /// lists in frontier order (deterministic merge by chunk index).
+    fn expand(&self, frontier: &[usize], states: &[Arc<SystemState>]) -> Vec<ExpandedState> {
+        let chunk_size = Self::chunk_size(frontier.len());
+        let jobs: Vec<Job> = frontier
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(chunk, ids)| Job::Expand {
+                chunk,
+                items: ids.iter().map(|&id| (id, Arc::clone(&states[id]))).collect(),
+            })
+            .collect();
+        let mut results = self.submit_and_wait(jobs);
+        results.sort_by_key(|r| match r {
+            JobResult::Expanded { chunk, .. } | JobResult::Checked { chunk, .. } => *chunk,
+        });
+        results
+            .into_iter()
+            .flat_map(|r| match r {
+                JobResult::Expanded { out, .. } => out,
+                JobResult::Checked { .. } => unreachable!("expand received a check result"),
+            })
+            .collect()
+    }
+
+    /// Property-check freshly stored states across the pool, returning
+    /// `(state id, property index, detail)` triples (unordered; the
+    /// driver sorts by discovery order).
+    fn check(&self, ids: &[usize], states: &[Arc<SystemState>]) -> Vec<(usize, usize, String)> {
+        let chunk_size = Self::chunk_size(ids.len());
+        let jobs: Vec<Job> = ids
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(chunk, ids)| Job::Check {
+                chunk,
+                items: ids.iter().map(|&id| (id, Arc::clone(&states[id]))).collect(),
+            })
+            .collect();
+        self.submit_and_wait(jobs)
+            .into_iter()
+            .flat_map(|r| match r {
+                JobResult::Checked { out, .. } => out,
+                JobResult::Expanded { .. } => unreachable!("check received an expand result"),
+            })
+            .collect()
     }
 }
 
@@ -335,6 +869,7 @@ mod tests {
         assert_eq!(exp.report.states, 1);
         assert_eq!(exp.report.terminal_states, 1);
         assert!(exp.report.clean());
+        assert_eq!(exp.is_terminal(0), Some(true));
     }
 
     #[test]
@@ -346,6 +881,7 @@ mod tests {
         assert!(!exp.report.truncated);
         // Every terminal state is quiescent; the load must complete.
         assert!(exp.report.terminal_states >= 1);
+        assert_eq!(exp.terminal_indices().count(), exp.report.terminal_states);
     }
 
     #[test]
@@ -387,6 +923,30 @@ mod tests {
             .explore(&init, &[]);
         assert_eq!(seq.report.states, par.report.states);
         assert_eq!(seq.report.transitions, par.report.transitions);
+        // Deterministic merge: the discovery order itself matches.
+        assert_eq!(seq.states, par.states);
+        assert_eq!(seq.successor_counts, par.successor_counts);
+    }
+
+    #[test]
+    fn optimized_exploration_matches_naive_reference() {
+        let init = SystemState::initial(programs::stores(0, 2), programs::loads(2));
+        for cfg in [
+            ProtocolConfig::strict(),
+            ProtocolConfig::full(),
+            ProtocolConfig::relaxed(Relaxation::SnoopPushesGo),
+        ] {
+            let mc = checker(cfg);
+            let fast = mc.explore(&init, &[]);
+            let naive = mc.explore_naive(&init, &[]);
+            assert_eq!(fast.report.states, naive.report.states);
+            assert_eq!(fast.report.transitions, naive.report.transitions);
+            assert_eq!(fast.report.depth, naive.report.depth);
+            assert_eq!(fast.report.terminal_states, naive.report.terminal_states);
+            assert_eq!(fast.report.rule_firings, naive.report.rule_firings);
+            assert_eq!(fast.states, naive.states, "discovery order must match");
+            assert_eq!(fast.successor_counts, naive.successor_counts);
+        }
     }
 
     #[test]
@@ -412,6 +972,31 @@ mod tests {
     }
 
     #[test]
+    fn truncated_batches_are_still_property_checked() {
+        // Regression test: states generated in the same BFS batch after
+        // `max_states` is reached used to be silently dropped without a
+        // property check. With a cap of 1, every state beyond the initial
+        // one is over-cap — the violating ISAD state must still be found.
+        let init = SystemState::initial(programs::load(), vec![]);
+        let opts = CheckOptions { max_states: 1, ..CheckOptions::default() };
+        let mc = ModelChecker::with_options(Ruleset::new(ProtocolConfig::strict()), opts);
+        let p = boolean_property("no_isad", |s: &SystemState| {
+            s.dev(cxl_core::DeviceId::D1).cache.state != cxl_core::DState::ISAD
+        });
+        let report = mc.check(&init, &[&p]);
+        assert!(report.truncated);
+        assert_eq!(report.violations.len(), 1, "over-cap state must be checked");
+        // The transient trace still replays.
+        let trace = &report.violations[0].trace;
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let mut cur = trace.initial.clone();
+        for step in &trace.steps {
+            cur = rules.try_fire(step.rule, &cur).expect("transient trace step enabled");
+            assert_eq!(&cur, &step.state);
+        }
+    }
+
+    #[test]
     fn snoop_pushes_go_relaxation_breaks_swmr() {
         // The headline result (paper Table 3 / Figure 5): relaxing
         // Snoop-pushes-GO makes an SWMR violation reachable.
@@ -430,5 +1015,20 @@ mod tests {
         let init = SystemState::initial(programs::store(42), programs::load());
         let report = mc.check(&init, &[&SwmrProperty]);
         assert!(!report.violations.is_empty(), "naive tracking must violate SWMR: {report}");
+    }
+
+    #[test]
+    fn parallel_property_checking_matches_sequential() {
+        let init = SystemState::initial(programs::store(42), programs::load());
+        let cfg = ProtocolConfig::relaxed(Relaxation::SnoopPushesGo);
+        let seq = checker(cfg).explore(&init, &[&SwmrProperty]);
+        let opts = CheckOptions { threads: 4, ..CheckOptions::default() };
+        let par = ModelChecker::with_options(Ruleset::new(cfg), opts)
+            .explore(&init, &[&SwmrProperty]);
+        assert_eq!(seq.report.violations.len(), par.report.violations.len());
+        let (a, b) = (&seq.report.violations[0], &par.report.violations[0]);
+        assert_eq!(a.property, b.property);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.trace.last_state(), b.trace.last_state());
     }
 }

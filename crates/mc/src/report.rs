@@ -110,9 +110,12 @@ pub struct Report {
     pub deadlocks: Vec<Deadlock>,
     /// Terminal states total (quiescent + deadlocked).
     pub terminal_states: usize,
-    /// How often each rule fired, by rule name (a coverage measure for the
-    /// rule set).
-    pub rule_firings: BTreeMap<String, u64>,
+    /// How often each rule fired (a coverage measure for the rule set).
+    ///
+    /// Keyed by [`RuleId`] — a two-word `Copy` key — so the exploration
+    /// hot loop never allocates a `String` per transition; render names
+    /// only at report time via [`Report::rule_firings_by_name`].
+    pub rule_firings: BTreeMap<RuleId, u64>,
     /// Wall-clock exploration time.
     pub elapsed: Duration,
 }
@@ -125,15 +128,22 @@ impl Report {
         self.violations.is_empty() && self.deadlocks.is_empty()
     }
 
-    /// Rules that never fired (given the full rule-name universe); useful
-    /// for coverage audits.
+    /// Rules that never fired (given the full rule universe); useful for
+    /// coverage audits.
     #[must_use]
     pub fn unfired_rules(&self, all_rules: &[RuleId]) -> Vec<String> {
         all_rules
             .iter()
+            .filter(|r| !self.rule_firings.contains_key(r))
             .map(|r| r.name())
-            .filter(|n| !self.rule_firings.contains_key(n))
             .collect()
+    }
+
+    /// Rule firings rendered under paper-style rule names — the
+    /// report-time view of [`Self::rule_firings`].
+    #[must_use]
+    pub fn rule_firings_by_name(&self) -> BTreeMap<String, u64> {
+        self.rule_firings.iter().map(|(id, n)| (id.name(), *n)).collect()
     }
 }
 
@@ -194,7 +204,8 @@ mod tests {
             RuleId::new(Shape::InvalidLoad, DeviceId::D1),
             RuleId::new(Shape::InvalidLoad, DeviceId::D2),
         ];
-        r.rule_firings.insert("InvalidLoad1".into(), 3);
+        r.rule_firings.insert(RuleId::new(Shape::InvalidLoad, DeviceId::D1), 3);
         assert_eq!(r.unfired_rules(&all), vec!["InvalidLoad2"]);
+        assert_eq!(r.rule_firings_by_name()["InvalidLoad1"], 3);
     }
 }

@@ -11,7 +11,7 @@ use cxl_mc::{InvariantProperty, ModelChecker, SwmrProperty};
 
 fn program_grid() -> Vec<Program> {
     use Instruction::*;
-    vec![
+    [
         vec![],
         vec![Load],
         vec![Store(7)],
@@ -25,6 +25,9 @@ fn program_grid() -> Vec<Program> {
         vec![Store(12), Load],
         vec![Load, Store(13), Evict],
     ]
+    .into_iter()
+    .map(Program::from)
+    .collect()
 }
 
 fn sweep(cfg: ProtocolConfig) -> (usize, usize) {

@@ -15,9 +15,8 @@
 
 use crate::universe::Universe;
 use cxl_core::{Invariant, RuleId, Ruleset, SystemState};
-use parking_lot::Mutex;
 use serde::Serialize;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The verdict for one matrix cell.
@@ -192,7 +191,6 @@ impl ObligationMatrix {
         }
 
         let work = Mutex::new((0..rule_ids.len()).collect::<Vec<_>>());
-        let outcomes: Mutex<Vec<ColumnOutcome>> = Mutex::new(Vec::new());
 
         let column_worker = |rule_pos: usize| -> ColumnOutcome {
             let col_start = Instant::now();
@@ -219,31 +217,29 @@ impl ObligationMatrix {
         };
 
         let threads = threads.max(1);
-        if threads == 1 {
-            let mut all = Vec::new();
-            for rule_pos in 0..rule_ids.len() {
-                all.push(column_worker(rule_pos));
-            }
-            outcomes.lock().extend(all);
+        let mut outcomes: Vec<ColumnOutcome> = if threads == 1 {
+            (0..rule_ids.len()).map(column_worker).collect()
         } else {
-            crossbeam::thread::scope(|scope| {
+            // Scoped std threads pulling columns from a shared work list
+            // into per-worker output buffers, merged afterwards.
+            let collected = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| loop {
-                        let next = work.lock().pop();
-                        match next {
-                            Some(rule_pos) => {
-                                let out = column_worker(rule_pos);
-                                outcomes.lock().push(out);
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let next = work.lock().expect("work list poisoned").pop();
+                            match next {
+                                Some(rule_pos) => local.push(column_worker(rule_pos)),
+                                None => break,
                             }
-                            None => break,
                         }
+                        collected.lock().expect("outcomes poisoned").append(&mut local);
                     });
                 }
-            })
-            .expect("matrix worker panicked");
-        }
-
-        let mut outcomes = outcomes.into_inner();
+            });
+            collected.into_inner().expect("outcomes poisoned")
+        };
         outcomes.sort_by_key(|o| o.rule_pos);
 
         let mut cells = Vec::with_capacity(n * rule_ids.len());

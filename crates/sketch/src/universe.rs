@@ -17,7 +17,7 @@
 use cxl_core::instr::Instruction;
 use cxl_core::{
     Channel, D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DState, DataMsg, DeviceId,
-    H2DReq, H2DReqType, H2DRsp, H2DRspType, HState, Invariant, Ruleset, SystemState,
+    FpIndex, H2DReq, H2DReqType, H2DRsp, H2DRspType, HState, Invariant, Ruleset, SystemState,
 };
 use cxl_mc::ModelChecker;
 use rand::rngs::StdRng;
@@ -49,41 +49,66 @@ pub struct Universe {
     pub reachable: usize,
     /// How many were randomly synthesised.
     pub random: usize,
+    /// Fingerprint index over `states`, carried so extensions
+    /// ([`Universe::with_random`]) never re-hash what is already
+    /// deduplicated.
+    index: FpIndex,
 }
 
 impl Universe {
     /// Build the exact reachable universe for `rules` over a program grid.
+    ///
+    /// Cross-scenario dedup uses the same fingerprint index as the model
+    /// checker ([`cxl_core::FpIndex`]): each state is hashed once, and a
+    /// dedup probe is a u64 lookup instead of a full-state re-hash.
     #[must_use]
     pub fn reachable(rules: &Ruleset, grid: &[(Vec<Instruction>, Vec<Instruction>)]) -> Self {
-        let mc = ModelChecker::new(rules.clone());
-        let mut states = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        Self::reachable_with_options(rules, grid, cxl_mc::CheckOptions::default())
+    }
+
+    /// [`Self::reachable`] under explicit exploration options — e.g. a
+    /// thread count, which hands each scenario's expansion to the model
+    /// checker's persistent worker pool.
+    #[must_use]
+    pub fn reachable_with_options(
+        rules: &Ruleset,
+        grid: &[(Vec<Instruction>, Vec<Instruction>)],
+        opts: cxl_mc::CheckOptions,
+    ) -> Self {
+        let mc = ModelChecker::with_options(rules.clone(), opts);
+        let mut states: Vec<Arc<SystemState>> = Vec::new();
+        let mut index = FpIndex::new();
         for (p1, p2) in grid {
             let init = SystemState::initial(p1.clone(), p2.clone());
             for st in mc.reachable(&init) {
-                if seen.insert(Arc::clone(&st)) {
+                let fp = st.fingerprint();
+                let candidate = u32::try_from(states.len()).expect("universe fits u32");
+                if index.insert(fp, candidate, |id| *states[id as usize] == *st).is_none() {
                     states.push(st);
                 }
             }
         }
         let reachable = states.len();
-        Universe { states, reachable, random: 0 }
+        Universe { states, reachable, random: 0, index }
     }
 
     /// Extend the universe with `n` randomly synthesised states (seeded,
-    /// so runs are reproducible).
+    /// so runs are reproducible). Dedup continues on the fingerprint
+    /// index built during [`Universe::reachable`] — no state is hashed
+    /// twice.
     #[must_use]
     pub fn with_random(mut self, n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut seen: std::collections::HashSet<Arc<SystemState>> =
-            self.states.iter().cloned().collect();
         let mut added = 0;
         // Bound attempts so a pathological configuration cannot loop.
         let mut attempts = 0usize;
         while added < n && attempts < n * 20 {
             attempts += 1;
             let st = Arc::new(random_state(&mut rng));
-            if seen.insert(Arc::clone(&st)) {
+            let fp = st.fingerprint();
+            let candidate = u32::try_from(self.states.len()).expect("universe fits u32");
+            let states = &self.states;
+            if self.index.insert(fp, candidate, |id| *states[id as usize] == *st).is_none() {
                 self.states.push(st);
                 added += 1;
             }
@@ -249,7 +274,7 @@ fn wild_state(rng: &mut StdRng) -> SystemState {
         // Bias the program head towards the instruction the transient
         // state needs (the program-agreement conjuncts are otherwise
         // near-impossible to satisfy by chance).
-        let mut prog = prog;
+        let mut prog: cxl_core::Program = prog.into();
         let needed = match dstate {
             DState::ISAD | DState::ISD | DState::ISA | DState::ISDI => Some(Instruction::Load),
             DState::IMAD | DState::IMD | DState::IMA | DState::SMAD | DState::SMD

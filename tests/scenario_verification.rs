@@ -135,7 +135,7 @@ fn every_non_relaxed_rule_fires_somewhere() {
     ];
     for init in &scenarios {
         let report = mc.check(init, &[]);
-        fired.extend(report.rule_firings.keys().cloned());
+        fired.extend(report.rule_firings.keys().map(|id| id.name()));
     }
     let rules = Ruleset::new(cfg);
     let unfired: Vec<String> = rules

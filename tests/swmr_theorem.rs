@@ -8,7 +8,7 @@ use cxl_repro::core::instr::{programs, Instruction};
 use cxl_repro::core::{Invariant, ProtocolConfig, Ruleset, SystemState};
 use cxl_repro::mc::{InvariantProperty, ModelChecker, SwmrProperty};
 
-fn verify(cfg: ProtocolConfig, p1: Vec<Instruction>, p2: Vec<Instruction>) -> usize {
+fn verify(cfg: ProtocolConfig, p1: impl Into<cxl_repro::core::Program>, p2: impl Into<cxl_repro::core::Program>) -> usize {
     let inv = InvariantProperty::new(Invariant::for_config(&cfg));
     let mc = ModelChecker::new(Ruleset::new(cfg));
     let init = SystemState::initial(p1, p2);
