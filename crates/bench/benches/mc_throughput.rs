@@ -1,9 +1,11 @@
 //! Model-checker throughput bench: states explored per second on the
 //! `stores(0,3)` × `loads(3)` workload — the headline figure of the
 //! exploration-pipeline rewrite (fingerprinted dedup, zero-alloc
-//! successor generation, no terminal rescan, persistent worker pool).
+//! successor generation, no terminal rescan, persistent worker pool) —
+//! plus a three-device row tracking what the N-device generalisation
+//! costs and how state spaces grow with topology width.
 //!
-//! Three pipelines are measured:
+//! Pipelines measured on the two-device workload:
 //! - `naive` — the retained pre-optimisation reference
 //!   ([`cxl_mc::ModelChecker::explore_naive`]): SipHash dedup keyed by
 //!   whole states, per-call successor allocation, and a full
@@ -11,10 +13,14 @@
 //! - `optimized` — the rewritten single-threaded pipeline;
 //! - `optimized_par` — the same pipeline over the persistent worker pool.
 //!
+//! The three-device row (`optimized_n3`) explores `stores(0,2)` ×
+//! `loads(2)` × `loads(1)` over a 3-device rule set with the sequential
+//! optimized pipeline.
+//!
 //! Besides the Criterion timings, the bench writes a durable
 //! `bench_results/mc_throughput.json` snapshot (best-of-N states/sec per
-//! pipeline plus speedups vs `naive`) so the throughput trajectory can be
-//! tracked across PRs.
+//! pipeline, thread counts, per-thread throughput, and speedups vs
+//! `naive`) so the throughput trajectory can be tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cxl_bench::{BenchSnapshot, ThroughputRow};
@@ -25,9 +31,17 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 const WORKLOAD: &str = "stores(0,3) x loads(3)";
+const WORKLOAD_N3: &str = "stores(0,2) x loads(2) x loads(1)";
 
 fn workload() -> SystemState {
     SystemState::initial(programs::stores(0, 3), programs::loads(3))
+}
+
+fn workload_n3() -> SystemState {
+    SystemState::initial_n(
+        3,
+        vec![programs::stores(0, 2), programs::loads(2), programs::loads(1)],
+    )
 }
 
 fn par_threads() -> usize {
@@ -46,26 +60,40 @@ fn best_of<F: FnMut() -> (usize, usize)>(iters: u32, mut f: F) -> (usize, usize,
     (dims.0, dims.1, best)
 }
 
-fn snapshot_row(pipeline: &str, states: usize, transitions: usize, best: Duration) -> ThroughputRow {
+fn snapshot_row(
+    pipeline: &str,
+    workload: &str,
+    devices: usize,
+    threads: usize,
+    states: usize,
+    transitions: usize,
+    best: Duration,
+) -> ThroughputRow {
     let secs = best.as_secs_f64();
+    let states_per_sec = if secs > 0.0 { states as f64 / secs } else { 0.0 };
     ThroughputRow {
         pipeline: pipeline.to_string(),
-        workload: WORKLOAD.to_string(),
+        workload: workload.to_string(),
+        devices,
+        threads,
         states,
         transitions,
         elapsed_secs: secs,
-        states_per_sec: if secs > 0.0 { states as f64 / secs } else { 0.0 },
+        states_per_sec,
+        states_per_sec_per_thread: states_per_sec / threads.max(1) as f64,
     }
 }
 
 fn bench(c: &mut Criterion) {
     let init = workload();
+    let init3 = workload_n3();
     let naive = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
     let opt = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
     let par = ModelChecker::with_options(
         Ruleset::new(ProtocolConfig::strict()),
         CheckOptions { threads: par_threads(), ..CheckOptions::default() },
     );
+    let opt3 = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 3));
 
     // Pre-measure the space so Criterion throughput is per-state.
     let states = opt.check(&init, &[]).states as u64;
@@ -81,6 +109,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_with_input(BenchmarkId::new("optimized_par", WORKLOAD), &init, |b, init| {
         b.iter(|| black_box(par.check(init, &[])));
+    });
+    g.bench_with_input(BenchmarkId::new("optimized_n3", WORKLOAD_N3), &init3, |b, init| {
+        b.iter(|| black_box(opt3.check(init, &[])));
     });
     g.finish();
 
@@ -99,20 +130,35 @@ fn bench(c: &mut Criterion) {
         let r = par.check(&init, &[]);
         (r.states, r.transitions)
     });
+    let (t_states, t_trans, t_best) = best_of(iters, || {
+        let r = opt3.check(&init3, &[]);
+        (r.states, r.transitions)
+    });
     assert_eq!((n_states, n_trans), (o_states, o_trans), "pipelines must agree");
     assert_eq!((n_states, n_trans), (p_states, p_trans), "pipelines must agree");
+    assert!(t_states > n_states, "the 3-device space must dwarf the 2-device one");
 
     let snapshot = BenchSnapshot::new(
         "mc_throughput",
         format!(
             "best of {iters} runs; optimized_par uses {} worker threads; \
-             release profile; clean exhaustive run (no violations)",
+             release profile; clean exhaustive runs (no violations); \
+             optimized_n3 explores a 3-device topology sequentially",
             par_threads()
         ),
         vec![
-            snapshot_row("naive", n_states, n_trans, n_best),
-            snapshot_row("optimized", o_states, o_trans, o_best),
-            snapshot_row("optimized_par", p_states, p_trans, p_best),
+            snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best),
+            snapshot_row("optimized", WORKLOAD, 2, 1, o_states, o_trans, o_best),
+            snapshot_row(
+                "optimized_par",
+                WORKLOAD,
+                2,
+                par_threads(),
+                p_states,
+                p_trans,
+                p_best,
+            ),
+            snapshot_row("optimized_n3", WORKLOAD_N3, 3, 1, t_states, t_trans, t_best),
         ],
     );
     match snapshot.write() {

@@ -19,6 +19,10 @@ pub struct ThroughputRow {
     pub pipeline: String,
     /// Workload label (e.g. `stores(0,3) x loads(3)`).
     pub workload: String,
+    /// Devices in the explored topology.
+    pub devices: usize,
+    /// Worker threads the pipeline ran with (1 = sequential).
+    pub threads: usize,
     /// Distinct states explored.
     pub states: usize,
     /// Transitions examined.
@@ -27,6 +31,9 @@ pub struct ThroughputRow {
     pub elapsed_secs: f64,
     /// States discovered per second (states / elapsed).
     pub states_per_sec: f64,
+    /// States per second divided by the thread count — the parallel
+    /// efficiency figure the ROADMAP tracks.
+    pub states_per_sec_per_thread: f64,
 }
 
 /// A named collection of measurements plus derived ratios.
@@ -39,22 +46,25 @@ pub struct BenchSnapshot {
     /// The measurements.
     pub rows: Vec<ThroughputRow>,
     /// `states_per_sec` ratios relative to the first (baseline) row,
-    /// keyed by pipeline name.
+    /// keyed by pipeline name. Only rows measuring the **same workload
+    /// and topology** as the baseline appear — a ratio across different
+    /// state spaces would be meaningless.
     pub speedup_vs_baseline: Vec<(String, f64)>,
 }
 
 impl BenchSnapshot {
-    /// Assemble a snapshot, deriving speedups against `rows[0]`.
+    /// Assemble a snapshot, deriving speedups against `rows[0]` for the
+    /// rows that share its workload and device count.
     #[must_use]
     pub fn new(name: impl Into<String>, note: impl Into<String>, rows: Vec<ThroughputRow>) -> Self {
-        let baseline = rows.first().map_or(0.0, |r| r.states_per_sec);
-        let speedup_vs_baseline = rows
-            .iter()
-            .map(|r| {
-                let ratio = if baseline > 0.0 { r.states_per_sec / baseline } else { 0.0 };
-                (r.pipeline.clone(), ratio)
-            })
-            .collect();
+        let speedup_vs_baseline = match rows.first() {
+            Some(base) if base.states_per_sec > 0.0 => rows
+                .iter()
+                .filter(|r| r.workload == base.workload && r.devices == base.devices)
+                .map(|r| (r.pipeline.clone(), r.states_per_sec / base.states_per_sec))
+                .collect(),
+            _ => Vec::new(),
+        };
         BenchSnapshot { name: name.into(), note: note.into(), rows, speedup_vs_baseline }
     }
 
@@ -96,18 +106,24 @@ mod tests {
                 ThroughputRow {
                     pipeline: "naive".into(),
                     workload: "w".into(),
+                    devices: 2,
+                    threads: 1,
                     states: 10,
                     transitions: 20,
                     elapsed_secs: 2.0,
                     states_per_sec: 5.0,
+                    states_per_sec_per_thread: 5.0,
                 },
                 ThroughputRow {
                     pipeline: "optimized".into(),
                     workload: "w".into(),
+                    devices: 2,
+                    threads: 4,
                     states: 10,
                     transitions: 20,
                     elapsed_secs: 0.5,
                     states_per_sec: 20.0,
+                    states_per_sec_per_thread: 5.0,
                 },
             ],
         );

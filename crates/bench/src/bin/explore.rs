@@ -1,18 +1,29 @@
 //! `explore` — an ad-hoc scenario explorer for the CXL.cache model.
 //!
 //! Give each device a program (compact syntax: `L` load, `S<val>` store,
-//! `E` evict, comma-separated), pick a configuration, and the tool
-//! exhaustively explores every interleaving, reporting coherence,
-//! deadlocks, state-space size, and (on request) a sample trace table.
+//! `E` evict, comma-separated), pick a configuration and a device count,
+//! and the tool exhaustively explores every interleaving, reporting
+//! coherence, deadlocks, state-space size, and (on request) a sample trace
+//! table.
 //!
 //! ```text
 //! cargo run -p cxl-bench --bin explore -- --p1 S42,E --p2 L,L \
+//!     [--devices N] [--p3 … --p8 …] \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
-//!     [--full] [--trace] [--threads N] [--firings]
+//!     [--full] [--trace] [--threads N] [--firings] [--expect-clean]
 //! ```
+//!
+//! `--expect-clean` exits non-zero when the exploration finds a violation,
+//! a deadlock, or truncates — the CI smoke-check mode.
+//!
+//! `--devices` defaults to 2, or to the highest `--p<i>` given; devices
+//! without a program idle (an idle third device is exactly the paper's
+//! scenarios embedded in a wider topology).
 
 use cxl_core::instr::Instruction;
-use cxl_core::{Invariant, ProtocolConfig, Relaxation, Ruleset, SystemState};
+use cxl_core::{
+    DeviceId, Invariant, ProtocolConfig, Relaxation, Ruleset, SystemState, Topology,
+};
 use cxl_litmus::render::{Column, TransitionTable};
 use cxl_mc::{InvariantProperty, ModelChecker, SwmrProperty};
 
@@ -56,8 +67,31 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let run = || -> Result<(), String> {
-        let p1 = parse_program(&arg_value(&args, "--p1").unwrap_or_default())?;
-        let p2 = parse_program(&arg_value(&args, "--p2").unwrap_or_default())?;
+        // One program per device: --p1 … --p8.
+        let mut programs: Vec<Vec<Instruction>> = Vec::new();
+        let mut highest_prog = 0usize;
+        for i in 1..=Topology::MAX_DEVICES {
+            let prog = parse_program(&arg_value(&args, &format!("--p{i}")).unwrap_or_default())?;
+            if !prog.is_empty() {
+                highest_prog = i;
+            }
+            programs.push(prog);
+        }
+        let devices = arg_value(&args, "--devices")
+            .map(|v| v.parse::<usize>().map_err(|e| format!("bad --devices: {e}")))
+            .transpose()?
+            .unwrap_or_else(|| highest_prog.max(2));
+        if !(2..=Topology::MAX_DEVICES).contains(&devices) {
+            return Err(format!(
+                "--devices {devices} outside supported range 2..={}",
+                Topology::MAX_DEVICES
+            ));
+        }
+        if highest_prog > devices {
+            return Err(format!("--p{highest_prog} given but only {devices} devices"));
+        }
+        programs.truncate(devices);
+
         let mut cfg = if args.iter().any(|a| a == "--full") {
             ProtocolConfig::full()
         } else {
@@ -74,12 +108,16 @@ fn main() {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             });
 
-        let init = SystemState::initial(p1, p2);
-        println!("configuration: {cfg:?}\ninitial state:\n{init}");
+        let init =
+            SystemState::initial_n(devices, programs.into_iter().map(Into::into).collect());
+        println!(
+            "topology: {} (1 host, single location)\nconfiguration: {cfg:?}\ninitial state:\n{init}",
+            Topology::new(devices)
+        );
 
-        let invariant = InvariantProperty::new(Invariant::for_config(&cfg));
+        let invariant = InvariantProperty::new(Invariant::for_devices(&cfg, devices));
         let opts = cxl_mc::CheckOptions { threads, ..cxl_mc::CheckOptions::default() };
-        let mc = ModelChecker::with_options(Ruleset::new(cfg), opts);
+        let mc = ModelChecker::with_options(Ruleset::with_devices(cfg, devices), opts);
         let report = mc.check(&init, &[&SwmrProperty, &invariant]);
         println!("{report}");
         let secs = report.elapsed.as_secs_f64();
@@ -96,17 +134,35 @@ fn main() {
             }
         }
 
+        // Compact per-device column sets for trace tables.
+        let cache_columns = |n: usize| -> Vec<Column> {
+            let mut cols: Vec<Column> = vec![Column::DCache(DeviceId::new(0)), Column::HCache];
+            cols.extend((1..n).map(|i| Column::DCache(DeviceId::new(i))));
+            cols.push(Column::Counter);
+            cols
+        };
+        // Mirrored paper-style layout: programs outermost, caches inner,
+        // host in the middle — [DProg1, DCache1, HCache, DCache2, DProg2,
+        // DCache3, DProg3, …].
+        let prog_cache_columns = |n: usize| -> Vec<Column> {
+            let mut cols = vec![
+                Column::DProg(DeviceId::new(0)),
+                Column::DCache(DeviceId::new(0)),
+                Column::HCache,
+            ];
+            for i in 1..n {
+                cols.push(Column::DCache(DeviceId::new(i)));
+                cols.push(Column::DProg(DeviceId::new(i)));
+            }
+            cols
+        };
+
         if let Some(v) = report.violations.first() {
             println!("--- counterexample ---");
             let table = TransitionTable::from_trace(
                 format!("violation of {}: {}", v.property, v.detail),
                 &v.trace,
-                &[
-                    Column::DCache(cxl_core::DeviceId::D1),
-                    Column::HCache,
-                    Column::DCache(cxl_core::DeviceId::D2),
-                    Column::Counter,
-                ],
+                &cache_columns(devices),
             );
             println!("{table}");
         } else if let Some(d) = report.deadlocks.first() {
@@ -122,15 +178,18 @@ fn main() {
             let table = TransitionTable::from_trace(
                 "sample execution (first-enabled-rule schedule)",
                 &trace,
-                &[
-                    Column::DProg(cxl_core::DeviceId::D1),
-                    Column::DCache(cxl_core::DeviceId::D1),
-                    Column::HCache,
-                    Column::DCache(cxl_core::DeviceId::D2),
-                    Column::DProg(cxl_core::DeviceId::D2),
-                ],
+                &prog_cache_columns(devices),
             );
             println!("{table}");
+        }
+        if args.iter().any(|a| a == "--expect-clean") && (!report.clean() || report.truncated) {
+            return Err(format!(
+                "--expect-clean: exploration was not clean ({} violations, {} deadlocks, \
+                 truncated: {})",
+                report.violations.len(),
+                report.deadlocks.len(),
+                report.truncated
+            ));
         }
         Ok(())
     };

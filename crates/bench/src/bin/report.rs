@@ -26,6 +26,11 @@ fn banner(a: &Artifact) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    println!(
+        "topology: {} (the paper's fixed pair; run the `explore` bin with --devices N \
+         for wider sweeps)",
+        cxl_core::Topology::pair()
+    );
     let json_path = args
         .iter()
         .position(|a| a == "--json")

@@ -34,11 +34,21 @@ pub struct StateBuilder {
 }
 
 impl StateBuilder {
-    /// Start from the all-invalid initial state (devices `(-1, I)`, host
-    /// `(0, I)`, counter 0 — paper Table 3's starting point).
+    /// Start from the paper's two-device all-invalid initial state
+    /// (devices `(-1, I)`, host `(0, I)`, counter 0 — paper Table 3's
+    /// starting point).
     #[must_use]
     pub fn new() -> Self {
         StateBuilder { state: SystemState::initial(Vec::new(), Vec::new()) }
+    }
+
+    /// Start from the all-invalid initial state of an `n`-device system.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside the supported device-count range.
+    #[must_use]
+    pub fn with_devices(n: usize) -> Self {
+        StateBuilder { state: SystemState::initial_n(n, Vec::new()) }
     }
 
     /// Set a device's program.
@@ -79,7 +89,7 @@ impl StateBuilder {
     #[must_use]
     pub fn build(self) -> SystemState {
         let s = self.state;
-        for d in DeviceId::ALL {
+        for d in s.device_ids() {
             assert!(
                 s.dev(d).cache.state.is_stable(),
                 "litmus initial states use stable device states, got {} for device {d}",
@@ -87,10 +97,8 @@ impl StateBuilder {
             );
         }
         assert!(s.host.state.is_stable(), "litmus initial states use a stable host state");
-        let any_m =
-            DeviceId::ALL.iter().any(|&d| s.dev(d).cache.state == DState::M);
-        let any_s =
-            DeviceId::ALL.iter().any(|&d| s.dev(d).cache.state == DState::S);
+        let any_m = s.device_ids().any(|d| s.dev(d).cache.state == DState::M);
+        let any_s = s.device_ids().any(|d| s.dev(d).cache.state == DState::S);
         match s.host.state {
             HState::I => assert!(
                 !any_m && !any_s,

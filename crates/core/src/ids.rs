@@ -1,11 +1,13 @@
 //! Fundamental identifier and scalar types of the CXL.cache model.
 //!
 //! The paper models a two-device system (§3.1): "In an effort to keep the
-//! proof tractable, we have fixed the number of devices to two." We mirror
-//! that with a closed [`DeviceId`] enum, which lets the rest of the model
-//! use fixed-size arrays and keeps state hashing cheap.
+//! proof tractable, we have fixed the number of devices to two." This
+//! reproduction generalises that choice: [`DeviceId`] is an open *index*
+//! into a runtime-sized device set described by a [`Topology`], so the same
+//! rule shapes, invariant conjuncts, and checker pipelines instantiate for
+//! any `2 ≤ N ≤ 8` devices. The paper's system is simply `Topology::pair()`.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// A cached value. The paper leaves `Val` abstract; its tables use small
@@ -19,41 +21,42 @@ pub type Val = i64;
 /// purpose (§3.1), which we reproduce as [`crate::state::SystemState::counter`].
 pub type Tid = u64;
 
-/// One of the two devices of the modelled system.
+/// One device of the modelled system: a zero-based index into the device
+/// set of a [`Topology`].
 ///
 /// Rules and invariant conjuncts are *shapes* instantiated once per device
-/// (the paper's 68 rules are 34 shapes × 2 devices).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub enum DeviceId {
-    /// Device 1 in the paper's figures and tables.
-    D1,
-    /// Device 2 in the paper's figures and tables.
-    D2,
-}
+/// (the paper's 68 rules are 34 shapes × 2 devices; an N-device system
+/// instantiates each shape N times). The old closed two-variant enum is
+/// gone — code that needs "the other device" now iterates over a state's
+/// peers instead of calling a hardwired involution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(u8);
 
 impl DeviceId {
-    /// Both devices, in paper order.
-    pub const ALL: [DeviceId; 2] = [DeviceId::D1, DeviceId::D2];
+    /// Device 1 in the paper's figures and tables (index 0).
+    pub const D1: DeviceId = DeviceId(0);
+    /// Device 2 in the paper's figures and tables (index 1).
+    pub const D2: DeviceId = DeviceId(1);
 
-    /// The other device of the pair.
+    /// The device with the given zero-based index.
     ///
-    /// Host rules frequently need "the requester" and "the other device"
-    /// (e.g. the device that must be snooped).
+    /// # Panics
+    /// Panics if `index` exceeds [`Topology::MAX_DEVICES`].
     #[must_use]
-    pub fn other(self) -> DeviceId {
-        match self {
-            DeviceId::D1 => DeviceId::D2,
-            DeviceId::D2 => DeviceId::D1,
-        }
+    pub fn new(index: usize) -> DeviceId {
+        assert!(
+            index < Topology::MAX_DEVICES,
+            "device index {index} out of range (max {})",
+            Topology::MAX_DEVICES
+        );
+        DeviceId(u8::try_from(index).expect("bounded above"))
     }
 
     /// Zero-based index for array storage.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
-        match self {
-            DeviceId::D1 => 0,
-            DeviceId::D2 => 1,
-        }
+        self.0 as usize
     }
 
     /// One-based number as used in the paper's rule names
@@ -70,29 +73,205 @@ impl fmt::Display for DeviceId {
     }
 }
 
+impl Serialize for DeviceId {
+    fn to_value(&self) -> Value {
+        Value::UInt(u64::from(self.0))
+    }
+}
+
+impl Deserialize for DeviceId {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let idx = usize::from_value(v)?;
+        if idx >= Topology::MAX_DEVICES {
+            return Err(serde::DeError(format!("device index {idx} out of range")));
+        }
+        Ok(DeviceId::new(idx))
+    }
+}
+
+/// The device set of a modelled system: `N` devices attached to one host,
+/// all caching a single location.
+///
+/// The topology is the value threaded through every layer that must
+/// quantify over devices — the [`crate::Ruleset`] instantiates its rule
+/// shapes once per device, the invariant builders emit per-device and
+/// per-ordered-pair conjuncts, and the scenario/bench layers accept a
+/// device count through their builders. `N` is bounded by
+/// [`Topology::MAX_DEVICES`] so per-state scratch buffers stay
+/// stack-allocated.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::Topology;
+/// let t = Topology::new(3);
+/// assert_eq!(t.device_count(), 3);
+/// let ids: Vec<usize> = t.devices().map(|d| d.index()).collect();
+/// assert_eq!(ids, vec![0, 1, 2]);
+/// let peers: Vec<usize> = t.peers(t.device(1)).map(|d| d.index()).collect();
+/// assert_eq!(peers, vec![0, 2]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct Topology {
+    devices: u8,
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let n = usize::from_value(serde::de_field(v, "devices")?)?;
+        if !(2..=Topology::MAX_DEVICES).contains(&n) {
+            return Err(serde::DeError(format!(
+                "device count {n} outside supported range 2..={}",
+                Topology::MAX_DEVICES
+            )));
+        }
+        Ok(Topology::new(n))
+    }
+}
+
+impl Topology {
+    /// Upper bound on the device count, chosen so that successor-generation
+    /// candidate buffers (≈ 19 rule instances per device) fit a fixed
+    /// stack array.
+    pub const MAX_DEVICES: usize = 8;
+
+    /// A topology of `devices` devices.
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ devices ≤ MAX_DEVICES` (a coherence protocol
+    /// with fewer than two caching agents has nothing to arbitrate).
+    #[must_use]
+    pub fn new(devices: usize) -> Self {
+        assert!(
+            (2..=Self::MAX_DEVICES).contains(&devices),
+            "device count {devices} outside supported range 2..={}",
+            Self::MAX_DEVICES
+        );
+        Topology { devices: u8::try_from(devices).expect("bounded above") }
+    }
+
+    /// The paper's fixed two-device system.
+    #[must_use]
+    pub fn pair() -> Self {
+        Topology::new(2)
+    }
+
+    /// Number of devices.
+    #[must_use]
+    #[inline]
+    pub fn device_count(self) -> usize {
+        self.devices as usize
+    }
+
+    /// The device with the given index, checked against this topology.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn device(self, index: usize) -> DeviceId {
+        assert!(index < self.device_count(), "device index {index} out of topology (N={self})");
+        DeviceId::new(index)
+    }
+
+    /// All devices, in index order.
+    pub fn devices(self) -> impl Iterator<Item = DeviceId> {
+        (0..self.device_count()).map(DeviceId::new)
+    }
+
+    /// All devices except `d`, in index order — the quantification domain
+    /// of every host guard that used to say "the other device".
+    pub fn peers(self, d: DeviceId) -> impl Iterator<Item = DeviceId> {
+        self.devices().filter(move |&p| p != d)
+    }
+
+    /// All ordered device pairs `(i, j)` with `i ≠ j`, in `(i, peers-of-i)`
+    /// order — for two devices exactly the paper's (1,2), (2,1). The
+    /// instantiation domain of the pairwise invariant families.
+    pub fn ordered_pairs(self) -> impl Iterator<Item = (DeviceId, DeviceId)> {
+        self.devices().flat_map(move |i| self.peers(i).map(move |j| (i, j)))
+    }
+
+    /// Does the topology contain `d`?
+    #[must_use]
+    pub fn contains(self, d: DeviceId) -> bool {
+        d.index() < self.device_count()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::pair()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} devices", self.devices)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn other_is_involutive() {
-        for d in DeviceId::ALL {
-            assert_eq!(d.other().other(), d);
-            assert_ne!(d.other(), d);
-        }
-    }
-
-    #[test]
-    fn indices_are_distinct_and_dense() {
+    fn paper_aliases_map_to_indices() {
         assert_eq!(DeviceId::D1.index(), 0);
         assert_eq!(DeviceId::D2.index(), 1);
         assert_eq!(DeviceId::D1.number(), 1);
         assert_eq!(DeviceId::D2.number(), 2);
+        assert_eq!(DeviceId::new(2).number(), 3);
     }
 
     #[test]
     fn display_matches_paper_rule_suffix() {
         assert_eq!(DeviceId::D1.to_string(), "1");
         assert_eq!(DeviceId::D2.to_string(), "2");
+        assert_eq!(DeviceId::new(3).to_string(), "4");
+    }
+
+    #[test]
+    fn topology_enumerates_devices_and_peers() {
+        let t = Topology::new(4);
+        assert_eq!(t.devices().count(), 4);
+        let peers: Vec<_> = t.peers(DeviceId::new(2)).map(DeviceId::index).collect();
+        assert_eq!(peers, vec![0, 1, 3]);
+        assert!(t.contains(DeviceId::new(3)));
+        assert!(!t.contains(DeviceId::new(4)));
+    }
+
+    #[test]
+    fn pair_topology_matches_the_paper() {
+        let t = Topology::pair();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.peers(DeviceId::D1).collect::<Vec<_>>(), vec![DeviceId::D2]);
+        assert_eq!(t.peers(DeviceId::D2).collect::<Vec<_>>(), vec![DeviceId::D1]);
+        assert_eq!(Topology::default(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn topology_rejects_single_device() {
+        let _ = Topology::new(1);
+    }
+
+    #[test]
+    fn device_id_serde_roundtrip() {
+        let d = DeviceId::new(3);
+        let v = d.to_value();
+        assert_eq!(DeviceId::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn topology_serde_validates_the_range() {
+        let t = Topology::new(5);
+        assert_eq!(Topology::from_value(&t.to_value()).unwrap(), t);
+        for bad in [0u64, 1, 9, 200] {
+            let v = Value::Map(vec![("devices".to_string(), Value::UInt(bad))]);
+            assert!(
+                Topology::from_value(&v).is_err(),
+                "device count {bad} must be rejected at the serde boundary"
+            );
+        }
     }
 }

@@ -4,7 +4,7 @@
 use super::{Conjunct, Family, Predicate};
 use crate::cacheline::{DState, HState};
 use crate::config::ProtocolConfig;
-use crate::ids::DeviceId;
+use crate::ids::{DeviceId, Topology};
 use crate::instr::Instruction;
 use crate::msg::{D2HReqType, H2DReqType, H2DRspType};
 use crate::state::SystemState;
@@ -42,11 +42,15 @@ fn evict_transaction_alive(s: &SystemState, i: DeviceId) -> bool {
 }
 
 /// Eviction requests and eviction transient states agree.
-pub(super) fn evict_consistency_conjuncts(cfg: &ProtocolConfig, fine: bool) -> Vec<Conjunct> {
+pub(super) fn evict_consistency_conjuncts(
+    cfg: &ProtocolConfig,
+    topo: Topology,
+    fine: bool,
+) -> Vec<Conjunct> {
     let req_types =
         [D2HReqType::CleanEvict, D2HReqType::DirtyEvict, D2HReqType::CleanEvictNoData];
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         for ty in req_types {
             let allowed = evict_req_states(ty, cfg);
             if ty == D2HReqType::CleanEvictNoData && allowed.is_empty() {
@@ -122,9 +126,9 @@ fn required_instr(st: DState) -> Option<fn(&Instruction) -> bool> {
 /// A transient device state matches the instruction driving it (the
 /// programs "only serve to trigger coherence transactions", paper §3.1 —
 /// so a transaction in flight always has its trigger at the program head).
-pub(super) fn program_agreement_conjuncts(fine: bool) -> Vec<Conjunct> {
+pub(super) fn program_agreement_conjuncts(topo: Topology, fine: bool) -> Vec<Conjunct> {
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         if fine {
             for st in DState::ALL {
                 let Some(matches_instr) = required_instr(st) else { continue };
@@ -158,9 +162,9 @@ pub(super) fn program_agreement_conjuncts(fine: bool) -> Vec<Conjunct> {
 
 /// The host/directory state agrees with the tracked device states
 /// (the flip side of the paper's perfect-tracking assumption, §8).
-pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
+pub(super) fn host_agreement_conjuncts(topo: Topology) -> Vec<Conjunct> {
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         out.push(Conjunct::new(
             format!("host_i_empty_{i}"),
             Family::HostAgreement,
@@ -181,7 +185,7 @@ pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
         Family::HostAgreement,
         "HCache.State = S ⟹ some device shares (or is about to share) the line",
         pred(|s| {
-            s.host.state != HState::S || DeviceId::ALL.into_iter().any(|d| s.tracked_sharer(d))
+            s.host.state != HState::S || s.device_ids().any(|d| s.tracked_sharer(d))
         }),
     ));
     out.push(Conjunct::new(
@@ -189,7 +193,7 @@ pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
         Family::HostAgreement,
         "HCache.State = M ⟹ some device owns (or is about to own) the line",
         pred(|s| {
-            s.host.state != HState::M || DeviceId::ALL.into_iter().any(|d| s.tracked_owner(d))
+            s.host.state != HState::M || s.device_ids().any(|d| s.tracked_owner(d))
         }),
     ));
     out.push(Conjunct::new(
@@ -198,11 +202,10 @@ pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
         "HCache.State ∈ {M, MB} ⟹ at most one device owns the line",
         pred(|s| {
             !matches!(s.host.state, HState::M | HState::MB)
-                || DeviceId::ALL.into_iter().filter(|&d| s.tracked_owner(d)).count() <= 1
+                || s.device_ids().filter(|&d| s.tracked_owner(d)).count() <= 1
         }),
     ));
-    for i in DeviceId::ALL {
-        let j = i.other();
+    for (i, j) in topo.ordered_pairs() {
         out.push(Conjunct::new(
             format!("host_m_owner_excludes_{i}_{j}"),
             Family::HostAgreement,
@@ -228,7 +231,7 @@ pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
         Family::HostAgreement,
         "HCache.State = MB ⟹ some device owns (or is about to own) the line",
         pred(|s| {
-            s.host.state != HState::MB || DeviceId::ALL.into_iter().any(|d| s.tracked_owner(d))
+            s.host.state != HState::MB || s.device_ids().any(|d| s.tracked_owner(d))
         }),
     ));
     out.push(Conjunct::new(
@@ -236,10 +239,10 @@ pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
         Family::HostAgreement,
         "HCache.State = SB ⟹ some device shares (or is about to share) the line",
         pred(|s| {
-            s.host.state != HState::SB || DeviceId::ALL.into_iter().any(|d| s.tracked_sharer(d))
+            s.host.state != HState::SB || s.device_ids().any(|d| s.tracked_sharer(d))
         }),
     ));
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         out.push(Conjunct::new(
             format!("host_sb_ib_no_owner_{i}"),
             Family::HostAgreement,
@@ -266,7 +269,7 @@ pub(super) fn host_agreement_conjuncts() -> Vec<Conjunct> {
 /// A blocked or data-awaiting host has the matching traffic in flight.
 pub(super) fn blocked_host_conjuncts() -> Vec<Conjunct> {
     let pull_outstanding = |s: &SystemState| {
-        DeviceId::ALL.into_iter().any(|d| {
+        s.device_ids().any(|d| {
             !s.dev(d).d2h_data.is_empty()
                 || s.dev(d).h2d_rsp.iter().any(|r| r.ty == H2DRspType::GOWritePull)
         })
@@ -291,13 +294,13 @@ pub(super) fn blocked_host_conjuncts() -> Vec<Conjunct> {
 /// transaction.
 pub(super) fn host_transient_conjuncts(_fine: bool) -> Vec<Conjunct> {
     let s_requester = |s: &SystemState| {
-        DeviceId::ALL.into_iter().any(|d| {
+        s.device_ids().any(|d| {
             matches!(s.dev(d).cache.state, DState::ISAD | DState::ISA)
                 && s.dev(d).h2d_rsp.is_empty()
         })
     };
     let m_requester = |s: &SystemState| {
-        DeviceId::ALL.into_iter().any(|d| {
+        s.device_ids().any(|d| {
             matches!(
                 s.dev(d).cache.state,
                 DState::IMAD | DState::IMA | DState::SMAD | DState::SMA
@@ -305,12 +308,12 @@ pub(super) fn host_transient_conjuncts(_fine: bool) -> Vec<Conjunct> {
         })
     };
     let snoop_or_rsp = |s: &SystemState, ty: H2DReqType| {
-        DeviceId::ALL.into_iter().any(|d| {
+        s.device_ids().any(|d| {
             s.dev(d).h2d_req.iter().any(|r| r.ty == ty) || !s.dev(d).d2h_rsp.is_empty()
         })
     };
     let data_pending =
-        |s: &SystemState| DeviceId::ALL.into_iter().any(|d| !s.dev(d).d2h_data.is_empty());
+        |s: &SystemState| s.device_ids().any(|d| !s.dev(d).d2h_data.is_empty());
 
     vec![
         Conjunct::new(
@@ -357,7 +360,7 @@ pub(super) fn host_transient_conjuncts(_fine: bool) -> Vec<Conjunct> {
              downgraded)",
             pred(move |s| {
                 !matches!(s.host.state, HState::SD | HState::SA)
-                    || DeviceId::ALL.into_iter().all(|d| !s.tracked_owner(d))
+                    || s.device_ids().all(|d| !s.tracked_owner(d))
             }),
         ),
         Conjunct::new(
@@ -382,10 +385,10 @@ mod tests {
         s.counter = 1;
         s.dev_mut(DeviceId::D1).d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, 0));
         s.dev_mut(DeviceId::D1).cache.state = DState::M;
-        assert!(evict_consistency_conjuncts(&cfg, false).iter().any(|c| !c.holds(&s)));
+        assert!(evict_consistency_conjuncts(&cfg, Topology::pair(), false).iter().any(|c| !c.holds(&s)));
         s.dev_mut(DeviceId::D1).cache.state = DState::MIA;
-        assert!(evict_consistency_conjuncts(&cfg, false).iter().all(|c| c.holds(&s)));
-        assert!(evict_consistency_conjuncts(&cfg, true).iter().all(|c| c.holds(&s)));
+        assert!(evict_consistency_conjuncts(&cfg, Topology::pair(), false).iter().all(|c| c.holds(&s)));
+        assert!(evict_consistency_conjuncts(&cfg, Topology::pair(), true).iter().all(|c| c.holds(&s)));
     }
 
     #[test]
@@ -393,12 +396,12 @@ mod tests {
         let cfg = ProtocolConfig::strict();
         let mut s = SystemState::initial(programs::evict(), vec![]);
         s.dev_mut(DeviceId::D1).cache.state = DState::MIA;
-        assert!(evict_consistency_conjuncts(&cfg, false).iter().any(|c| !c.holds(&s)));
+        assert!(evict_consistency_conjuncts(&cfg, Topology::pair(), false).iter().any(|c| !c.holds(&s)));
         s.dev_mut(DeviceId::D1)
             .h2d_rsp
             .push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, 0));
         s.counter = 1;
-        assert!(evict_consistency_conjuncts(&cfg, false).iter().all(|c| c.holds(&s)));
+        assert!(evict_consistency_conjuncts(&cfg, Topology::pair(), false).iter().all(|c| c.holds(&s)));
     }
 
     #[test]
@@ -406,12 +409,12 @@ mod tests {
         let mut s = SystemState::initial(programs::load(), vec![]);
         s.dev_mut(DeviceId::D1).cache.state = DState::IMAD;
         assert!(
-            program_agreement_conjuncts(false).iter().any(|c| !c.holds(&s)),
+            program_agreement_conjuncts(Topology::pair(), false).iter().any(|c| !c.holds(&s)),
             "IMAD needs a Store at the head"
         );
         s.dev_mut(DeviceId::D1).cache.state = DState::ISAD;
-        assert!(program_agreement_conjuncts(false).iter().all(|c| c.holds(&s)));
-        assert!(program_agreement_conjuncts(true).iter().all(|c| c.holds(&s)));
+        assert!(program_agreement_conjuncts(Topology::pair(), false).iter().all(|c| c.holds(&s)));
+        assert!(program_agreement_conjuncts(Topology::pair(), true).iter().all(|c| c.holds(&s)));
     }
 
     #[test]
@@ -419,12 +422,12 @@ mod tests {
         let mut s = SystemState::initial(vec![], vec![]);
         s.host.state = HState::I;
         s.dev_mut(DeviceId::D1).cache.state = DState::S;
-        assert!(host_agreement_conjuncts().iter().any(|c| !c.holds(&s)));
+        assert!(host_agreement_conjuncts(Topology::pair()).iter().any(|c| !c.holds(&s)));
         s.host.state = HState::S;
-        assert!(host_agreement_conjuncts().iter().all(|c| c.holds(&s)));
+        assert!(host_agreement_conjuncts(Topology::pair()).iter().all(|c| c.holds(&s)));
         // Host S with an owner is drift too.
         s.dev_mut(DeviceId::D1).cache.state = DState::M;
-        assert!(host_agreement_conjuncts().iter().any(|c| !c.holds(&s)));
+        assert!(host_agreement_conjuncts(Topology::pair()).iter().any(|c| !c.holds(&s)));
     }
 
     #[test]
@@ -439,7 +442,7 @@ mod tests {
             .push(H2DRsp::new(H2DRspType::GOWritePullDrop, DState::I, 0));
         s.counter = 1;
         assert!(
-            host_agreement_conjuncts().iter().all(|c| c.holds(&s)),
+            host_agreement_conjuncts(Topology::pair()).iter().all(|c| c.holds(&s)),
             "granted eviction must not count as sharing"
         );
     }

@@ -7,7 +7,7 @@
 use super::{Conjunct, Family, Predicate};
 use crate::cacheline::DState;
 use crate::config::ProtocolConfig;
-use crate::ids::DeviceId;
+use crate::ids::{DeviceId, Topology};
 use crate::msg::{D2HRspType, DBufferSlot, H2DReqType, H2DRspType};
 use crate::state::SystemState;
 use std::sync::Arc;
@@ -41,10 +41,14 @@ fn honest_states(ty: D2HRspType, cfg: &ProtocolConfig) -> Vec<DState> {
 /// "Snoop responses need to be honest" (paper §6): "If a device responds
 /// to a snoop that it has invalidated its cacheline, then it must,
 /// unsurprisingly, be in an invalid state."
-pub(super) fn honest_snoop_conjuncts(cfg: &ProtocolConfig, fine: bool) -> Vec<Conjunct> {
+pub(super) fn honest_snoop_conjuncts(
+    cfg: &ProtocolConfig,
+    topo: Topology,
+    fine: bool,
+) -> Vec<Conjunct> {
     let types = [D2HRspType::RspIHitSE, D2HRspType::RspIFwdM, D2HRspType::RspSFwdM];
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         for ty in types {
             let allowed = honest_states(ty, cfg);
             if fine {
@@ -94,8 +98,8 @@ pub(super) fn honest_snoop_conjuncts(cfg: &ProtocolConfig, fine: bool) -> Vec<Co
 /// "Channels are singleton lists" (paper §6): "As a result of our
 /// restriction to a single location, it is the case that each channel can
 /// contain at most one message at any given time." One conjunct per
-/// channel per device (12 total).
-pub(super) fn channel_singleton_conjuncts() -> Vec<Conjunct> {
+/// channel per device (6·N total).
+pub(super) fn channel_singleton_conjuncts(topo: Topology) -> Vec<Conjunct> {
     type Len = fn(&SystemState, DeviceId) -> usize;
     let channels: [(&str, Len); 6] = [
         ("d2h_req", |s, d| s.dev(d).d2h_req.len()),
@@ -106,7 +110,7 @@ pub(super) fn channel_singleton_conjuncts() -> Vec<Conjunct> {
         ("h2d_data", |s, d| s.dev(d).h2d_data.len()),
     ];
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         for (name, len) in channels {
             out.push(Conjunct::new(
                 format!("singleton_{name}_{i}"),
@@ -130,14 +134,12 @@ pub(super) fn channel_singleton_conjuncts() -> Vec<Conjunct> {
 /// omitted entirely when the clean-eviction *pull* option is enabled,
 /// which creates further benign overlaps. The weakenings preserve the
 /// conjunct's intent: no two *live* data values race.
-pub(super) fn data_conflict_conjuncts(cfg: &ProtocolConfig) -> Vec<Conjunct> {
+pub(super) fn data_conflict_conjuncts(cfg: &ProtocolConfig, topo: Topology) -> Vec<Conjunct> {
     if cfg.clean_evict_pull {
         return Vec::new();
     }
-    DeviceId::ALL
-        .into_iter()
-        .map(|i| {
-            let j = i.other();
+    topo.ordered_pairs()
+        .map(|(i, j)| {
             Conjunct::new(
                 format!("data_conflict_{i}_{j}"),
                 Family::DataConflict,
@@ -171,9 +173,9 @@ fn go_target_states(ty: H2DRspType, granted: DState) -> Vec<DState> {
 
 /// An in-flight H2D response is consistent with its target's state, and
 /// only grants stable states.
-pub(super) fn go_wellformed_conjuncts(fine: bool) -> Vec<Conjunct> {
+pub(super) fn go_wellformed_conjuncts(topo: Topology, fine: bool) -> Vec<Conjunct> {
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         if fine {
             let kinds: [(&str, H2DRspType, DState); 4] = [
                 ("go_s", H2DRspType::GO, DState::S),
@@ -239,9 +241,9 @@ const DATA_AWAITING: [DState; 7] = [
 /// Well-formedness of in-flight data and the GO/snoop interplay
 /// (strengthening conjuncts found by the randomised inductiveness probe —
 /// the reproduction of the paper's §7.1 iteration loop).
-pub(super) fn data_wellformed_conjuncts() -> Vec<Conjunct> {
+pub(super) fn data_wellformed_conjuncts(topo: Topology) -> Vec<Conjunct> {
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         out.push(Conjunct::new(
             format!("grant_data_targets_awaiting_{i}"),
             Family::GoWellformed,
@@ -304,9 +306,9 @@ const SNP_DATA_ALLOWED: [DState; 8] = [
 
 /// An in-flight snoop targets a device that holds (or is about to hold)
 /// the line.
-pub(super) fn snoop_target_conjuncts(fine: bool) -> Vec<Conjunct> {
+pub(super) fn snoop_target_conjuncts(topo: Topology, fine: bool) -> Vec<Conjunct> {
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         if fine {
             for b in SNP_INV_FORBIDDEN {
                 out.push(Conjunct::new(
@@ -363,7 +365,7 @@ pub(super) fn snoop_target_conjuncts(fine: bool) -> Vec<Conjunct> {
 /// Every transaction identifier in flight was minted from the counter
 /// (`tid < Counter`). One conjunct per channel per device, plus the
 /// buffers.
-pub(super) fn counter_dominance_conjuncts() -> Vec<Conjunct> {
+pub(super) fn counter_dominance_conjuncts(topo: Topology) -> Vec<Conjunct> {
     type MaxTid = fn(&SystemState, DeviceId) -> Option<u64>;
     let channels: [(&str, MaxTid); 6] = [
         ("d2h_req", |s, d| s.dev(d).d2h_req.iter().map(|m| m.tid).max()),
@@ -374,7 +376,7 @@ pub(super) fn counter_dominance_conjuncts() -> Vec<Conjunct> {
         ("h2d_data", |s, d| s.dev(d).h2d_data.iter().map(|m| m.tid).max()),
     ];
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
+    for i in topo.devices() {
         for (name, max_tid) in channels {
             out.push(Conjunct::new(
                 format!("tid_dom_{name}_{i}"),
@@ -412,22 +414,22 @@ mod tests {
         for ok in [DState::I, DState::ISDI, DState::ISAD, DState::IMAD, DState::IIA] {
             s.dev_mut(DeviceId::D1).cache.state = ok;
             assert!(
-                honest_snoop_conjuncts(&cfg, false).iter().all(|c| c.holds(&s)),
+                honest_snoop_conjuncts(&cfg, Topology::pair(), false).iter().all(|c| c.holds(&s)),
                 "{ok} should be honest"
             );
         }
         s.dev_mut(DeviceId::D1).cache.state = DState::M;
-        assert!(honest_snoop_conjuncts(&cfg, false).iter().any(|c| !c.holds(&s)));
-        assert!(honest_snoop_conjuncts(&cfg, true).iter().any(|c| !c.holds(&s)));
+        assert!(honest_snoop_conjuncts(&cfg, Topology::pair(), false).iter().any(|c| !c.holds(&s)));
+        assert!(honest_snoop_conjuncts(&cfg, Topology::pair(), true).iter().any(|c| !c.holds(&s)));
     }
 
     #[test]
     fn singleton_flags_double_messages() {
         let mut s = SystemState::initial(vec![], vec![]);
         s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
-        assert!(channel_singleton_conjuncts().iter().all(|c| c.holds(&s)));
+        assert!(channel_singleton_conjuncts(Topology::pair()).iter().all(|c| c.holds(&s)));
         s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 1));
-        let bad: Vec<_> = channel_singleton_conjuncts()
+        let bad: Vec<_> = channel_singleton_conjuncts(Topology::pair())
             .into_iter()
             .filter(|c| !c.holds(&s))
             .map(|c| c.name().to_string())
@@ -442,11 +444,11 @@ mod tests {
         s.dev_mut(DeviceId::D1).d2h_data.push(DataMsg::bogus(0, 5));
         s.dev_mut(DeviceId::D2).h2d_data.push(DataMsg::new(1, 6));
         s.counter = 2;
-        assert!(data_conflict_conjuncts(&cfg).iter().all(|c| c.holds(&s)), "bogus is exempt");
+        assert!(data_conflict_conjuncts(&cfg, Topology::pair()).iter().all(|c| c.holds(&s)), "bogus is exempt");
         s.dev_mut(DeviceId::D1).d2h_data.pop();
         s.dev_mut(DeviceId::D1).d2h_data.push(DataMsg::new(0, 5));
-        assert!(data_conflict_conjuncts(&cfg).iter().any(|c| !c.holds(&s)));
-        assert!(data_conflict_conjuncts(&ProtocolConfig::full()).is_empty());
+        assert!(data_conflict_conjuncts(&cfg, Topology::pair()).iter().any(|c| !c.holds(&s)));
+        assert!(data_conflict_conjuncts(&ProtocolConfig::full(), Topology::pair()).is_empty());
     }
 
     #[test]
@@ -455,10 +457,10 @@ mod tests {
         s.counter = 1;
         s.dev_mut(DeviceId::D1).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, 0));
         s.dev_mut(DeviceId::D1).cache.state = DState::IMAD;
-        assert!(go_wellformed_conjuncts(false).iter().all(|c| c.holds(&s)));
+        assert!(go_wellformed_conjuncts(Topology::pair(), false).iter().all(|c| c.holds(&s)));
         s.dev_mut(DeviceId::D1).cache.state = DState::S;
-        assert!(go_wellformed_conjuncts(false).iter().any(|c| !c.holds(&s)));
-        assert!(go_wellformed_conjuncts(true).iter().any(|c| !c.holds(&s)));
+        assert!(go_wellformed_conjuncts(Topology::pair(), false).iter().any(|c| !c.holds(&s)));
+        assert!(go_wellformed_conjuncts(Topology::pair(), true).iter().any(|c| !c.holds(&s)));
     }
 
     #[test]
@@ -467,9 +469,9 @@ mod tests {
         s.counter = 1;
         s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
         s.dev_mut(DeviceId::D2).cache.state = DState::I;
-        assert!(snoop_target_conjuncts(false).iter().any(|c| !c.holds(&s)));
+        assert!(snoop_target_conjuncts(Topology::pair(), false).iter().any(|c| !c.holds(&s)));
         s.dev_mut(DeviceId::D2).cache.state = DState::S;
-        assert!(snoop_target_conjuncts(false).iter().all(|c| c.holds(&s)));
+        assert!(snoop_target_conjuncts(Topology::pair(), false).iter().all(|c| c.holds(&s)));
     }
 
     #[test]
@@ -479,8 +481,8 @@ mod tests {
             crate::msg::D2HReqType::RdShared,
             7,
         ));
-        assert!(counter_dominance_conjuncts().iter().any(|c| !c.holds(&s)));
+        assert!(counter_dominance_conjuncts(Topology::pair()).iter().any(|c| !c.holds(&s)));
         s.counter = 8;
-        assert!(counter_dominance_conjuncts().iter().all(|c| c.holds(&s)));
+        assert!(counter_dominance_conjuncts(Topology::pair()).iter().all(|c| c.holds(&s)));
     }
 }

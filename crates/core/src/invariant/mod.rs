@@ -27,13 +27,14 @@ mod swmr_family;
 
 use crate::cacheline::DState;
 use crate::config::ProtocolConfig;
-use crate::ids::DeviceId;
+use crate::ids::Topology;
 use crate::state::SystemState;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
-/// The Single-Writer-Multiple-Reader property (paper Definition 6.1):
+/// The Single-Writer-Multiple-Reader property (paper Definition 6.1),
+/// quantified over every ordered device pair of the state's own topology:
 ///
 /// ```text
 /// ⋀_{i≠j} ¬(DCacheᵢ.State = M ∧ DCacheⱼ.State ∈ {S, M})
@@ -45,14 +46,16 @@ use std::sync::Arc;
 /// use cxl_core::{swmr, SystemState};
 /// let s = SystemState::initial(vec![], vec![]);
 /// assert!(swmr(&s));
+/// let wide = SystemState::initial_n(4, vec![]);
+/// assert!(swmr(&wide));
 /// ```
 #[must_use]
 pub fn swmr(s: &SystemState) -> bool {
-    for i in DeviceId::ALL {
-        let j = i.other();
-        if s.dev(i).cache.state == DState::M
-            && matches!(s.dev(j).cache.state, DState::S | DState::M)
-        {
+    for i in s.device_ids() {
+        if s.dev(i).cache.state != DState::M {
+            continue;
+        }
+        if s.peer_ids(i).any(|j| matches!(s.dev(j).cache.state, DState::S | DState::M)) {
             return false;
         }
     }
@@ -223,57 +226,111 @@ pub enum Granularity {
 pub struct Invariant {
     conjuncts: Vec<Conjunct>,
     granularity: Granularity,
+    /// The device count the conjuncts were instantiated for, when built
+    /// by a topology-aware builder. Evaluation asserts states match: a
+    /// pair invariant applied to a wider state would silently *under*-
+    /// check the extra devices (its pair conjuncts only index devices
+    /// 0 and 1), which is a soundness hole, not a recoverable condition.
+    devices: Option<usize>,
 }
 
 impl Invariant {
-    /// Build an invariant from raw conjuncts, assigning ids.
+    /// Build an invariant from raw conjuncts, assigning ids. The
+    /// resulting invariant carries no topology and is evaluated
+    /// unchecked — prefer the topology-aware builders.
     #[must_use]
     pub fn from_conjuncts(mut conjuncts: Vec<Conjunct>, granularity: Granularity) -> Self {
         for (i, c) in conjuncts.iter_mut().enumerate() {
             c.id = i;
         }
-        Invariant { conjuncts, granularity }
+        Invariant { conjuncts, granularity, devices: None }
     }
 
-    /// The full invariant for a configuration, standard granularity.
+    /// Assert that `s` inhabits the topology this invariant was built
+    /// for (no-op for topology-less `from_conjuncts` invariants).
+    #[inline]
+    fn assert_same_topology(&self, s: &SystemState) {
+        if let Some(n) = self.devices {
+            assert_eq!(
+                s.device_count(),
+                n,
+                "invariant instantiated for {n} devices but the state has {} — \
+                 build it with Invariant::for_devices(cfg, {})",
+                s.device_count(),
+                s.device_count()
+            );
+        }
+    }
+
+    /// The full invariant for a configuration over the paper's two-device
+    /// topology, standard granularity.
     #[must_use]
     pub fn for_config(cfg: &ProtocolConfig) -> Self {
-        Self::build(cfg, Granularity::Standard)
+        Self::build(cfg, Granularity::Standard, Topology::pair())
+    }
+
+    /// The full invariant for a configuration over an `n`-device
+    /// topology, standard granularity. Per-device families instantiate
+    /// once per device; pair families (SWMR, transient SWMR, data
+    /// conflicts) once per ordered device pair.
+    #[must_use]
+    pub fn for_devices(cfg: &ProtocolConfig, n: usize) -> Self {
+        Self::build(cfg, Granularity::Standard, Topology::new(n))
     }
 
     /// The full invariant for a configuration, fine granularity (the
-    /// obligation-matrix reproduction uses this).
+    /// obligation-matrix reproduction uses this), two devices.
     #[must_use]
     pub fn fine_grained(cfg: &ProtocolConfig) -> Self {
-        Self::build(cfg, Granularity::Fine)
+        Self::build(cfg, Granularity::Fine, Topology::pair())
+    }
+
+    /// Fine-granularity invariant over an `n`-device topology.
+    #[must_use]
+    pub fn fine_grained_devices(cfg: &ProtocolConfig, n: usize) -> Self {
+        Self::build(cfg, Granularity::Fine, Topology::new(n))
     }
 
     /// Just Definition 6.1 — useful for demonstrating (as §6 does) that
     /// SWMR alone is *not* inductive.
     #[must_use]
     pub fn swmr_only() -> Self {
-        Self::from_conjuncts(swmr_family::swmr_conjuncts(), Granularity::Standard)
+        let mut inv = Self::from_conjuncts(
+            swmr_family::swmr_conjuncts(Topology::pair()),
+            Granularity::Standard,
+        );
+        inv.devices = Some(2);
+        inv
     }
 
-    fn build(cfg: &ProtocolConfig, granularity: Granularity) -> Self {
+    fn build(cfg: &ProtocolConfig, granularity: Granularity, topo: Topology) -> Self {
         let fine = granularity == Granularity::Fine;
         let mut cs = Vec::new();
-        cs.extend(swmr_family::swmr_conjuncts());
-        cs.extend(swmr_family::transient_swmr_conjuncts(fine));
-        cs.extend(swmr_family::data_value_conjuncts());
-        cs.extend(messages::honest_snoop_conjuncts(cfg, fine));
-        cs.extend(messages::channel_singleton_conjuncts());
-        cs.extend(messages::data_conflict_conjuncts(cfg));
-        cs.extend(messages::go_wellformed_conjuncts(fine));
-        cs.extend(messages::data_wellformed_conjuncts());
-        cs.extend(messages::snoop_target_conjuncts(fine));
-        cs.extend(messages::counter_dominance_conjuncts());
-        cs.extend(agreement::evict_consistency_conjuncts(cfg, fine));
-        cs.extend(agreement::program_agreement_conjuncts(fine));
-        cs.extend(agreement::host_agreement_conjuncts());
+        cs.extend(swmr_family::swmr_conjuncts(topo));
+        cs.extend(swmr_family::transient_swmr_conjuncts(topo, fine));
+        cs.extend(swmr_family::data_value_conjuncts(topo));
+        cs.extend(messages::honest_snoop_conjuncts(cfg, topo, fine));
+        cs.extend(messages::channel_singleton_conjuncts(topo));
+        cs.extend(messages::data_conflict_conjuncts(cfg, topo));
+        cs.extend(messages::go_wellformed_conjuncts(topo, fine));
+        cs.extend(messages::data_wellformed_conjuncts(topo));
+        cs.extend(messages::snoop_target_conjuncts(topo, fine));
+        cs.extend(messages::counter_dominance_conjuncts(topo));
+        cs.extend(agreement::evict_consistency_conjuncts(cfg, topo, fine));
+        cs.extend(agreement::program_agreement_conjuncts(topo, fine));
+        cs.extend(agreement::host_agreement_conjuncts(topo));
         cs.extend(agreement::blocked_host_conjuncts());
         cs.extend(agreement::host_transient_conjuncts(fine));
-        Self::from_conjuncts(cs, granularity)
+        let mut inv = Self::from_conjuncts(cs, granularity);
+        inv.devices = Some(topo.device_count());
+        inv
+    }
+
+    /// The device count this invariant was instantiated for (`None` for
+    /// raw [`Invariant::from_conjuncts`] invariants).
+    #[must_use]
+    pub fn device_count(&self) -> Option<usize> {
+        self.devices
     }
 
     /// Number of conjuncts (the paper's `n`, 796 in their model).
@@ -306,20 +363,34 @@ impl Invariant {
     }
 
     /// Do all conjuncts hold?
+    ///
+    /// # Panics
+    /// Panics if `s` has a different device count than the invariant was
+    /// instantiated for (a pair invariant would silently under-check a
+    /// wider state).
     #[must_use]
     pub fn holds(&self, s: &SystemState) -> bool {
+        self.assert_same_topology(s);
         self.conjuncts.iter().all(|c| c.holds(s))
     }
 
     /// The first violated conjunct, if any.
+    ///
+    /// # Panics
+    /// Panics on a device-count mismatch (see [`Invariant::holds`]).
     #[must_use]
     pub fn first_violation(&self, s: &SystemState) -> Option<&Conjunct> {
+        self.assert_same_topology(s);
         self.conjuncts.iter().find(|c| !c.holds(s))
     }
 
     /// Every violated conjunct.
+    ///
+    /// # Panics
+    /// Panics on a device-count mismatch (see [`Invariant::holds`]).
     #[must_use]
     pub fn violations(&self, s: &SystemState) -> Vec<&Conjunct> {
+        self.assert_same_topology(s);
         self.conjuncts.iter().filter(|c| !c.holds(s)).collect()
     }
 
@@ -361,6 +432,7 @@ impl<'a> IntoIterator for &'a Invariant {
 mod tests {
     use super::*;
     use crate::cacheline::DState;
+    use crate::ids::DeviceId;
     use crate::instr::programs;
 
     #[test]

@@ -1,10 +1,15 @@
 //! SWMR, transient-SWMR, and data-value conjunct families.
+//!
+//! Pair families instantiate once per **ordered device pair** of the
+//! topology (the paper's two-device model has exactly the pairs (1,2) and
+//! (2,1); an N-device topology has N·(N−1) of them), per-device families
+//! once per device.
 
 #![allow(clippy::nonminimal_bool)] // `!(hyp ∧ bad)` mirrors the paper's implications
 
 use super::{Conjunct, Family, Predicate};
 use crate::cacheline::{DState, HState};
-use crate::ids::DeviceId;
+use crate::ids::{DeviceId, Topology};
 use crate::msg::H2DReqType;
 use crate::state::SystemState;
 use std::sync::Arc;
@@ -14,11 +19,9 @@ fn pred(f: impl Fn(&SystemState) -> bool + Send + Sync + 'static) -> Predicate {
 }
 
 /// Definition 6.1, one instance per ordered device pair.
-pub(super) fn swmr_conjuncts() -> Vec<Conjunct> {
-    DeviceId::ALL
-        .into_iter()
-        .map(|i| {
-            let j = i.other();
+pub(super) fn swmr_conjuncts(topo: Topology) -> Vec<Conjunct> {
+    topo.ordered_pairs()
+        .map(|(i, j)| {
             Conjunct::new(
                 format!("swmr_{i}_{j}"),
                 Family::Swmr,
@@ -54,8 +57,8 @@ fn snp_inv_inbound(s: &SystemState, j: DeviceId) -> bool {
     matches!(s.dev(j).h2d_req.head(), Some(req) if req.ty == H2DReqType::SnpInv)
 }
 
-/// The device states the other device must *not* be in while `i` holds a
-/// grant of ownership (paper §6 lists exactly these eight).
+/// The device states a peer must *not* be in while `i` holds a grant of
+/// ownership (paper §6 lists exactly these eight).
 const FORBIDDEN_WHILE_GRANTED: [DState; 8] = [
     DState::ISD,
     DState::IMD,
@@ -68,18 +71,18 @@ const FORBIDDEN_WHILE_GRANTED: [DState; 8] = [
 ];
 
 /// "Transient states need similar SWMR constraints" (paper §6): if device
-/// `i` has (almost) upgraded to M, the other device must hold no valid or
+/// `i` has (almost) upgraded to M, no peer may hold a valid or
 /// about-to-be-valid copy, unless a `SnpInv` is on its way to revoke it.
+/// One conjunct per ordered device pair.
 ///
 /// Model note: the paper's printed conjunct also demands `H2DData_j = []`.
 /// In our reconstruction a stale grant-data message may legitimately
 /// linger while `j` sits in `ISDI` (snoop processed between GO and data);
 /// the data clause therefore carves out `ISDI`, where the data will be
 /// consumed once and discarded.
-pub(super) fn transient_swmr_conjuncts(fine: bool) -> Vec<Conjunct> {
+pub(super) fn transient_swmr_conjuncts(topo: Topology, fine: bool) -> Vec<Conjunct> {
     let mut out = Vec::new();
-    for i in DeviceId::ALL {
-        let j = i.other();
+    for (i, j) in topo.ordered_pairs() {
         if fine {
             // One atom per forbidden state of the other device.
             for b in FORBIDDEN_WHILE_GRANTED {
@@ -158,9 +161,8 @@ pub(super) fn transient_swmr_conjuncts(fine: bool) -> Vec<Conjunct> {
 /// The data-value invariant (our extension; the paper leaves it as future
 /// work, §6): when the host line is shared, every shared device copy
 /// agrees with the host value.
-pub(super) fn data_value_conjuncts() -> Vec<Conjunct> {
-    DeviceId::ALL
-        .into_iter()
+pub(super) fn data_value_conjuncts(topo: Topology) -> Vec<Conjunct> {
+    topo.devices()
         .map(|i| {
             Conjunct::new(
                 format!("data_value_shared_{i}"),
@@ -197,11 +199,19 @@ mod tests {
     }
 
     #[test]
+    fn pair_families_scale_with_the_topology() {
+        assert_eq!(swmr_conjuncts(Topology::pair()).len(), 2);
+        assert_eq!(swmr_conjuncts(Topology::new(3)).len(), 6);
+        assert_eq!(swmr_conjuncts(Topology::new(4)).len(), 12);
+        assert_eq!(data_value_conjuncts(Topology::new(3)).len(), 3);
+    }
+
+    #[test]
     fn transient_swmr_rejects_grant_while_other_shared() {
         let mut s = SystemState::initial(vec![], vec![]);
         s.dev_mut(DeviceId::D1).cache.state = DState::IMD;
         s.dev_mut(DeviceId::D2).cache.state = DState::S;
-        for c in transient_swmr_conjuncts(false) {
+        for c in transient_swmr_conjuncts(Topology::pair(), false) {
             if c.name() == "transient_swmr_1_2" {
                 assert!(!c.holds(&s));
             }
@@ -209,9 +219,23 @@ mod tests {
         // …but the SnpInv carve-out allows it while the revocation is in
         // flight.
         s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
-        for c in transient_swmr_conjuncts(false) {
+        for c in transient_swmr_conjuncts(Topology::pair(), false) {
             assert!(c.holds(&s), "{c} should accept the carved-out state");
         }
+    }
+
+    #[test]
+    fn transient_swmr_covers_third_device_copies() {
+        // Device 1 granted M; device 3 (not device 2) holds S with no
+        // SnpInv inbound: the (1,3) pair conjunct must reject the state.
+        let mut s = SystemState::initial_n(3, vec![]);
+        s.dev_mut(DeviceId::new(0)).cache.state = DState::IMD;
+        s.dev_mut(DeviceId::new(2)).cache.state = DState::S;
+        let cs = transient_swmr_conjuncts(Topology::new(3), false);
+        assert!(cs.iter().any(|c| !c.holds(&s)), "third-device copy must be caught");
+        let violated: Vec<_> =
+            cs.iter().filter(|c| !c.holds(&s)).map(|c| c.name()).collect();
+        assert_eq!(violated, vec!["transient_swmr_1_3"]);
     }
 
     #[test]
@@ -220,8 +244,9 @@ mod tests {
         s.dev_mut(DeviceId::D1).cache.state = DState::SMD;
         s.dev_mut(DeviceId::D2).cache.state = DState::ISA;
         let std_violated =
-            transient_swmr_conjuncts(false).iter().any(|c| !c.holds(&s));
-        let fine_violated = transient_swmr_conjuncts(true).iter().any(|c| !c.holds(&s));
+            transient_swmr_conjuncts(Topology::pair(), false).iter().any(|c| !c.holds(&s));
+        let fine_violated =
+            transient_swmr_conjuncts(Topology::pair(), true).iter().any(|c| !c.holds(&s));
         assert!(std_violated && fine_violated);
     }
 
@@ -230,8 +255,8 @@ mod tests {
         let mut s = SystemState::initial(vec![], vec![]);
         s.host = crate::cacheline::HCache::new(10, HState::S);
         s.dev_mut(DeviceId::D1).cache = crate::cacheline::DCache::new(10, DState::S);
-        assert!(data_value_conjuncts().iter().all(|c| c.holds(&s)));
+        assert!(data_value_conjuncts(Topology::pair()).iter().all(|c| c.holds(&s)));
         s.dev_mut(DeviceId::D1).cache.val = 11;
-        assert!(data_value_conjuncts().iter().any(|c| !c.holds(&s)));
+        assert!(data_value_conjuncts(Topology::pair()).iter().any(|c| !c.holds(&s)));
     }
 }

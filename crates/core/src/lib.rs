@@ -4,20 +4,53 @@
 //! *Formalising CXL Cache Coherence* (Tan, Donaldson, Wickerson,
 //! ASPLOS 2025): the **CXL.cache** inter-device cache-coherence protocol of
 //! the Compute Express Link standard, modelled as a guarded-command
-//! state-transition system over a two-device, single-location system.
+//! state-transition system over an **N-device**, single-location system.
+//! The paper fixes N = 2 "to keep the proof tractable"; this reproduction
+//! generalises the model to a runtime-sized device set while keeping the
+//! two-device instance bit-identical to the paper's.
 //!
-//! The model comprises:
+//! ## State layout
 //!
-//! - the whole-system state (paper Figures 2–3): two device caches, a host
-//!   cache, six message channels per device, per-device buffers, driving
-//!   programs, and a transaction-identifier counter — see [`SystemState`];
-//! - the transition rules (paper §3.3) as [`Ruleset`]: 69 rule *shapes*
-//!   instantiated per device, with the CXL standard's ordering
-//!   restrictions (Snoop-pushes-GO, GO-cannot-tailgate-snoop,
-//!   one-snoop-per-line) as explicit, relaxable guards — see
-//!   [`ProtocolConfig`] and [`Relaxation`];
-//! - the **SWMR** property (paper Definition 6.1) and the conjunct-based
-//!   inductive invariant (paper §6) — see [`swmr`] and [`Invariant`].
+//! A [`SystemState`] is a [`state::DeviceVec`] of per-device components
+//! (program, cache line, six channels, buffer slot), the host cache line,
+//! and the transaction-identifier counter — for N = 2 exactly the twenty
+//! components of paper Figure 3. The device vector keeps its first two
+//! slots inline and spills devices 3..N to the heap; each [`Channel`] is
+//! backed by a capacity-1 inline buffer (reachable states keep channels
+//! singleton, a §6 invariant conjunct), so cloning a two-device state —
+//! the dominant cost of exploration — does not allocate for channels.
+//!
+//! ## Fingerprinting
+//!
+//! [`SystemState::fingerprint`] hashes the full record once with
+//! [`FxHasher`], device slots in index order, so the 64-bit fingerprints
+//! the model checker dedups on are well-defined for variable-length device
+//! vectors: states of different device counts hash their device counts via
+//! the vector length, and a state's fingerprint is independent of whether
+//! a device lives in the inline pair or the spill.
+//!
+//! ## Rules and topologies
+//!
+//! The transition rules (paper §3.3) live in a [`Ruleset`]: 69 rule
+//! *shapes* instantiated once per device of a [`Topology`] (the paper's 68
+//! rules are its 34 shapes × 2 devices). Host-side guards that the paper
+//! phrases against "the other device" quantify over the acting device's
+//! *peers*:
+//!
+//! - "no other sharer" ⇒ no peer is a tracked sharer;
+//! - "snoop the owner" ⇒ find the unique tracked owner among the peers;
+//! - "snoop the other sharer" ⇒ snoop **every** tracked sharer peer, and
+//!   grant only after the last snoop response is collected;
+//! - Snoop-pushes-GO, GO-cannot-tailgate-snoop and one-snoop-per-line
+//!   remain per-device channel guards and apply unchanged to any N.
+//!
+//! The CXL ordering restrictions are explicit, relaxable guards — see
+//! [`ProtocolConfig`] and [`Relaxation`].
+//!
+//! The **SWMR** property (paper Definition 6.1) and the conjunct-based
+//! inductive invariant (paper §6) — see [`swmr`] and [`Invariant`] —
+//! quantify over every device and every ordered device pair of the
+//! topology ([`Invariant::for_devices`]).
 //!
 //! Where the paper uses the Isabelle proof assistant, the companion crates
 //! substitute exhaustive explicit-state model checking (`cxl-mc`),
@@ -35,6 +68,25 @@
 //! let rules = Ruleset::new(ProtocolConfig::strict());
 //!
 //! // Walk one nondeterministic path to quiescence, checking SWMR.
+//! let mut s = state;
+//! while let Some((_rule, next)) = rules.successors(&s).into_iter().next() {
+//!     assert!(swmr(&next));
+//!     s = next;
+//! }
+//! assert!(s.is_quiescent());
+//! ```
+//!
+//! ## A three-device system
+//!
+//! ```
+//! use cxl_core::{ProtocolConfig, Ruleset, SystemState, swmr};
+//! use cxl_core::instr::programs;
+//!
+//! let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+//! let state = SystemState::initial_n(
+//!     3,
+//!     vec![programs::store(42), programs::load(), programs::load()],
+//! );
 //! let mut s = state;
 //! while let Some((_rule, next)) = rules.successors(&s).into_iter().next() {
 //!     assert!(swmr(&next));
@@ -63,7 +115,7 @@ pub use cacheline::{DCache, DState, HCache, HState};
 pub use channel::Channel;
 pub use config::{ProtocolConfig, Relaxation};
 pub use fasthash::{FpIndex, FxBuildHasher, FxHasher};
-pub use ids::{DeviceId, Tid, Val};
+pub use ids::{DeviceId, Tid, Topology, Val};
 pub use instr::{Instruction, Program};
 pub use invariant::{swmr, Conjunct, Family, Granularity, Invariant};
 pub use msg::{

@@ -9,15 +9,35 @@
 //! model assumes that the host does perfect tracking as if it can look at
 //! the state of the device caches."
 //!
+//! ## N-device generalisation
+//!
+//! The paper fixes the system to two devices, so its host rules speak of
+//! "the other device". Here every such guard quantifies over the
+//! requester's *peers* (all devices but the requester):
+//!
+//! - "no other sharer" becomes `∀p ≠ r. ¬tracked_sharer(p)`;
+//! - "snoop the owner" finds the unique tracked owner among the peers;
+//! - "snoop the other sharer" snoops **every** tracked sharer peer at
+//!   once, and the `MA` collection rule sends the GO only after the last
+//!   outstanding snoop response has been consumed;
+//! - response/data collection consumes from the lowest-indexed peer with a
+//!   matching message (the host's deterministic internal scan order —
+//!   interleavings with device actions remain fully nondeterministic).
+//!
+//! For `N = 2` each quantifier collapses to the single other device, and
+//! exploration is bit-identical to the closed two-device model (held by
+//! the repo's differential tests).
+//!
 //! Two further CXL restrictions appear as guards here:
 //! - **GO-cannot-tailgate-snoop** ([`go_launch_allowed`]);
 //! - **one-snoop-per-line** ([`snoop_launch_allowed`]).
 
 use crate::cacheline::{DState, HState};
 use crate::config::ProtocolConfig;
-use crate::ids::DeviceId;
+use crate::ids::{DeviceId, Topology};
 use crate::msg::{
-    D2HReq, D2HReqType, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp, H2DRspType,
+    D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp,
+    H2DRspType,
 };
 use crate::state::SystemState;
 
@@ -84,6 +104,39 @@ fn tracked_owner(s: &SystemState, d: DeviceId, cfg: &ProtocolConfig) -> bool {
             _ => false,
         }
     }
+}
+
+/// Is any peer of `r` a tracked sharer?
+fn any_peer_sharer(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> bool {
+    s.peer_ids(r).any(|p| tracked_sharer(s, p, cfg))
+}
+
+/// The tracked owner among `r`'s peers, if any (unique in every state the
+/// host-agreement invariant admits; the lowest index wins otherwise).
+fn owner_peer(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<DeviceId> {
+    s.peer_ids(r).find(|&p| tracked_owner(s, p, cfg))
+}
+
+/// The lowest-indexed peer of `r` whose D2HRsp head satisfies `matches`,
+/// with that head.
+fn peer_with_rsp(
+    s: &SystemState,
+    r: DeviceId,
+    matches: impl Fn(D2HRspType) -> bool,
+) -> Option<(DeviceId, D2HRsp)> {
+    s.peer_ids(r).find_map(|p| match s.dev(p).d2h_rsp.head() {
+        Some(rsp) if matches(rsp.ty) => Some((p, *rsp)),
+        _ => None,
+    })
+}
+
+/// The lowest-indexed peer of `r` with a live (non-bogus) D2HData head,
+/// with that message.
+fn peer_with_live_data(s: &SystemState, r: DeviceId) -> Option<(DeviceId, DataMsg)> {
+    s.peer_ids(r).find_map(|p| match s.dev(p).d2h_data.head() {
+        Some(d) if !d.bogus => Some((p, *d)),
+        _ => None,
+    })
 }
 
 /// The request at the head of `r`'s D2HReq channel, if it matches `ty` and
@@ -162,8 +215,8 @@ pub(super) fn modified_rd_shared(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::RdShared)?;
-    let o = r.other();
-    if !tracked_owner(s, o, cfg) || !snoop_launch_allowed(s, o, cfg) {
+    let o = owner_peer(s, r, cfg)?;
+    if !snoop_launch_allowed(s, o, cfg) {
         return None;
     }
     let mut n = s.clone();
@@ -194,10 +247,10 @@ pub(super) fn invalid_rd_own(
 }
 
 /// `RdOwn` on a shared line whose only sharer is the requester itself —
-/// grant GO-M immediately. The paper notes this kind of rule relies on
-/// there being exactly two devices (§8: "if a device is upgrading to the M
-/// state, it can be immediately granted ownership if the other device's
-/// cache is in the I state").
+/// grant GO-M immediately. The guard quantifies over the requester's
+/// peers: *no* peer may be a tracked sharer. (The paper noted its version
+/// of this rule relied on there being exactly two devices, §8; the
+/// peer-quantified form is the N-device generalisation.)
 pub(super) fn shared_rd_own_last(
     s: &SystemState,
     r: DeviceId,
@@ -207,8 +260,7 @@ pub(super) fn shared_rd_own_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
-    let o = r.other();
-    if tracked_sharer(s, o, cfg) || !go_launch_allowed(s, r, cfg) {
+    if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     let mut n = s.clone();
@@ -218,10 +270,11 @@ pub(super) fn shared_rd_own_last(
     Some(n)
 }
 
-/// Paper Table 3 `SharedRdOwn`: `RdOwn` on a shared line with another
-/// sharer — snoop it with `SnpInv`, forward the data to the requester
-/// early (as Table 3's row shows), and wait in `MA` for the invalidation
-/// response.
+/// Paper Table 3 `SharedRdOwn`: `RdOwn` on a shared line with other
+/// sharers — snoop **every** tracked sharer peer with `SnpInv`, forward
+/// data to the requester early (as Table 3's row shows), and wait in `MA`
+/// for the invalidation responses ([`ma_snp_rsp`] collects them one at a
+/// time and grants after the last).
 pub(super) fn shared_rd_own_other(
     s: &SystemState,
     r: DeviceId,
@@ -231,13 +284,26 @@ pub(super) fn shared_rd_own_other(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
-    let o = r.other();
-    if !tracked_sharer(s, o, cfg) || !snoop_launch_allowed(s, o, cfg) {
+    // Collect the sharer peers into a stack buffer (N ≤ MAX_DEVICES):
+    // this guard runs on every successor-generation pass, so it must not
+    // allocate on the rejecting paths.
+    let mut sharers = [DeviceId::D1; Topology::MAX_DEVICES];
+    let mut count = 0usize;
+    for p in s.peer_ids(r) {
+        if tracked_sharer(s, p, cfg) {
+            sharers[count] = p;
+            count += 1;
+        }
+    }
+    let sharers = &sharers[..count];
+    if sharers.is_empty() || sharers.iter().any(|&p| !snoop_launch_allowed(s, p, cfg)) {
         return None;
     }
     let mut n = s.clone();
     n.dev_mut(r).d2h_req.pop();
-    n.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
+    for &p in sharers {
+        n.dev_mut(p).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
+    }
     let val = n.host.val;
     n.dev_mut(r).h2d_data.push(DataMsg::new(req.tid, val));
     n.host.state = HState::MA;
@@ -255,8 +321,8 @@ pub(super) fn modified_rd_own(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
-    let o = r.other();
-    if !tracked_owner(s, o, cfg) || !snoop_launch_allowed(s, o, cfg) {
+    let o = owner_peer(s, r, cfg)?;
+    if !snoop_launch_allowed(s, o, cfg) {
         return None;
     }
     let mut n = s.clone();
@@ -268,8 +334,8 @@ pub(super) fn modified_rd_own(
 
 // ---------------------------------------------------------------------
 // Response and data collection. Rules are indexed by the *requester* `r`;
-// the snooped device is `r.other()`, matching the paper's naming
-// (`MARspIHitI1` serves device 1's transaction).
+// the snooped device is found among `r`'s peers (matching the paper's
+// naming: `MARspIHitI1` serves device 1's transaction).
 // ---------------------------------------------------------------------
 
 /// Is `r` the requester the host transient state is serving a shared grant
@@ -277,15 +343,24 @@ pub(super) fn modified_rd_own(
 /// in `ISAD` (its request has been popped; its GO has not been sent) — or
 /// in `ISA` if the host forwarded the owner's data early and the requester
 /// has already consumed it.
+///
+/// The admitted requester's D2HReq channel is empty (admission popped it);
+/// with three or more devices another device may *also* sit in `ISAD`
+/// while its own request is still queued behind the blocking host, so the
+/// empty-request clause is what disambiguates the transaction's owner.
 fn s_grant_requester(s: &SystemState, r: DeviceId) -> bool {
-    matches!(s.dev(r).cache.state, DState::ISAD | DState::ISA) && s.dev(r).h2d_rsp.is_empty()
+    matches!(s.dev(r).cache.state, DState::ISAD | DState::ISA)
+        && s.dev(r).h2d_rsp.is_empty()
+        && s.dev(r).d2h_req.is_empty()
 }
 
 /// Is `r` the requester of the in-flight M-grant? The requester waits in
-/// one of the `…M…` transient states with no GO delivered yet.
+/// one of the `…M…` transient states with no GO delivered yet and (as in
+/// [`s_grant_requester`]) no queued request of its own.
 fn m_grant_requester(s: &SystemState, r: DeviceId) -> bool {
     matches!(s.dev(r).cache.state, DState::IMAD | DState::IMA | DState::SMAD | DState::SMA)
         && s.dev(r).h2d_rsp.is_empty()
+        && s.dev(r).d2h_req.is_empty()
 }
 
 /// `SAD` + the owner's `RspSFwdM` → `SD` (awaiting the forwarded data).
@@ -297,11 +372,7 @@ pub(super) fn sad_rsp_s_fwd_m(
     if s.host.state != HState::SAD || !s_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    match s.dev(o).d2h_rsp.head() {
-        Some(rsp) if rsp.ty == D2HRspType::RspSFwdM => {}
-        _ => return None,
-    }
+    let (o, _) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM)?;
     let mut n = s.clone();
     n.dev_mut(o).d2h_rsp.pop();
     n.host.state = HState::SD;
@@ -314,11 +385,7 @@ pub(super) fn sad_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> O
     if s.host.state != HState::SAD || !s_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    let data = match s.dev(o).d2h_data.head() {
-        Some(d) if !d.bogus => *d,
-        _ => return None,
-    };
+    let (o, data) = peer_with_live_data(s, r)?;
     let mut n = s.clone();
     n.dev_mut(o).d2h_data.pop();
     n.host.val = data.val;
@@ -333,11 +400,7 @@ pub(super) fn sd_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Opt
     if s.host.state != HState::SD || !s_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    let data = match s.dev(o).d2h_data.head() {
-        Some(d) if !d.bogus => *d,
-        _ => return None,
-    };
+    let (o, data) = peer_with_live_data(s, r)?;
     if !go_launch_allowed(s, r, cfg) {
         return None;
     }
@@ -359,11 +422,7 @@ pub(super) fn sa_rsp_s_fwd_m(
     if s.host.state != HState::SA || !s_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    let rsp = match s.dev(o).d2h_rsp.head() {
-        Some(rsp) if rsp.ty == D2HRspType::RspSFwdM => *rsp,
-        _ => return None,
-    };
+    let (o, rsp) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM)?;
     if !go_launch_allowed(s, r, cfg) {
         return None;
     }
@@ -383,11 +442,7 @@ pub(super) fn mad_rsp_i_fwd_m(
     if s.host.state != HState::MAD || !m_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    match s.dev(o).d2h_rsp.head() {
-        Some(rsp) if rsp.ty == D2HRspType::RspIFwdM => {}
-        _ => return None,
-    }
+    let (o, _) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspIFwdM)?;
     let mut n = s.clone();
     n.dev_mut(o).d2h_rsp.pop();
     n.host.state = HState::MD;
@@ -400,11 +455,7 @@ pub(super) fn mad_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> O
     if s.host.state != HState::MAD || !m_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    let data = match s.dev(o).d2h_data.head() {
-        Some(d) if !d.bogus => *d,
-        _ => return None,
-    };
+    let (o, data) = peer_with_live_data(s, r)?;
     let mut n = s.clone();
     n.dev_mut(o).d2h_data.pop();
     n.host.val = data.val;
@@ -419,11 +470,7 @@ pub(super) fn md_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Opt
     if s.host.state != HState::MD || !m_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    let data = match s.dev(o).d2h_data.head() {
-        Some(d) if !d.bogus => *d,
-        _ => return None,
-    };
+    let (o, data) = peer_with_live_data(s, r)?;
     if !go_launch_allowed(s, r, cfg) {
         return None;
     }
@@ -435,33 +482,41 @@ pub(super) fn md_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Opt
     Some(n)
 }
 
-/// `MA` + the snooped device's response → send GO-M; the line is owned by
-/// the requester. Accepts `RspIHitSE` (the snooped sharer was clean),
+/// `MA` + a snooped device's response → consume it; once the *last*
+/// outstanding snoop has been collected, send GO-M and the line is owned
+/// by the requester. Accepts `RspIHitSE` (the snooped sharer was clean),
 /// `RspIFwdM` (data-first path from `MAD`), and the buggy `RspIHitI`
 /// (paper Table 3's `MARspIHitI` step).
+///
+/// With three or more devices, [`shared_rd_own_other`] may have snooped
+/// several sharers; this rule then fires once per response (lowest-indexed
+/// responding peer first), staying in `MA` until none of the requester's
+/// peers has a snoop or response in flight. For `N = 2` there is exactly
+/// one snooped peer and the GO launches on the first firing, exactly as in
+/// the two-device model.
 pub(super) fn ma_snp_rsp(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
     if s.host.state != HState::MA || !m_grant_requester(s, r) {
         return None;
     }
-    let o = r.other();
-    let rsp = match s.dev(o).d2h_rsp.head() {
-        Some(rsp)
-            if matches!(
-                rsp.ty,
-                D2HRspType::RspIHitSE | D2HRspType::RspIFwdM | D2HRspType::RspIHitI
-            ) =>
-        {
-            *rsp
-        }
-        _ => return None,
-    };
-    if !go_launch_allowed(s, r, cfg) {
+    let (o, rsp) = peer_with_rsp(s, r, |ty| {
+        matches!(ty, D2HRspType::RspIHitSE | D2HRspType::RspIFwdM | D2HRspType::RspIHitI)
+    })?;
+    // Is this the last outstanding snoop transaction among the peers
+    // (after consuming `o`'s response)?
+    let last = !s.peer_ids(r).any(|p| {
+        let dp = s.dev(p);
+        let rsp_left = if p == o { dp.d2h_rsp.len() > 1 } else { !dp.d2h_rsp.is_empty() };
+        !dp.h2d_req.is_empty() || rsp_left
+    });
+    if last && !go_launch_allowed(s, r, cfg) {
         return None;
     }
     let mut n = s.clone();
     n.dev_mut(o).d2h_rsp.pop();
-    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, rsp.tid));
-    n.host.state = HState::M;
+    if last {
+        n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, rsp.tid));
+        n.host.state = HState::M;
+    }
     Some(n)
 }
 
@@ -501,7 +556,7 @@ pub(super) fn clean_evict_drop_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
-    if tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+    if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     Some(drop_evict(s, r, req.tid, HState::I))
@@ -518,7 +573,7 @@ pub(super) fn clean_evict_drop_not_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
-    if !tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+    if !any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     Some(drop_evict(s, r, req.tid, HState::S))
@@ -535,7 +590,7 @@ pub(super) fn clean_evict_pull_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
-    if tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+    if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     Some(pull_evict(s, r, req.tid, HState::IB))
@@ -551,7 +606,7 @@ pub(super) fn clean_evict_pull_not_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
-    if !tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+    if !any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     Some(pull_evict(s, r, req.tid, HState::SB))
@@ -568,7 +623,7 @@ pub(super) fn clean_evict_no_data_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::CleanEvictNoData)?;
-    if tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+    if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     Some(drop_evict(s, r, req.tid, HState::I))
@@ -584,7 +639,7 @@ pub(super) fn clean_evict_no_data_not_last(
         return None;
     }
     let req = head_req_stable(s, r, D2HReqType::CleanEvictNoData)?;
-    if !tracked_sharer(s, r.other(), cfg) || !go_launch_allowed(s, r, cfg) {
+    if !any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
         return None;
     }
     Some(drop_evict(s, r, req.tid, HState::S))
@@ -627,9 +682,9 @@ pub(super) fn id_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Op
 }
 
 /// Host-state the line should settle in after `r`'s eviction completes,
-/// given whether the other device still shares it.
+/// given whether any peer still shares it.
 fn after_evict(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> HState {
-    if tracked_sharer(s, r.other(), cfg) {
+    if any_peer_sharer(s, r, cfg) {
         HState::S
     } else {
         HState::I
@@ -655,9 +710,9 @@ pub(super) fn cleaned_dirty_evict_drop(
     Some(drop_evict(s, r, req.tid, next))
 }
 
-/// As [`cleaned_dirty_evict_drop`], but pulling the now-clean data
-/// ([`ProtocolConfig::clean_evict_pull`]); the host blocks until it
-/// arrives and is discarded.
+/// As [`cleaned_dirty_evict_drop`], but the host elects to pull the
+/// (now clean) data ([`ProtocolConfig::clean_evict_pull`]); the host
+/// blocks until it arrives and is discarded.
 pub(super) fn cleaned_dirty_evict_pull(
     s: &SystemState,
     r: DeviceId,
@@ -849,6 +904,53 @@ mod tests {
     }
 
     #[test]
+    fn shared_rd_own_other_snoops_every_sharer_peer() {
+        // Three devices: device 1 upgrades while devices 2 and 3 share.
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let mut s = SystemState::initial_n(3, vec![programs::store(1)]);
+        s.host = crate::cacheline::HCache::new(9, HState::S);
+        s.dev_mut(DeviceId::new(0)).cache.state = DState::SMAD;
+        s.dev_mut(DeviceId::new(0)).d2h_req.push(D2HReq::new(D2HReqType::RdOwn, 0));
+        s.dev_mut(DeviceId::new(1)).cache = DCache::new(9, DState::S);
+        s.dev_mut(DeviceId::new(2)).cache = DCache::new(9, DState::S);
+
+        let n = fire(&rules, Shape::HostSharedRdOwnOther, DeviceId::new(0), &s);
+        assert_eq!(n.host.state, HState::MA);
+        for i in [1, 2] {
+            assert_eq!(
+                n.dev(DeviceId::new(i)).h2d_req.head().map(|r| r.ty),
+                Some(H2DReqType::SnpInv),
+                "sharer {i} must be snooped"
+            );
+        }
+    }
+
+    #[test]
+    fn ma_collects_every_response_before_granting() {
+        // Continue the three-device upgrade: both snooped sharers answer;
+        // the GO launches only after the second response is consumed.
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let mut s = SystemState::initial_n(3, vec![programs::store(1)]);
+        s.host = crate::cacheline::HCache::new(9, HState::MA);
+        s.dev_mut(DeviceId::new(0)).cache.state = DState::SMAD;
+        for i in [1, 2] {
+            s.dev_mut(DeviceId::new(i)).cache.state = DState::I;
+            s.dev_mut(DeviceId::new(i)).d2h_rsp.push(D2HRsp::new(D2HRspType::RspIHitSE, 0));
+        }
+        let n1 = fire(&rules, Shape::HostMaSnpRsp, DeviceId::new(0), &s);
+        assert_eq!(n1.host.state, HState::MA, "one response still outstanding");
+        assert!(n1.dev(DeviceId::new(0)).h2d_rsp.is_empty(), "no premature GO");
+        assert!(n1.dev(DeviceId::new(1)).d2h_rsp.is_empty(), "lowest peer consumed first");
+        let n2 = fire(&rules, Shape::HostMaSnpRsp, DeviceId::new(0), &n1);
+        assert_eq!(n2.host.state, HState::M);
+        assert_eq!(
+            n2.dev(DeviceId::new(0)).h2d_rsp.head().map(|r| r.ty),
+            Some(H2DRspType::GO),
+            "GO launches with the last response"
+        );
+    }
+
+    #[test]
     fn rd_own_last_requires_no_other_sharer() {
         let rules = strict();
         let mut s = SystemState::initial(programs::store(1), Vec::new());
@@ -862,6 +964,21 @@ mod tests {
         s.dev_mut(DeviceId::D2).cache.state = DState::S;
         assert!(!rules.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::D1), &s));
         assert!(rules.enabled(RuleId::new(Shape::HostSharedRdOwnOther, DeviceId::D1), &s));
+    }
+
+    #[test]
+    fn rd_own_last_quantifies_over_all_peers() {
+        // Three devices: a single idle third device must not change the
+        // "last sharer" verdict, but a sharing third device must.
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let mut s = SystemState::initial_n(3, vec![programs::store(1)]);
+        s.host.state = HState::S;
+        s.dev_mut(DeviceId::new(0)).cache.state = DState::SMAD;
+        s.dev_mut(DeviceId::new(0)).d2h_req.push(D2HReq::new(D2HReqType::RdOwn, 0));
+        assert!(rules.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::new(0)), &s));
+        s.dev_mut(DeviceId::new(2)).cache.state = DState::S;
+        assert!(!rules.enabled(RuleId::new(Shape::HostSharedRdOwnLast, DeviceId::new(0)), &s));
+        assert!(rules.enabled(RuleId::new(Shape::HostSharedRdOwnOther, DeviceId::new(0)), &s));
     }
 
     #[test]

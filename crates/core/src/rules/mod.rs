@@ -12,10 +12,12 @@
 //! rule's doc comment records its provenance.
 //!
 //! Rules are *shapes* instantiated once per device; a [`RuleId`] is a
-//! `(shape, device)` pair. This crate has 69 shapes (ours is a richer set
-//! than the paper's 34 shapes/68 rules because we additionally model
-//! `SnpData` flows, the `CleanEvictNoData` and clean-pull variants, the
-//! paper's §4.4 optimisation, and two relaxed/buggy rules used by the
+//! `(shape, device)` pair, and a [`Ruleset`] instantiates every shape for
+//! every device of its [`Topology`] (N × 69 rule instances). This crate
+//! has 69 shapes (ours is a richer set than the paper's 34 shapes/68
+//! rules because we additionally model `SnpData` flows, the
+//! `CleanEvictNoData` and clean-pull variants, the paper's §4.4
+//! optimisation, and two relaxed/buggy rules used by the
 //! restriction-necessity experiments).
 
 mod device;
@@ -23,7 +25,7 @@ mod host;
 
 use crate::cacheline::{DState, HState};
 use crate::config::ProtocolConfig;
-use crate::ids::DeviceId;
+use crate::ids::{DeviceId, Topology};
 use crate::state::SystemState;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -511,31 +513,31 @@ impl Shape {
             Shape::HostModifiedRdShared | Shape::HostModifiedRdOwn => {
                 s.host.state == HState::M && !dev.d2h_req.is_empty()
             }
-            // Host response/data collection: consumes from the *other*
-            // device.
+            // Host response/data collection: consumes from one of the
+            // requester's *peers*.
             Shape::HostSadRspSFwdM => {
-                s.host.state == HState::SAD && !s.dev(d.other()).d2h_rsp.is_empty()
+                s.host.state == HState::SAD && s.any_peer(d, |p| !p.d2h_rsp.is_empty())
             }
             Shape::HostSadData => {
-                s.host.state == HState::SAD && !s.dev(d.other()).d2h_data.is_empty()
+                s.host.state == HState::SAD && s.any_peer(d, |p| !p.d2h_data.is_empty())
             }
             Shape::HostSdData => {
-                s.host.state == HState::SD && !s.dev(d.other()).d2h_data.is_empty()
+                s.host.state == HState::SD && s.any_peer(d, |p| !p.d2h_data.is_empty())
             }
             Shape::HostSaRspSFwdM => {
-                s.host.state == HState::SA && !s.dev(d.other()).d2h_rsp.is_empty()
+                s.host.state == HState::SA && s.any_peer(d, |p| !p.d2h_rsp.is_empty())
             }
             Shape::HostMadRspIFwdM => {
-                s.host.state == HState::MAD && !s.dev(d.other()).d2h_rsp.is_empty()
+                s.host.state == HState::MAD && s.any_peer(d, |p| !p.d2h_rsp.is_empty())
             }
             Shape::HostMadData => {
-                s.host.state == HState::MAD && !s.dev(d.other()).d2h_data.is_empty()
+                s.host.state == HState::MAD && s.any_peer(d, |p| !p.d2h_data.is_empty())
             }
             Shape::HostMdData => {
-                s.host.state == HState::MD && !s.dev(d.other()).d2h_data.is_empty()
+                s.host.state == HState::MD && s.any_peer(d, |p| !p.d2h_data.is_empty())
             }
             Shape::HostMaSnpRsp => {
-                s.host.state == HState::MA && !s.dev(d.other()).d2h_rsp.is_empty()
+                s.host.state == HState::MA && s.any_peer(d, |p| !p.d2h_rsp.is_empty())
             }
             // Host evictions.
             Shape::HostCleanEvictDropLast
@@ -593,18 +595,6 @@ impl RuleId {
         RuleId { shape, dev }
     }
 
-    /// Total number of rule instances (shapes × devices).
-    pub const INSTANCE_COUNT: usize = Shape::ALL.len() * 2;
-
-    /// The instance's position in [`Ruleset::rule_ids`]'s canonical order
-    /// — a dense `0..INSTANCE_COUNT` key for flat per-rule counters, so
-    /// hot loops never need a map keyed by `RuleId`.
-    #[must_use]
-    #[inline]
-    pub fn dense_index(self) -> usize {
-        (self.shape as usize) * 2 + self.dev.index()
-    }
-
     /// Paper-style name, e.g. `HostModifiedDirtyEvict1`.
     #[must_use]
     pub fn name(self) -> String {
@@ -619,7 +609,8 @@ impl fmt::Display for RuleId {
 }
 
 /// The rule engine: the full instantiated rule set under a given
-/// [`ProtocolConfig`].
+/// [`ProtocolConfig`] and [`Topology`] — every shape instantiated once per
+/// device.
 ///
 /// # Examples
 ///
@@ -631,41 +622,67 @@ impl fmt::Display for RuleId {
 /// let s = SystemState::initial(programs::store(42), programs::load());
 /// let succs = rules.successors(&s);
 /// assert!(!succs.is_empty(), "initial state must not be stuck");
+///
+/// // A three-device engine instantiates 69 shapes × 3 devices.
+/// let wide = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+/// assert_eq!(wide.rule_ids().len(), 69 * 3);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Ruleset {
     config: ProtocolConfig,
+    topology: Topology,
     ids: Vec<RuleId>,
     /// Per `(DState, device)` bucket: dense indices of the device-side
     /// rule instances whose acting device must hold that cache state.
     device_buckets: Vec<Vec<u16>>,
     /// Per `HState` bucket: dense indices of the host-side rule instances
-    /// (both devices) that can possibly fire under that host state.
+    /// (all devices) that can possibly fire under that host state.
     host_buckets: Vec<Vec<u16>>,
 }
 
+/// Upper bound on the candidates gathered per state in
+/// [`Ruleset::successors_into`]: one device bucket per device plus the
+/// host bucket, each bounded well under `19 × Topology::MAX_DEVICES`.
+const CANDIDATE_CAP: usize = 256;
+
 impl Ruleset {
-    /// Build the rule set for `config`. All shapes are instantiated; rules
-    /// whose enabling condition depends on the configuration simply never
-    /// fire when disabled. Rule instances are additionally bucketed by
-    /// the cache/host state their leading guard requires, so successor
-    /// generation consults a handful of candidates per state instead of
-    /// scanning all [`RuleId::INSTANCE_COUNT`].
+    /// Build the paper's two-device rule set for `config`.
     #[must_use]
     pub fn new(config: ProtocolConfig) -> Self {
-        let mut ids = Vec::with_capacity(RuleId::INSTANCE_COUNT);
+        Self::with_topology(config, Topology::pair())
+    }
+
+    /// Build the rule set for `config` over `devices` devices.
+    ///
+    /// # Panics
+    /// Panics if `devices` is outside `2..=Topology::MAX_DEVICES`.
+    #[must_use]
+    pub fn with_devices(config: ProtocolConfig, devices: usize) -> Self {
+        Self::with_topology(config, Topology::new(devices))
+    }
+
+    /// Build the rule set for `config` over `topology`. All shapes are
+    /// instantiated for every device; rules whose enabling condition
+    /// depends on the configuration simply never fire when disabled. Rule
+    /// instances are additionally bucketed by the cache/host state their
+    /// leading guard requires, so successor generation consults a handful
+    /// of candidates per state instead of scanning every instance.
+    #[must_use]
+    pub fn with_topology(config: ProtocolConfig, topology: Topology) -> Self {
+        let n = topology.device_count();
+        let mut ids = Vec::with_capacity(Shape::ALL.len() * n);
         for &shape in Shape::ALL {
-            for dev in DeviceId::ALL {
+            for dev in topology.devices() {
                 ids.push(RuleId::new(shape, dev));
             }
         }
 
-        let mut device_buckets = vec![Vec::new(); DState::ALL.len() * 2];
+        let mut device_buckets = vec![Vec::new(); DState::ALL.len() * n];
         let mut host_buckets = vec![Vec::new(); HState::ALL.len()];
-        for &id in &ids {
-            let dense = u16::try_from(id.dense_index()).expect("instance count fits u16");
+        for (pos, &id) in ids.iter().enumerate() {
+            let dense = u16::try_from(pos).expect("instance count fits u16");
             if let Some(ds) = id.shape.device_state_key() {
-                device_buckets[(ds as usize) * 2 + id.dev.index()].push(dense);
+                device_buckets[(ds as usize) * n + id.dev.index()].push(dense);
             } else if let Some(hs) = id.shape.host_state_keys() {
                 for &h in hs {
                     host_buckets[h as usize].push(dense);
@@ -675,7 +692,14 @@ impl Ruleset {
             }
         }
 
-        Ruleset { config, ids, device_buckets, host_buckets }
+        let widest_dev = device_buckets.iter().map(Vec::len).max().unwrap_or(0);
+        let widest_host = host_buckets.iter().map(Vec::len).max().unwrap_or(0);
+        assert!(
+            n * widest_dev + widest_host <= CANDIDATE_CAP,
+            "candidate buffer too small for {topology}"
+        );
+
+        Ruleset { config, topology, ids, device_buckets, host_buckets }
     }
 
     /// The configuration this rule set runs under.
@@ -684,16 +708,60 @@ impl Ruleset {
         &self.config
     }
 
-    /// All instantiated rule identifiers (2 × number of shapes).
+    /// The topology this rule set is instantiated over.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of devices the rule set is instantiated for.
+    #[must_use]
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.topology.device_count()
+    }
+
+    /// The instance's position in [`Self::rule_ids`]'s canonical order —
+    /// a dense `0..rule_ids().len()` key for flat per-rule counters, so
+    /// hot loops never need a map keyed by `RuleId`.
+    #[must_use]
+    #[inline]
+    pub fn dense_index(&self, id: RuleId) -> usize {
+        (id.shape as usize) * self.device_count() + id.dev.index()
+    }
+
+    /// All instantiated rule identifiers (number of shapes × device
+    /// count).
     #[must_use]
     pub fn rule_ids(&self) -> &[RuleId] {
         &self.ids
+    }
+
+    /// A state explored by this rule set must inhabit the same topology —
+    /// checked once per successor-generation call (cheap), and again per
+    /// `try_fire` in debug builds, so an N-device rule set applied to an
+    /// M-device state fails with a diagnosis instead of an opaque
+    /// out-of-bounds panic.
+    #[inline]
+    fn assert_same_topology(&self, state: &SystemState) {
+        assert_eq!(
+            state.device_count(),
+            self.device_count(),
+            "rule set instantiated for {} but the state has {} devices",
+            self.topology,
+            state.device_count()
+        );
     }
 
     /// Attempt to fire one rule: returns the successor state if every
     /// guard holds, or `None` if the rule is disabled in `state`.
     #[must_use]
     pub fn try_fire(&self, id: RuleId, state: &SystemState) -> Option<SystemState> {
+        debug_assert_eq!(
+            state.device_count(),
+            self.device_count(),
+            "state/topology device-count mismatch"
+        );
         (id.shape.fire_fn())(state, id.dev, &self.config)
     }
 
@@ -724,22 +792,24 @@ impl Ruleset {
     /// `tests/differential.rs` hold the two paths equal over whole
     /// exploration runs.
     pub fn successors_into(&self, state: &SystemState, out: &mut Vec<(RuleId, SystemState)>) {
+        self.assert_same_topology(state);
         out.clear();
-        // Gather the candidate rule instances from the three buckets the
-        // state keys into (one per device cache state, one for the host
-        // state), then fire them in canonical dense-index order so the
-        // successor order is identical to the naive full scan. The
-        // candidate list is bounded by the widest bucket sum (well under
-        // 64), so it lives on the stack.
-        let mut candidates = [0u16; 64];
+        // Gather the candidate rule instances from the buckets the state
+        // keys into (one per device cache state, one for the host state),
+        // then fire them in canonical dense-index order so the successor
+        // order is identical to the naive full scan. The candidate list is
+        // bounded by `CANDIDATE_CAP` (asserted at construction for the
+        // topology), so it lives on the stack.
+        let ndev = self.device_count();
+        let mut candidates = [0u16; CANDIDATE_CAP];
         let mut n = 0usize;
         let mut push_all = |bucket: &[u16]| {
             candidates[n..n + bucket.len()].copy_from_slice(bucket);
             n += bucket.len();
         };
-        for d in DeviceId::ALL {
+        for d in self.topology.devices() {
             let cs = state.dev(d).cache.state;
-            push_all(&self.device_buckets[(cs as usize) * 2 + d.index()]);
+            push_all(&self.device_buckets[(cs as usize) * ndev + d.index()]);
         }
         push_all(&self.host_buckets[state.host.state as usize]);
         let candidates = &mut candidates[..n];
@@ -761,6 +831,7 @@ impl Ruleset {
     /// ([`Self::successors_into`]) is differentially tested against.
     #[must_use]
     pub fn successors_naive(&self, state: &SystemState) -> Vec<(RuleId, SystemState)> {
+        self.assert_same_topology(state);
         let mut out = Vec::new();
         for &id in &self.ids {
             if let Some(next) = self.try_fire(id, state) {
@@ -846,29 +917,29 @@ mod tests {
 
     #[test]
     fn candidate_buckets_fit_the_stack_buffer() {
-        // successors_into gathers candidates into a fixed [u16; 64]: the
-        // worst case is the widest device bucket for each device plus the
-        // widest host bucket.
-        let rules = Ruleset::default();
-        let widest_dev = (0..DState::ALL.len() * 2)
-            .map(|i| rules.device_buckets[i].len())
-            .max()
-            .unwrap_or(0);
-        let widest_host =
-            (0..HState::ALL.len()).map(|i| rules.host_buckets[i].len()).max().unwrap_or(0);
+        // successors_into gathers candidates into a fixed stack array:
+        // the worst case is the widest device bucket for each device plus
+        // the widest host bucket. Construction asserts the bound; exercise
+        // it at the maximum supported topology.
+        let rules = Ruleset::with_devices(ProtocolConfig::full(), Topology::MAX_DEVICES);
+        let widest_dev = rules.device_buckets.iter().map(Vec::len).max().unwrap_or(0);
+        let widest_host = rules.host_buckets.iter().map(Vec::len).max().unwrap_or(0);
         assert!(
-            2 * widest_dev + widest_host <= 64,
-            "candidate buffer too small: 2×{widest_dev} + {widest_host} > 64"
+            Topology::MAX_DEVICES * widest_dev + widest_host <= CANDIDATE_CAP,
+            "candidate buffer too small: {}×{widest_dev} + {widest_host} > {CANDIDATE_CAP}",
+            Topology::MAX_DEVICES
         );
     }
 
     #[test]
     fn dense_index_matches_canonical_order() {
-        let rules = Ruleset::default();
-        for (pos, &id) in rules.rule_ids().iter().enumerate() {
-            assert_eq!(id.dense_index(), pos, "{id} dense index out of order");
+        for n in [2, 3, 5] {
+            let rules = Ruleset::with_devices(ProtocolConfig::strict(), n);
+            for (pos, &id) in rules.rule_ids().iter().enumerate() {
+                assert_eq!(rules.dense_index(id), pos, "{id} dense index out of order at N={n}");
+            }
+            assert_eq!(rules.rule_ids().len(), Shape::ALL.len() * n);
         }
-        assert_eq!(rules.rule_ids().len(), RuleId::INSTANCE_COUNT);
     }
 
     #[test]

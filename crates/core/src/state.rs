@@ -1,17 +1,24 @@
-//! The whole-system state of the two-device CXL model (paper Figures 2–3).
+//! The whole-system state of the N-device CXL model (paper Figures 2–3,
+//! generalised from the paper's fixed two devices).
 //!
 //! A [`SystemState`] bundles, for each device: its program, cache line, the
 //! three device-to-host channels (requests, responses, data), the three
 //! host-to-device channels, and its buffer slot; plus the host cache line
-//! and the global transaction-identifier counter — the twenty components of
-//! paper Figure 3.
+//! and the global transaction-identifier counter. For `N = 2` these are
+//! exactly the twenty components of paper Figure 3.
+//!
+//! Device states live in a [`DeviceVec`]: an inline two-slot buffer (every
+//! topology has at least two devices) plus a heap spill for devices 3..N.
+//! Combined with the channel layer's capacity-1 inline buffers, cloning a
+//! two-device state — one clone per successor generated during exploration
+//! — allocates only for non-empty programs and spilled channels.
 
 use crate::cacheline::{DCache, DState, HCache, HState};
 use crate::channel::Channel;
-use crate::ids::{DeviceId, Tid, Val};
+use crate::ids::{DeviceId, Tid, Topology, Val};
 use crate::instr::{Instruction, Program};
 use crate::msg::{D2HReq, D2HRsp, DBufferSlot, DataMsg, H2DReq, H2DRsp};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Everything belonging to one device side of Figure 2: the program, the
@@ -94,11 +101,121 @@ impl DeviceState {
     }
 }
 
-/// The complete system state (paper Figure 3's `SystemState` record).
+/// The per-device states of a system: an inline small-vector with two
+/// always-present slots (every topology has ≥ 2 devices) and a heap spill
+/// for devices 3..N. A two-device clone copies the inline pair in place —
+/// no outer allocation, matching the old `[DeviceState; 2]` layout.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DeviceVec {
+    base: [DeviceState; 2],
+    extra: Vec<DeviceState>,
+}
+
+impl DeviceVec {
+    /// `n` devices built by `f` (called with each index in order).
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ n ≤ Topology::MAX_DEVICES`.
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> DeviceState) -> Self {
+        assert!(
+            (2..=Topology::MAX_DEVICES).contains(&n),
+            "device count {n} outside supported range"
+        );
+        DeviceVec { base: [f(0), f(1)], extra: (2..n).map(&mut f).collect() }
+    }
+
+    /// Number of devices.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        2 + self.extra.len()
+    }
+
+    /// A `DeviceVec` is never empty (≥ 2 devices by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over device states in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceState> {
+        self.base.iter().chain(self.extra.iter())
+    }
+
+    /// Iterate mutably over device states in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut DeviceState> {
+        self.base.iter_mut().chain(self.extra.iter_mut())
+    }
+
+    /// Swap the states of devices `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        if hi < 2 {
+            self.base.swap(lo, hi);
+        } else if lo >= 2 {
+            self.extra.swap(lo - 2, hi - 2);
+        } else {
+            std::mem::swap(&mut self.base[lo], &mut self.extra[hi - 2]);
+        }
+    }
+}
+
+impl std::ops::Index<usize> for DeviceVec {
+    type Output = DeviceState;
+    #[inline]
+    fn index(&self, i: usize) -> &DeviceState {
+        if i < 2 {
+            &self.base[i]
+        } else {
+            &self.extra[i - 2]
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for DeviceVec {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut DeviceState {
+        if i < 2 {
+            &mut self.base[i]
+        } else {
+            &mut self.extra[i - 2]
+        }
+    }
+}
+
+impl Serialize for DeviceVec {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for DeviceVec {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let Value::Seq(items) = v else {
+            return Err(serde::DeError(format!("expected device seq, got {v:?}")));
+        };
+        if !(2..=Topology::MAX_DEVICES).contains(&items.len()) {
+            return Err(serde::DeError(format!("bad device count {}", items.len())));
+        }
+        let devs: Vec<DeviceState> =
+            items.iter().map(DeviceState::from_value).collect::<Result<_, _>>()?;
+        let mut it = devs.into_iter();
+        let d0 = it.next().expect("len checked");
+        let d1 = it.next().expect("len checked");
+        Ok(DeviceVec { base: [d0, d1], extra: it.collect() })
+    }
+}
+
+/// The complete system state (paper Figure 3's `SystemState` record,
+/// generalised to N devices).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SystemState {
-    /// The two devices, indexed by [`DeviceId`].
-    pub devs: [DeviceState; 2],
+    /// The devices, indexed by [`DeviceId`].
+    pub devs: DeviceVec,
     /// The host cache line (`HCache`).
     pub host: HCache,
     /// The global transaction-identifier counter (`Counter`). "The standard
@@ -109,28 +226,43 @@ pub struct SystemState {
 }
 
 impl SystemState {
-    /// The canonical initial state of the paper's relaxation test
-    /// (Table 3): both devices `(-1, I)`, host `(0, I)`, counter 0, with
-    /// the given programs.
+    /// The canonical two-device initial state of the paper's relaxation
+    /// test (Table 3): both devices `(-1, I)`, host `(0, I)`, counter 0,
+    /// with the given programs.
     #[must_use]
     pub fn initial(prog1: impl Into<Program>, prog2: impl Into<Program>) -> Self {
+        Self::initial_n(2, vec![prog1.into(), prog2.into()])
+    }
+
+    /// The all-invalid initial state of an `n`-device system: every device
+    /// `(-1, I)`, host `(0, I)`, counter 0. Programs are assigned to
+    /// devices in order; missing tails are empty.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside `2..=Topology::MAX_DEVICES` or more
+    /// programs than devices are supplied.
+    #[must_use]
+    pub fn initial_n(n: usize, progs: Vec<Program>) -> Self {
+        assert!(progs.len() <= n, "{} programs for {n} devices", progs.len());
         let mut s = SystemState {
-            devs: [DeviceState::idle(-1), DeviceState::idle(-1)],
+            devs: DeviceVec::from_fn(n, |_| DeviceState::idle(-1)),
             host: HCache::new(0, HState::I),
             counter: 0,
         };
-        s.devs[0].prog = prog1.into();
-        s.devs[1].prog = prog2.into();
+        for (i, p) in progs.into_iter().enumerate() {
+            s.devs[i].prog = p;
+        }
         s
     }
 
     /// The state's 64-bit fingerprint: a fast, deterministic hash of all
-    /// twenty components via [`crate::fasthash::FxHasher`].
+    /// components via [`crate::fasthash::FxHasher`].
     ///
     /// The model checker hashes each state **once** at discovery and keys
     /// its dedup index by this value (full equality is only consulted on
     /// fingerprint collision), instead of re-SipHashing whole states on
-    /// every probe.
+    /// every probe. Device states hash in index order, so fingerprints are
+    /// well-defined for any device count.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
@@ -139,13 +271,46 @@ impl SystemState {
         h.finish()
     }
 
+    /// Number of devices in this system.
+    #[must_use]
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devs.len()
+    }
+
+    /// The topology this state inhabits.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.device_count())
+    }
+
+    /// All device ids of this system, in index order.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.device_count()).map(DeviceId::new)
+    }
+
+    /// All devices except `d` — the domain every host guard that used to
+    /// say "the other device" now quantifies over.
+    pub fn peer_ids(&self, d: DeviceId) -> impl Iterator<Item = DeviceId> {
+        self.device_ids().filter(move |&p| p != d)
+    }
+
+    /// Does any peer of `d` satisfy `f`? The hot-path form of peer
+    /// quantification used by guard pre-checks.
+    #[inline]
+    pub fn any_peer(&self, d: DeviceId, mut f: impl FnMut(&DeviceState) -> bool) -> bool {
+        self.peer_ids(d).any(|p| f(self.dev(p)))
+    }
+
     /// Borrow a device's state.
     #[must_use]
+    #[inline]
     pub fn dev(&self, d: DeviceId) -> &DeviceState {
         &self.devs[d.index()]
     }
 
     /// Mutably borrow a device's state.
+    #[inline]
     pub fn dev_mut(&mut self, d: DeviceId) -> &mut DeviceState {
         &mut self.devs[d.index()]
     }
@@ -222,7 +387,7 @@ impl SystemState {
         self.devs.iter().map(DeviceState::messages_in_flight).sum()
     }
 
-    /// Remaining instructions across both programs.
+    /// Remaining instructions across all programs.
     #[must_use]
     pub fn instructions_remaining(&self) -> usize {
         self.devs.iter().map(|d| d.prog.len()).sum()
@@ -232,7 +397,7 @@ impl SystemState {
 impl fmt::Display for SystemState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "host: {}   counter: {}", self.host, self.counter)?;
-        for d in DeviceId::ALL {
+        for d in self.device_ids() {
             let dev = self.dev(d);
             writeln!(
                 f,
@@ -268,6 +433,40 @@ mod tests {
         assert_eq!(s.host, HCache::new(0, HState::I));
         assert_eq!(s.counter, 0);
         assert!(!s.is_quiescent(), "programs pending");
+    }
+
+    #[test]
+    fn initial_n_builds_wider_topologies() {
+        let s = SystemState::initial_n(4, vec![programs::load(), programs::store(1)]);
+        assert_eq!(s.device_count(), 4);
+        assert_eq!(s.dev(DeviceId::new(0)).prog.len(), 1);
+        assert_eq!(s.dev(DeviceId::new(1)).prog.len(), 1);
+        assert!(s.dev(DeviceId::new(2)).prog.is_empty());
+        assert!(s.dev(DeviceId::new(3)).prog.is_empty());
+        assert_eq!(s.peer_ids(DeviceId::new(1)).count(), 3);
+        assert_eq!(s.topology().device_count(), 4);
+    }
+
+    #[test]
+    fn two_device_initial_matches_initial_n() {
+        let a = SystemState::initial(programs::store(42), programs::load());
+        let b = SystemState::initial_n(
+            2,
+            vec![programs::store(42), programs::load()],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn device_vec_swap_crosses_the_spill_boundary() {
+        let mut s = SystemState::initial_n(3, vec![programs::load()]);
+        s.dev_mut(DeviceId::new(2)).cache.val = 7;
+        s.devs.swap(0, 2);
+        assert_eq!(s.dev(DeviceId::new(0)).cache.val, 7);
+        assert_eq!(s.dev(DeviceId::new(2)).prog.len(), 1);
+        s.devs.swap(2, 2); // no-op
+        assert_eq!(s.dev(DeviceId::new(2)).prog.len(), 1);
     }
 
     #[test]
@@ -334,11 +533,35 @@ mod tests {
     }
 
     #[test]
+    fn any_peer_quantifies_over_all_other_devices() {
+        let mut s = SystemState::initial_n(3, vec![]);
+        assert!(!s.any_peer(DeviceId::new(0), |d| !d.d2h_rsp.is_empty()));
+        s.dev_mut(DeviceId::new(2))
+            .d2h_rsp
+            .push(D2HRsp::new(crate::msg::D2HRspType::RspIHitSE, 0));
+        assert!(s.any_peer(DeviceId::new(0), |d| !d.d2h_rsp.is_empty()));
+        assert!(s.any_peer(DeviceId::new(1), |d| !d.d2h_rsp.is_empty()));
+        assert!(!s.any_peer(DeviceId::new(2), |d| !d.d2h_rsp.is_empty()));
+    }
+
+    #[test]
     fn display_mentions_all_components() {
         let s = SystemState::initial(programs::load(), programs::store(1));
         let txt = s.to_string();
         for needle in ["host:", "counter:", "dev1:", "dev2:", "D2HReq", "H2DRsp", "buf"] {
             assert!(txt.contains(needle), "display missing {needle}: {txt}");
         }
+        let s3 = SystemState::initial_n(3, vec![]);
+        assert!(s3.to_string().contains("dev3:"));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_wide_states() {
+        let mut s = SystemState::initial_n(3, vec![programs::load()]);
+        s.dev_mut(DeviceId::new(2)).d2h_req.push(D2HReq::new(crate::msg::D2HReqType::RdOwn, 3));
+        s.counter = 4;
+        let v = s.to_value();
+        let back = SystemState::from_value(&v).unwrap();
+        assert_eq!(back, s);
     }
 }

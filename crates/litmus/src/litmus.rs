@@ -144,11 +144,14 @@ impl Litmus {
         self
     }
 
-    /// Run the test, exploring all interleavings.
+    /// Run the test, exploring all interleavings. The rule set and the
+    /// invariant are instantiated for the initial state's own device
+    /// count, so N-device litmus tests need no extra plumbing.
     #[must_use]
     pub fn run(&self) -> LitmusResult {
-        let rules = Ruleset::new(self.config);
-        let invariant = InvariantProperty::new(Invariant::for_config(&self.config));
+        let n = self.initial.device_count();
+        let rules = Ruleset::with_devices(self.config, n);
+        let invariant = InvariantProperty::new(Invariant::for_devices(&self.config, n));
         let swmr = SwmrProperty;
         let opts = CheckOptions { max_violations: 1, ..CheckOptions::default() };
         let mc = ModelChecker::with_options(rules, opts);
@@ -202,7 +205,10 @@ impl Litmus {
                     None => {
                         // The checker stops at the first violation, which may
                         // be an invariant conjunct; retry with SWMR only.
-                        let mc2 = ModelChecker::new(Ruleset::new(self.config));
+                        let mc2 = ModelChecker::new(Ruleset::with_devices(
+                            self.config,
+                            self.initial.device_count(),
+                        ));
                         let r2 = mc2.check(&self.initial, &[&SwmrProperty]);
                         match r2.violations.first() {
                             Some(v) => {

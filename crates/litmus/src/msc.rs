@@ -3,42 +3,40 @@
 //! Figure 5 of the paper presents the snoop-pushes-GO violation as a
 //! message-sequence chart between `DCache1`, `HCache` and `DCache2`. This
 //! module derives MSC events from a trace by diffing consecutive states'
-//! channels, and renders them as an ASCII chart with three lifelines and
-//! per-step cache-state annotations.
+//! channels, and renders them as an ASCII chart with one lifeline per
+//! party and per-step cache-state annotations.
+//!
+//! The renderer takes its party set from the trace itself: an N-device
+//! trace renders N device lifelines around the host — device 1 to the
+//! host's left (the paper's layout), devices 2..N to its right.
 
 use cxl_core::{DeviceId, SystemState};
 use cxl_mc::Trace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A party in the chart.
+/// A party in the chart: the host or one of the devices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Party {
-    /// Device 1 (left lifeline).
-    Device1,
-    /// The host (centre lifeline).
+    /// A device lifeline.
+    Device(DeviceId),
+    /// The host lifeline.
     Host,
-    /// Device 2 (right lifeline).
-    Device2,
 }
 
 impl Party {
     /// The party for a device id.
     #[must_use]
     pub fn device(d: DeviceId) -> Party {
-        match d {
-            DeviceId::D1 => Party::Device1,
-            DeviceId::D2 => Party::Device2,
-        }
+        Party::Device(d)
     }
 }
 
 impl fmt::Display for Party {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Party::Device1 => write!(f, "DCache1"),
+            Party::Device(d) => write!(f, "DCache{d}"),
             Party::Host => write!(f, "HCache"),
-            Party::Device2 => write!(f, "DCache2"),
         }
     }
 }
@@ -68,7 +66,7 @@ pub enum MscEvent {
 #[must_use]
 pub fn diff_events(before: &SystemState, after: &SystemState) -> Vec<MscEvent> {
     let mut events = Vec::new();
-    for d in DeviceId::ALL {
+    for d in before.device_ids() {
         let (b, a) = (before.dev(d), after.dev(d));
         let dev = Party::device(d);
         // Channels are FIFO: pops happen at the head, pushes at the tail.
@@ -119,12 +117,21 @@ pub fn diff_events(before: &SystemState, after: &SystemState) -> Vec<MscEvent> {
 pub struct Msc {
     /// Chart caption.
     pub caption: String,
+    /// Number of device lifelines.
+    pub devices: usize,
     /// Events in trace order, tagged with the rule that produced them.
     pub steps: Vec<(String, Vec<MscEvent>)>,
 }
 
+/// Spacing between adjacent lifelines; device 1 sits left of the host and
+/// devices 2..N to its right, reproducing the paper's three-column layout
+/// for two devices.
+const FIRST_COL: usize = 10;
+const SPACING: usize = 34;
+
 impl Msc {
-    /// Build the chart for a trace.
+    /// Build the chart for a trace; the lifeline set is the trace's own
+    /// device set plus the host.
     #[must_use]
     pub fn from_trace(caption: impl Into<String>, trace: &Trace) -> Self {
         let mut steps = Vec::new();
@@ -133,20 +140,42 @@ impl Msc {
             steps.push((step.rule.name(), diff_events(prev, &step.state)));
             prev = &step.state;
         }
-        Msc { caption: caption.into(), steps }
+        Msc {
+            caption: caption.into(),
+            devices: trace.initial.device_count(),
+            steps,
+        }
     }
 
-    /// ASCII rendering with three lifelines (paper Figure 5's layout).
+    /// The column of a party's lifeline.
+    fn column(&self, p: Party) -> usize {
+        match p {
+            Party::Device(d) if d.index() == 0 => FIRST_COL,
+            Party::Host => FIRST_COL + SPACING,
+            Party::Device(d) => FIRST_COL + SPACING * (d.index() + 1),
+        }
+    }
+
+    /// All lifelines, left to right.
+    fn parties(&self) -> Vec<Party> {
+        let mut v = vec![Party::Device(DeviceId::new(0)), Party::Host];
+        v.extend((1..self.devices).map(|i| Party::Device(DeviceId::new(i))));
+        v
+    }
+
+    /// ASCII rendering with one lifeline per party (paper Figure 5's
+    /// layout for two devices).
     #[must_use]
     pub fn to_text(&self) -> String {
-        const LEFT: usize = 10; // Device1 lifeline column
-        const MID: usize = 44; // Host lifeline column
-        const RIGHT: usize = 78; // Device2 lifeline column
+        let parties = self.parties();
+        let right = parties.iter().map(|&p| self.column(p)).max().unwrap_or(FIRST_COL);
         let mut out = String::new();
         out.push_str(&self.caption);
         out.push('\n');
-        let mut header = vec![' '; RIGHT + 10];
-        for (col, name) in [(LEFT, "DCache1"), (MID, "HCache"), (RIGHT, "DCache2")] {
+        let mut header = vec![' '; right + 10];
+        for &p in &parties {
+            let name = p.to_string();
+            let col = self.column(p);
             for (i, ch) in name.chars().enumerate() {
                 header[col - name.len() / 2 + i] = ch;
             }
@@ -154,33 +183,27 @@ impl Msc {
         out.push_str(header.iter().collect::<String>().trim_end());
         out.push('\n');
 
-        let lifelines = |out: &mut String| {
-            let mut line = vec![' '; RIGHT + 1];
-            line[LEFT] = '|';
-            line[MID] = '|';
-            line[RIGHT] = '|';
-            out.push_str(&line.iter().collect::<String>());
+        let blank_line = |msc: &Msc| -> Vec<char> {
+            let mut line = vec![' '; right + 1];
+            for &p in &parties {
+                line[msc.column(p)] = '|';
+            }
+            line
+        };
+        let lifelines = |msc: &Msc, out: &mut String| {
+            out.push_str(&blank_line(msc).iter().collect::<String>());
             out.push('\n');
         };
 
         for (rule, events) in &self.steps {
-            lifelines(&mut out);
+            lifelines(self, &mut out);
             let mut annotated = false;
             for ev in events {
                 match ev {
                     MscEvent::Message { from, to, label } => {
-                        let (a, b) = match (from, to) {
-                            (Party::Device1, Party::Host) => (LEFT, MID),
-                            (Party::Host, Party::Device1) => (MID, LEFT),
-                            (Party::Device2, Party::Host) => (RIGHT, MID),
-                            (Party::Host, Party::Device2) => (MID, RIGHT),
-                            _ => (LEFT, RIGHT),
-                        };
+                        let (a, b) = (self.column(*from), self.column(*to));
                         let (lo, hi) = (a.min(b), a.max(b));
-                        let mut line = vec![' '; RIGHT + 1];
-                        line[LEFT] = '|';
-                        line[MID] = '|';
-                        line[RIGHT] = '|';
+                        let mut line = blank_line(self);
                         for c in line.iter_mut().take(hi).skip(lo + 1) {
                             *c = '-';
                         }
@@ -207,19 +230,12 @@ impl Msc {
                         out.push('\n');
                     }
                     MscEvent::StateChange { party, label } => {
-                        let col = match party {
-                            Party::Device1 => LEFT,
-                            Party::Host => MID,
-                            Party::Device2 => RIGHT,
-                        };
-                        let mut line = vec![' '; RIGHT + 1];
-                        line[LEFT] = '|';
-                        line[MID] = '|';
-                        line[RIGHT] = '|';
+                        let col = self.column(*party);
+                        let mut line = blank_line(self);
                         let text = format!("({label})");
-                        let start = (col + 2).min(RIGHT.saturating_sub(text.len()));
+                        let start = (col + 2).min(right.saturating_sub(text.len()));
                         for (i, ch) in text.chars().enumerate() {
-                            if start + i <= RIGHT && line[start + i] == ' ' {
+                            if start + i <= right && line[start + i] == ' ' {
                                 line[start + i] = ch;
                             }
                         }
@@ -234,15 +250,14 @@ impl Msc {
                 }
             }
             if !annotated {
-                let mut line = vec![' '; RIGHT + 1];
-                line[LEFT] = '|';
-                line[MID] = '|';
-                line[RIGHT] = '|';
-                out.push_str(&format!("{}   [{rule}]", line.iter().collect::<String>()));
+                out.push_str(&format!(
+                    "{}   [{rule}]",
+                    blank_line(self).iter().collect::<String>()
+                ));
                 out.push('\n');
             }
         }
-        lifelines(&mut out);
+        lifelines(self, &mut out);
         out
     }
 }
@@ -282,11 +297,11 @@ mod tests {
         let events = diff_events(&trace.initial, &trace.steps[0].state);
         assert!(events.iter().any(|e| matches!(
             e,
-            MscEvent::Message { from: Party::Device1, to: Party::Host, label } if label.contains("RdShared")
+            MscEvent::Message { from: Party::Device(DeviceId::D1), to: Party::Host, label } if label.contains("RdShared")
         )));
         assert!(events.iter().any(|e| matches!(
             e,
-            MscEvent::StateChange { party: Party::Device1, label } if label == "I → ISAD"
+            MscEvent::StateChange { party: Party::Device(DeviceId::D1), label } if label == "I → ISAD"
         )));
     }
 
@@ -297,7 +312,9 @@ mod tests {
         let msgs: Vec<_> = events
             .iter()
             .filter_map(|e| match e {
-                MscEvent::Message { to: Party::Device1, label, .. } => Some(label.clone()),
+                MscEvent::Message { to: Party::Device(DeviceId::D1), label, .. } => {
+                    Some(label.clone())
+                }
                 _ => None,
             })
             .collect();
@@ -309,6 +326,30 @@ mod tests {
         let msc = Msc::from_trace("load flow", &load_trace());
         let txt = msc.to_text();
         for needle in ["DCache1", "HCache", "DCache2", "[InvalidLoad1]", "RdShared", "--"] {
+            assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
+        }
+    }
+
+    #[test]
+    fn three_device_trace_renders_three_device_lifelines() {
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let init = SystemState::initial_n(3, vec![Vec::new().into(), Vec::new().into(), programs::load()]);
+        let d3 = DeviceId::new(2);
+        let trace = replay(
+            &rules,
+            &init,
+            &[
+                RuleId::new(Shape::InvalidLoad, d3),
+                RuleId::new(Shape::HostInvalidRdShared, d3),
+                RuleId::new(Shape::IsadGo, d3),
+                RuleId::new(Shape::IsdData, d3),
+            ],
+        )
+        .unwrap();
+        let msc = Msc::from_trace("3-device load", &trace);
+        assert_eq!(msc.devices, 3);
+        let txt = msc.to_text();
+        for needle in ["DCache1", "HCache", "DCache2", "DCache3", "[InvalidLoad3]"] {
             assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
         }
     }

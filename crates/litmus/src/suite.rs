@@ -80,7 +80,7 @@ pub fn multiple_reads_test() -> Litmus {
         SystemState::initial(programs::loads(2), programs::loads(2)),
     )
     .with_final_check(|s| {
-        DeviceId::ALL.iter().all(|&d| s.dev(d).cache.state == DState::S) && s.host.state == HState::S
+        s.device_ids().all(|d| s.dev(d).cache.state == DState::S) && s.host.state == HState::S
     })
 }
 
@@ -95,8 +95,7 @@ pub fn multiple_writes_test() -> Litmus {
         SystemState::initial(programs::stores(10, 2), programs::stores(20, 2)),
     )
     .with_final_check(|s| {
-        let owners =
-            DeviceId::ALL.iter().filter(|&&d| s.dev(d).cache.state == DState::M).count();
+        let owners = s.device_ids().filter(|&d| s.dev(d).cache.state == DState::M).count();
         owners == 1 && s.host.state == HState::M
     })
 }
@@ -119,7 +118,7 @@ pub fn multiple_evicts_test() -> Litmus {
         initial,
     )
     .with_final_check(|s| {
-        DeviceId::ALL.iter().all(|&d| s.dev(d).cache.state == DState::I) && s.host.state == HState::I
+        s.device_ids().all(|d| s.dev(d).cache.state == DState::I) && s.host.state == HState::I
     })
 }
 
@@ -251,6 +250,36 @@ pub fn clean_evict_pull_test() -> Litmus {
     .with_final_check(|s| s.host.state == HState::I)
 }
 
+/// Extra — `three_device_upgrade_test`: an N-device scenario (beyond the
+/// paper's fixed pair). Two devices share the line while a third upgrades
+/// to ownership: the host must snoop *both* sharers and grant only after
+/// collecting both invalidation responses.
+#[must_use]
+pub fn three_device_upgrade_test() -> Litmus {
+    let d3 = DeviceId::new(2);
+    let initial = StateBuilder::with_devices(3)
+        .dev_cache(DeviceId::D1, 0, DState::S)
+        .dev_cache(DeviceId::D2, 0, DState::S)
+        .prog(d3, programs::store(7))
+        .prog(DeviceId::D1, programs::load())
+        .host(0, HState::S)
+        .build();
+    Litmus::coherent(
+        "three_device_upgrade_test",
+        "a third device's I→M upgrade invalidates two concurrent sharers",
+        ProtocolConfig::strict(),
+        initial,
+    )
+    .with_final_check(move |s| {
+        // Device 3's store landed (it keeps the value in M, or in S after
+        // device 1's load downgraded it via SnpData), and SWMR-style
+        // uniqueness holds at quiescence.
+        s.dev(d3).cache.val == 7
+            && matches!(s.dev(d3).cache.state, DState::M | DState::S)
+            && s.device_ids().filter(|&d| s.dev(d).cache.state == DState::M).count() <= 1
+    })
+}
+
 /// The paper's eight litmus tests (paper §5.1).
 #[must_use]
 pub fn paper_suite() -> Vec<Litmus> {
@@ -276,6 +305,7 @@ pub fn full_suite() -> Vec<Litmus> {
         snp_data_downgrade_test(),
         clean_evict_no_data_test(),
         clean_evict_pull_test(),
+        three_device_upgrade_test(),
     ]);
     v
 }

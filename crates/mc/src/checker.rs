@@ -239,10 +239,11 @@ impl ModelChecker {
         let mut transient: Vec<SystemState> = Vec::new();
         let mut transient_index = FpIndex::new();
 
-        // Flat per-rule firing counters (dense-indexed); folded into the
-        // report's BTreeMap once at the end, so the hot loop does one
-        // array increment per transition instead of a map operation.
-        let mut firings = vec![0u64; RuleId::INSTANCE_COUNT];
+        // Flat per-rule firing counters (dense-indexed; shapes × devices
+        // of the rule set's topology); folded into the report's BTreeMap
+        // once at the end, so the hot loop does one array increment per
+        // transition instead of a map operation.
+        let mut firings = vec![0u64; self.rules.rule_ids().len()];
 
         let init = Arc::new(initial.clone());
         let init_fp = init.fingerprint();
@@ -294,7 +295,7 @@ impl ModelChecker {
                              succ_counts: &mut Vec<u32>,
                              report: &mut Report|
              -> bool {
-                firings[rule.dense_index()] += 1;
+                firings[self.rules.dense_index(rule)] += 1;
                 report.transitions += 1;
                 if report.truncated {
                     // Over-cap tail: dedup against both the stored arena

@@ -58,11 +58,12 @@ impl Property for SwmrProperty {
         if swmr(s) {
             PropertyOutcome::Holds
         } else {
-            PropertyOutcome::Violated(format!(
-                "DCache1 = {}, DCache2 = {}",
-                s.dev(cxl_core::DeviceId::D1).cache,
-                s.dev(cxl_core::DeviceId::D2).cache,
-            ))
+            PropertyOutcome::Violated(
+                s.device_ids()
+                    .map(|d| format!("DCache{d} = {}", s.dev(d).cache))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
         }
     }
 }

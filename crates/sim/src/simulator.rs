@@ -9,7 +9,7 @@
 use crate::stats::SimStats;
 use crate::workload::WorkloadSpec;
 use cxl_core::instr::Instruction;
-use cxl_core::{swmr, DeviceId, ProtocolConfig, Ruleset, SystemState};
+use cxl_core::{swmr, ProtocolConfig, Ruleset, SystemState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,10 +36,26 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// A simulator over the given configuration.
+    /// A two-device simulator over the given configuration.
     #[must_use]
     pub fn new(config: ProtocolConfig) -> Self {
         Simulator { rules: Ruleset::new(config), max_steps: 100_000 }
+    }
+
+    /// An `n`-device simulator: workloads generate one program per device
+    /// and every walk quantifies SWMR over the whole device set.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside the supported device-count range.
+    #[must_use]
+    pub fn with_devices(config: ProtocolConfig, n: usize) -> Self {
+        Simulator { rules: Ruleset::with_devices(config, n), max_steps: 100_000 }
+    }
+
+    /// Number of devices this simulator drives.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.rules.device_count()
     }
 
     /// The underlying rule set.
@@ -61,7 +77,7 @@ impl Simulator {
         let mut state = initial.clone();
         // Per-device step at which the current head instruction became
         // active.
-        let mut head_since = [0u64; 2];
+        let mut head_since = vec![0u64; initial.device_count()];
         let mut step = 0u64;
 
         loop {
@@ -83,7 +99,7 @@ impl Simulator {
             stats.record_firing(rule.shape.category());
 
             // Data-traffic accounting: count D2H data sends.
-            for d in DeviceId::ALL {
+            for d in state.device_ids() {
                 let before = state.dev(d).d2h_data.len();
                 let after = next.dev(d).d2h_data.len();
                 if after > before {
@@ -96,7 +112,7 @@ impl Simulator {
 
             // Retirement accounting: latency = steps the instruction spent
             // at the program head.
-            for d in DeviceId::ALL {
+            for d in state.device_ids() {
                 let before = state.dev(d).prog.len();
                 let after = next.dev(d).prog.len();
                 if after < before {
@@ -116,10 +132,11 @@ impl Simulator {
     }
 
     /// Run `runs` differently-seeded walks of one workload and aggregate.
+    /// One program is generated per device of this simulator's topology.
     #[must_use]
     pub fn run_workload(&self, spec: &WorkloadSpec, runs: usize) -> SimStats {
-        let (p1, p2) = spec.generate();
-        let initial = SystemState::initial(p1, p2);
+        let progs = spec.generate_for(self.device_count());
+        let initial = SystemState::initial_n(self.device_count(), progs);
         let mut total = SimStats::default();
         for i in 0..runs {
             let stats = self.run(&initial, spec.seed.wrapping_add(i as u64 * 0x9e37_79b9));

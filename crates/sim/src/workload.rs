@@ -97,14 +97,27 @@ impl WorkloadSpec {
     /// ascending integers so every write is identifiable in traces.
     #[must_use]
     pub fn generate(&self) -> (Program, Program) {
+        let mut progs = self.generate_for(2);
+        let p2 = progs.pop().expect("two programs");
+        let p1 = progs.pop().expect("two programs");
+        (p1, p2)
+    }
+
+    /// Generate one program per device of an `n`-device topology. The
+    /// first two programs coincide with [`Self::generate`]'s pair, so a
+    /// wider topology extends — rather than reshuffles — the two-device
+    /// workload.
+    #[must_use]
+    pub fn generate_for(&self, n: usize) -> Vec<Program> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut next_val: Val = 100;
-        let gen_prog = |rng: &mut StdRng, next_val: &mut Val| -> Program {
-            (0..self.program_len).map(|_| self.mix.sample(rng, next_val)).collect()
-        };
-        let p1 = gen_prog(&mut rng, &mut next_val);
-        let p2 = gen_prog(&mut rng, &mut next_val);
-        (p1, p2)
+        (0..n)
+            .map(|_| {
+                (0..self.program_len)
+                    .map(|_| self.mix.sample(&mut rng, &mut next_val))
+                    .collect()
+            })
+            .collect()
     }
 }
 

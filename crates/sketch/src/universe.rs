@@ -69,17 +69,40 @@ impl Universe {
     /// [`Self::reachable`] under explicit exploration options — e.g. a
     /// thread count, which hands each scenario's expansion to the model
     /// checker's persistent worker pool.
+    ///
+    /// Initial states are built for the rule set's own device count:
+    /// devices beyond the two programmed ones start idle, so the
+    /// two-device grids drive N-device universes unchanged.
     #[must_use]
     pub fn reachable_with_options(
         rules: &Ruleset,
         grid: &[(Vec<Instruction>, Vec<Instruction>)],
         opts: cxl_mc::CheckOptions,
     ) -> Self {
+        let programs: Vec<Vec<Vec<Instruction>>> =
+            grid.iter().map(|(p1, p2)| vec![p1.clone(), p2.clone()]).collect();
+        Self::reachable_programs(rules, &programs, opts)
+    }
+
+    /// The exact reachable universe over a grid of per-device program
+    /// assignments — the fully general N-device entry point. Each scenario
+    /// lists up to `rules.device_count()` programs (devices beyond the
+    /// list idle).
+    #[must_use]
+    pub fn reachable_programs(
+        rules: &Ruleset,
+        grid: &[Vec<Vec<Instruction>>],
+        opts: cxl_mc::CheckOptions,
+    ) -> Self {
+        let n = rules.device_count();
         let mc = ModelChecker::with_options(rules.clone(), opts);
         let mut states: Vec<Arc<SystemState>> = Vec::new();
         let mut index = FpIndex::new();
-        for (p1, p2) in grid {
-            let init = SystemState::initial(p1.clone(), p2.clone());
+        for progs in grid {
+            let init = SystemState::initial_n(
+                n,
+                progs.iter().cloned().map(Into::into).collect(),
+            );
             for st in mc.reachable(&init) {
                 let fp = st.fingerprint();
                 let candidate = u32::try_from(states.len()).expect("universe fits u32");
@@ -200,7 +223,7 @@ fn plausible_state(rng: &mut StdRng) -> SystemState {
         }
     }
     // Random residual values on invalid lines and random programs.
-    for d in DeviceId::ALL {
+    for d in [DeviceId::D1, DeviceId::D2] {
         let dev = s.dev_mut(d);
         if dev.cache.state == DState::I {
             dev.cache.val = val(rng);
@@ -216,7 +239,7 @@ fn plausible_state(rng: &mut StdRng) -> SystemState {
     }
     // Optionally put one transaction in flight via a template.
     if rng.gen_bool(0.7) {
-        let d = *DeviceId::ALL.choose(rng).expect("non-empty");
+        let d = *[DeviceId::D1, DeviceId::D2].choose(rng).expect("non-empty");
         let t = tid(rng);
         let dev_state = s.dev(d).cache.state;
         match (dev_state, rng.gen_range(0..3u8)) {
@@ -261,7 +284,7 @@ fn wild_state(rng: &mut StdRng) -> SystemState {
     s.host.val = val(rng);
     s.host.state = *HState::ALL.choose(rng).expect("non-empty");
 
-    for d in DeviceId::ALL {
+    for d in [DeviceId::D1, DeviceId::D2] {
         let dstate = *DState::ALL.choose(rng).expect("non-empty");
         let prog_len = rng.gen_range(0..3usize);
         let prog: Vec<Instruction> = (0..prog_len)
