@@ -1,37 +1,44 @@
-//! Model-checker throughput bench: states explored per second on the
-//! `stores(0,3)` × `loads(3)` workload — the headline figure of the
-//! exploration-pipeline rewrite (fingerprinted dedup, zero-alloc
-//! successor generation, no terminal rescan, persistent worker pool) —
-//! plus a three-device row tracking what the N-device generalisation
-//! costs and how state spaces grow with topology width.
+//! Model-checker throughput **and memory** bench: states explored per
+//! second on the `stores(0,3)` × `loads(3)` workload — the headline
+//! figure of the exploration-pipeline rewrites — plus three- and
+//! four-device rows tracking what topology width costs in time and in
+//! packed bytes per state.
 //!
 //! Pipelines measured on the two-device workload:
 //! - `naive` — the retained pre-optimisation reference
 //!   ([`cxl_mc::ModelChecker::explore_naive`]): SipHash dedup keyed by
-//!   whole states, per-call successor allocation, and a full
+//!   whole heap states, per-call successor allocation, and a full
 //!   terminal-state rescan;
-//! - `optimized` — the rewritten single-threaded pipeline;
-//! - `optimized_par` — the same pipeline over the persistent worker pool.
+//! - `optimized` — the packed-arena single-threaded pipeline
+//!   (scratch-state rule firing, byte-encoded dedup);
+//! - `optimized_par` — the same pipeline over the persistent worker pool
+//!   (packed-bytes chunk protocol).
 //!
-//! The three-device row (`optimized_n3`) explores `stores(0,2)` ×
-//! `loads(2)` × `loads(1)` over a 3-device rule set with the sequential
-//! optimized pipeline.
+//! The wider rows (`optimized_n3`, `optimized_n4`) explore 3- and
+//! 4-device workloads with the sequential optimized pipeline — the N = 4
+//! row exists because the packed arena is what makes 4-device sweeps
+//! routinely affordable.
 //!
 //! Besides the Criterion timings, the bench writes a durable
-//! `bench_results/mc_throughput.json` snapshot (best-of-N states/sec per
-//! pipeline, thread counts, per-thread throughput, and speedups vs
-//! `naive`) so the throughput trajectory can be tracked across PRs.
+//! `bench_results/mc_throughput.json` snapshot: best-of-N states/sec per
+//! pipeline, thread counts, per-thread throughput, speedups vs `naive`,
+//! and the memory columns — packed `bytes_per_state` (from the
+//! exploration's `StateArena`), `baseline_bytes_per_state` (the
+//! heap-`SystemState`-behind-`Arc` representation the arena replaced),
+//! and process `peak_rss_mb` — so the throughput *and* memory
+//! trajectories can be tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cxl_bench::{BenchSnapshot, ThroughputRow};
+use cxl_bench::{baseline_state_bytes, peak_rss_mb, BenchSnapshot, ThroughputRow};
 use cxl_core::instr::programs;
 use cxl_core::{ProtocolConfig, Ruleset, SystemState};
-use cxl_mc::{CheckOptions, ModelChecker};
+use cxl_mc::{CheckOptions, Exploration, ModelChecker};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 const WORKLOAD: &str = "stores(0,3) x loads(3)";
 const WORKLOAD_N3: &str = "stores(0,2) x loads(2) x loads(1)";
+const WORKLOAD_N4: &str = "stores(0,2) x loads(2) x loads(1) x evicts(1)";
 
 fn workload() -> SystemState {
     SystemState::initial(programs::stores(0, 3), programs::loads(3))
@@ -41,6 +48,13 @@ fn workload_n3() -> SystemState {
     SystemState::initial_n(
         3,
         vec![programs::stores(0, 2), programs::loads(2), programs::loads(1)],
+    )
+}
+
+fn workload_n4() -> SystemState {
+    SystemState::initial_n(
+        4,
+        vec![programs::stores(0, 2), programs::loads(2), programs::loads(1), programs::evicts(1)],
     )
 }
 
@@ -60,6 +74,16 @@ fn best_of<F: FnMut() -> (usize, usize)>(iters: u32, mut f: F) -> (usize, usize,
     (dims.0, dims.1, best)
 }
 
+/// The memory columns of one workload: packed bytes/state from the
+/// exploration arena, and the mean heap-representation baseline over the
+/// same (decoded) states.
+fn memory_columns(exp: &Exploration) -> (f64, f64) {
+    let packed = exp.bytes_per_state();
+    let baseline: usize = exp.arena.iter_decoded().map(|s| baseline_state_bytes(&s)).sum();
+    (packed, baseline as f64 / exp.len().max(1) as f64)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn snapshot_row(
     pipeline: &str,
     workload: &str,
@@ -68,6 +92,7 @@ fn snapshot_row(
     states: usize,
     transitions: usize,
     best: Duration,
+    memory: (f64, f64),
 ) -> ThroughputRow {
     let secs = best.as_secs_f64();
     let states_per_sec = if secs > 0.0 { states as f64 / secs } else { 0.0 };
@@ -81,12 +106,16 @@ fn snapshot_row(
         elapsed_secs: secs,
         states_per_sec,
         states_per_sec_per_thread: states_per_sec / threads.max(1) as f64,
+        bytes_per_state: memory.0,
+        baseline_bytes_per_state: memory.1,
+        peak_rss_mb: peak_rss_mb(),
     }
 }
 
 fn bench(c: &mut Criterion) {
     let init = workload();
     let init3 = workload_n3();
+    let init4 = workload_n4();
     let naive = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
     let opt = ModelChecker::new(Ruleset::new(ProtocolConfig::strict()));
     let par = ModelChecker::with_options(
@@ -94,6 +123,7 @@ fn bench(c: &mut Criterion) {
         CheckOptions { threads: par_threads(), ..CheckOptions::default() },
     );
     let opt3 = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 3));
+    let opt4 = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 4));
 
     // Pre-measure the space so Criterion throughput is per-state.
     let states = opt.check(&init, &[]).states as u64;
@@ -113,11 +143,20 @@ fn bench(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("optimized_n3", WORKLOAD_N3), &init3, |b, init| {
         b.iter(|| black_box(opt3.check(init, &[])));
     });
+    g.bench_with_input(BenchmarkId::new("optimized_n4", WORKLOAD_N4), &init4, |b, init| {
+        b.iter(|| black_box(opt4.check(init, &[])));
+    });
     g.finish();
 
-    // Durable snapshot: best-of-N per pipeline, speedups vs naive.
+    // Durable snapshot: best-of-N per pipeline, speedups vs naive, and
+    // the memory columns (measured once per workload — they are
+    // deterministic properties of the space, not of the run).
     let iters: u32 =
         std::env::var("CXL_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let mem2 = memory_columns(&opt.explore(&init, &[]));
+    let mem3 = memory_columns(&opt3.explore(&init3, &[]));
+    let mem4 = memory_columns(&opt4.explore(&init4, &[]));
+
     let (n_states, n_trans, n_best) = best_of(iters, || {
         let r = naive.explore_naive(&init, &[]).report;
         (r.states, r.transitions)
@@ -134,21 +173,30 @@ fn bench(c: &mut Criterion) {
         let r = opt3.check(&init3, &[]);
         (r.states, r.transitions)
     });
+    let (q_states, q_trans, q_best) = best_of(iters, || {
+        let r = opt4.check(&init4, &[]);
+        (r.states, r.transitions)
+    });
     assert_eq!((n_states, n_trans), (o_states, o_trans), "pipelines must agree");
     assert_eq!((n_states, n_trans), (p_states, p_trans), "pipelines must agree");
     assert!(t_states > n_states, "the 3-device space must dwarf the 2-device one");
+    assert!(q_states > t_states, "the 4-device space must dwarf the 3-device one");
 
     let snapshot = BenchSnapshot::new(
         "mc_throughput",
         format!(
             "best of {iters} runs; optimized_par uses {} worker threads; \
              release profile; clean exhaustive runs (no violations); \
-             optimized_n3 explores a 3-device topology sequentially",
+             optimized_n3/_n4 explore 3-/4-device topologies sequentially; \
+             bytes_per_state is the packed StateArena payload, \
+             baseline_bytes_per_state the heap Arc<SystemState> estimate it \
+             replaced; peak_rss_mb is process VmHWM at row-record time \
+             (monotone within a run)",
             par_threads()
         ),
         vec![
-            snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best),
-            snapshot_row("optimized", WORKLOAD, 2, 1, o_states, o_trans, o_best),
+            snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best, mem2),
+            snapshot_row("optimized", WORKLOAD, 2, 1, o_states, o_trans, o_best, mem2),
             snapshot_row(
                 "optimized_par",
                 WORKLOAD,
@@ -157,8 +205,10 @@ fn bench(c: &mut Criterion) {
                 p_states,
                 p_trans,
                 p_best,
+                mem2,
             ),
-            snapshot_row("optimized_n3", WORKLOAD_N3, 3, 1, t_states, t_trans, t_best),
+            snapshot_row("optimized_n3", WORKLOAD_N3, 3, 1, t_states, t_trans, t_best, mem3),
+            snapshot_row("optimized_n4", WORKLOAD_N4, 4, 1, q_states, q_trans, q_best, mem4),
         ],
     );
     match snapshot.write() {
@@ -167,6 +217,16 @@ fn bench(c: &mut Criterion) {
     }
     for (pipeline, ratio) in &snapshot.speedup_vs_baseline {
         println!("speedup vs naive [{pipeline}]: {ratio:.2}x");
+    }
+    for row in &snapshot.rows {
+        println!(
+            "memory [{} N={}]: {:.1} B/state packed vs {:.1} B/state heap baseline ({:.1}x)",
+            row.pipeline,
+            row.devices,
+            row.bytes_per_state,
+            row.baseline_bytes_per_state,
+            row.baseline_bytes_per_state / row.bytes_per_state.max(1e-9),
+        );
     }
 }
 

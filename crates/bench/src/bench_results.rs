@@ -34,6 +34,19 @@ pub struct ThroughputRow {
     /// States per second divided by the thread count — the parallel
     /// efficiency figure the ROADMAP tracks.
     pub states_per_sec_per_thread: f64,
+    /// Mean packed bytes per stored state in the exploration's
+    /// [`cxl_core::StateArena`] — the canonical-store footprint.
+    pub bytes_per_state: f64,
+    /// Mean bytes per state of the pre-arena representation the packed
+    /// store replaced: `size_of::<SystemState>()` plus heap blocks plus
+    /// `Arc`/arena-slot overhead (see [`crate::baseline_state_bytes`]).
+    /// `bytes_per_state / baseline_bytes_per_state` is the compression
+    /// ratio the ROADMAP tracks.
+    pub baseline_bytes_per_state: f64,
+    /// Process peak RSS (VmHWM) in MiB when this row was recorded, 0.0
+    /// where the platform does not expose it. Monotone across rows of
+    /// one run — read it on the *last* row for the run's true peak.
+    pub peak_rss_mb: f64,
 }
 
 /// A named collection of measurements plus derived ratios.
@@ -84,6 +97,29 @@ impl BenchSnapshot {
     }
 }
 
+/// The process's peak resident set size (Linux `VmHWM`) in MiB, or 0.0
+/// where `/proc` is unavailable. Recorded into
+/// [`ThroughputRow::peak_rss_mb`] so memory claims in `PERFORMANCE.md`
+/// are backed by a measured number, not just the arena's own accounting.
+#[must_use]
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
 /// The workspace root, resolved from this crate's manifest directory.
 #[must_use]
 pub fn workspace_root() -> PathBuf {
@@ -113,6 +149,9 @@ mod tests {
                     elapsed_secs: 2.0,
                     states_per_sec: 5.0,
                     states_per_sec_per_thread: 5.0,
+                    bytes_per_state: 30.0,
+                    baseline_bytes_per_state: 600.0,
+                    peak_rss_mb: 1.0,
                 },
                 ThroughputRow {
                     pipeline: "optimized".into(),
@@ -124,6 +163,9 @@ mod tests {
                     elapsed_secs: 0.5,
                     states_per_sec: 20.0,
                     states_per_sec_per_thread: 5.0,
+                    bytes_per_state: 30.0,
+                    baseline_bytes_per_state: 600.0,
+                    peak_rss_mb: 1.0,
                 },
             ],
         );

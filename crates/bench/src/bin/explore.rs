@@ -10,11 +10,17 @@
 //! cargo run -p cxl-bench --bin explore -- --p1 S42,E --p2 L,L \
 //!     [--devices N] [--p3 … --p8 …] \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
-//!     [--full] [--trace] [--threads N] [--firings] [--expect-clean]
+//!     [--full] [--trace] [--threads N] [--firings] [--expect-clean] \
+//!     [--mem-budget-mb N]
 //! ```
 //!
 //! `--expect-clean` exits non-zero when the exploration finds a violation,
 //! a deadlock, or truncates — the CI smoke-check mode.
+//!
+//! `--mem-budget-mb` caps the packed state store: when a big grid (an
+//! N = 4 sweep with long programs, say) outgrows the budget, exploration
+//! stops with a clean truncation report — partial coverage statistics and
+//! an explicit "memory budget exhausted" note — instead of OOMing.
 //!
 //! `--devices` defaults to 2, or to the highest `--p<i>` given; devices
 //! without a program idle (an idle third device is exactly the paper's
@@ -115,11 +121,27 @@ fn main() {
             Topology::new(devices)
         );
 
+        let mem_budget = arg_value(&args, "--mem-budget-mb")
+            .map(|v| v.parse::<usize>().map_err(|e| format!("bad --mem-budget-mb: {e}")))
+            .transpose()?
+            .map(|mb| mb * 1024 * 1024)
+            .or(cxl_mc::CheckOptions::default().mem_budget);
+
         let invariant = InvariantProperty::new(Invariant::for_devices(&cfg, devices));
-        let opts = cxl_mc::CheckOptions { threads, ..cxl_mc::CheckOptions::default() };
+        let opts =
+            cxl_mc::CheckOptions { threads, mem_budget, ..cxl_mc::CheckOptions::default() };
         let mc = ModelChecker::with_options(Ruleset::with_devices(cfg, devices), opts);
         let report = mc.check(&init, &[&SwmrProperty, &invariant]);
         println!("{report}");
+        if report.truncated_by_memory {
+            println!(
+                "NOTE: exploration truncated at the {:.0} MiB state-store budget after {} \
+                 states; statistics above cover the explored prefix only \
+                 (raise --mem-budget-mb to go deeper)",
+                mem_budget.unwrap_or(0) as f64 / (1024.0 * 1024.0),
+                report.states
+            );
+        }
         let secs = report.elapsed.as_secs_f64();
         if secs > 0.0 {
             println!(

@@ -26,13 +26,26 @@
 
 pub mod bench_results;
 
-pub use bench_results::{BenchSnapshot, ThroughputRow};
+pub use bench_results::{peak_rss_mb, BenchSnapshot, ThroughputRow};
 
 use cxl_core::{Granularity, Invariant, ProtocolConfig, Relaxation, Ruleset, SystemState};
 use cxl_litmus::{relax, suite, tables};
 use cxl_mc::{ModelChecker, SwmrProperty};
 use cxl_sketch::{default_program_grid, ObligationMatrix, SessionStats, Universe};
 use serde::Serialize;
+
+/// The estimated resident bytes one reached state cost under the
+/// pre-packed-arena representation: the heap `SystemState` footprint
+/// ([`cxl_core::codec::heap_state_bytes`]) plus the `Arc` control block
+/// (two refcounts) and the arena's pointer slot. This is the *baseline*
+/// column of the `mc_throughput` snapshot — packed bytes/state divided by
+/// this gives the compression the packed arena buys.
+#[must_use]
+pub fn baseline_state_bytes(state: &SystemState) -> usize {
+    const ARC_HEADER: usize = 2 * std::mem::size_of::<usize>();
+    const ARENA_SLOT: usize = std::mem::size_of::<usize>();
+    cxl_core::codec::heap_state_bytes(state) + ARC_HEADER + ARENA_SLOT
+}
 
 /// A printable experiment artefact with machine-readable payload.
 #[derive(Debug, Serialize)]

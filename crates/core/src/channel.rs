@@ -34,9 +34,26 @@ enum Store<T> {
 ///
 /// `head` is the next message to be consumed; rules append at the tail
 /// (`chan := chan @ [msg]` in the paper's notation).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Channel<T> {
     store: Store<T>,
+}
+
+/// `clone_from` keeps a spilled destination's heap buffer alive when the
+/// source is also spilled, so scratch-state rule firing (`clone_from`
+/// into a reused successor) allocates nothing even in relaxed
+/// configurations that queue two or more messages.
+impl<T: Clone> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel { store: self.store.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        match (&mut self.store, &source.store) {
+            (Store::Spilled(dst), Store::Spilled(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl<T> Channel<T> {
@@ -101,6 +118,32 @@ impl<T> Channel<T> {
     /// Iterate over in-flight messages, head first.
     pub fn iter(&self) -> std::slice::Iter<'_, T> {
         self.as_slice().iter()
+    }
+
+    /// Empty the channel in place, restoring the canonical `Empty` form.
+    /// This is the decode hook of [`crate::codec::StateCodec`]: channels
+    /// are cleared and refilled message by message, staying inline (no
+    /// allocation) for the singleton channels of every reachable state.
+    /// (A spilled channel's heap buffer is dropped here — the ≥ 2-message
+    /// refill path reuses it through [`Self::spill_mut`] instead of
+    /// going through `clear`.)
+    pub fn clear(&mut self) {
+        self.store = Store::Empty;
+    }
+
+    /// The spilled heap buffer, if the channel currently holds one — the
+    /// codec's allocation-reusing refill hook for ≥ 2-message decodes
+    /// (`Vec::clear` + `push` keeps the capacity a previous decode into
+    /// the same scratch state grew).
+    ///
+    /// Crate-internal: a caller that empties the buffer without
+    /// restoring ≥ 2 messages leaves the representation non-canonical,
+    /// so this must stay behind an interface that refills it.
+    pub(crate) fn spill_mut(&mut self) -> Option<&mut Vec<T>> {
+        match &mut self.store {
+            Store::Spilled(v) => Some(v),
+            _ => None,
+        }
     }
 
     /// View the channel contents as a slice, head first.

@@ -1,0 +1,790 @@
+//! Compact byte encoding of system states — the canonical store behind
+//! the model checker's packed state arena.
+//!
+//! Explicit-state exploration of N ≥ 3 topologies is memory-bound long
+//! before it is time-bound (state spaces grow ~13× per added active
+//! device), and a heap `SystemState` is a poor archival format: a
+//! twenty-plus-component record of machine words, enum discriminants
+//! stored one byte per 8-byte slot, inline channel buffers sized for the
+//! *widest* message type, and per-state heap blocks for programs. The
+//! [`StateCodec`] packs the same information into a handful of bytes:
+//!
+//! - cache states are **bit-packed** — a device's `DState` (17 values,
+//!   5 bits), its buffer-slot tag (2 bits) and a *quiet* flag (1 bit:
+//!   program and all six channels empty) share one byte; the host's
+//!   `HState` shares its byte with nothing because its value byte
+//!   follows anyway;
+//! - a quiet device (the steady state of every idle peer in a wide
+//!   topology, and of most devices in most reachable states) encodes as
+//!   exactly that tag byte plus its residual cache value;
+//! - integers (`Tid`, `Val`, lengths) are LEB128 **varints** — zigzagged
+//!   where signed — so the small values the model actually mints cost
+//!   one byte, not eight;
+//! - channel contents are length-prefixed message sequences in a fixed
+//!   canonical order.
+//!
+//! The encoding is **exact** (decode is a two-sided inverse on every
+//! representable state) and **deterministic** (equal states produce
+//! byte-equal encodings — the property that lets the checker's dedup
+//! index compare packed bytes instead of decoded states; pinned by the
+//! workspace's codec proptests). The shared per-run [`Topology`] lives in
+//! the codec, not in each encoded state, so the device count is stored
+//! once per exploration rather than once per state.
+//!
+//! [`StateArena`] is the companion store: one contiguous byte buffer plus
+//! an offset table, append-only, decode-on-demand.
+
+use crate::cacheline::{DCache, DState, HCache, HState};
+use crate::channel::Channel;
+use crate::ids::Topology;
+use crate::instr::Instruction;
+use crate::msg::{
+    D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp,
+    H2DRspType,
+};
+use crate::state::{DeviceState, SystemState};
+use std::fmt;
+
+/// A malformed byte stream handed to [`StateCodec::decode`].
+///
+/// Arena-internal decodes never hit this (the arena only stores what the
+/// codec produced); it exists so external callers feeding untrusted bytes
+/// get a diagnosis instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type DecodeResult<T> = Result<T, CodecError>;
+
+// ---------------------------------------------------------------------
+// Varint primitives (LEB128; zigzag for signed values).
+// ---------------------------------------------------------------------
+
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn put_signed(out: &mut Vec<u8>, v: i64) {
+    // Zigzag: small magnitudes (either sign) stay one byte.
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// A cursor over an encoded state.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn byte(&mut self) -> DecodeResult<u8> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| CodecError(format!("truncated at byte {}", self.pos)))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> DecodeResult<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(CodecError("varint overflows u64".into()));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn signed(&mut self) -> DecodeResult<i64> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enum <-> byte tables. The `ALL` arrays list variants in declaration
+// order, so `variant as u8` indexes back into them.
+// ---------------------------------------------------------------------
+
+fn dstate_from(b: u8) -> DecodeResult<DState> {
+    DState::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("bad DState tag {b}")))
+}
+
+fn hstate_from(b: u8) -> DecodeResult<HState> {
+    HState::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("bad HState tag {b}")))
+}
+
+// ---------------------------------------------------------------------
+// Message encodings.
+// ---------------------------------------------------------------------
+
+fn put_d2h_req(out: &mut Vec<u8>, m: &D2HReq) {
+    out.push(m.ty as u8);
+    put_varint(out, m.tid);
+}
+
+fn get_d2h_req(r: &mut Reader<'_>) -> DecodeResult<D2HReq> {
+    let ty = r.byte()?;
+    let ty = D2HReqType::ALL
+        .get(ty as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("bad D2HReqType tag {ty}")))?;
+    Ok(D2HReq::new(ty, r.varint()?))
+}
+
+fn put_d2h_rsp(out: &mut Vec<u8>, m: &D2HRsp) {
+    out.push(m.ty as u8);
+    put_varint(out, m.tid);
+}
+
+fn get_d2h_rsp(r: &mut Reader<'_>) -> DecodeResult<D2HRsp> {
+    let ty = r.byte()?;
+    let ty = D2HRspType::ALL
+        .get(ty as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("bad D2HRspType tag {ty}")))?;
+    Ok(D2HRsp::new(ty, r.varint()?))
+}
+
+fn put_data(out: &mut Vec<u8>, m: &DataMsg) {
+    out.push(u8::from(m.bogus));
+    put_varint(out, m.tid);
+    put_signed(out, m.val);
+}
+
+fn get_data(r: &mut Reader<'_>) -> DecodeResult<DataMsg> {
+    let bogus = match r.byte()? {
+        0 => false,
+        1 => true,
+        other => return Err(CodecError(format!("bad bogus flag {other}"))),
+    };
+    let tid = r.varint()?;
+    let val = r.signed()?;
+    Ok(DataMsg { tid, val, bogus })
+}
+
+fn put_h2d_req(out: &mut Vec<u8>, m: &H2DReq) {
+    out.push(m.ty as u8);
+    put_varint(out, m.tid);
+}
+
+fn get_h2d_req(r: &mut Reader<'_>) -> DecodeResult<H2DReq> {
+    let ty = r.byte()?;
+    let ty = H2DReqType::ALL
+        .get(ty as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("bad H2DReqType tag {ty}")))?;
+    Ok(H2DReq::new(ty, r.varint()?))
+}
+
+/// H2D responses bit-pack opcode (2 bits) and granted `DState` (5 bits)
+/// into one byte, then the tid varint.
+fn put_h2d_rsp(out: &mut Vec<u8>, m: &H2DRsp) {
+    out.push((m.ty as u8) | ((m.state as u8) << 2));
+    put_varint(out, m.tid);
+}
+
+fn get_h2d_rsp(r: &mut Reader<'_>) -> DecodeResult<H2DRsp> {
+    let b = r.byte()?;
+    let ty = H2DRspType::ALL
+        .get((b & 0x03) as usize)
+        .copied()
+        .ok_or_else(|| CodecError(format!("bad H2DRspType tag {}", b & 0x03)))?;
+    let state = dstate_from(b >> 2)?;
+    Ok(H2DRsp::new(ty, state, r.varint()?))
+}
+
+fn put_channel<T>(out: &mut Vec<u8>, chan: &Channel<T>, put: impl Fn(&mut Vec<u8>, &T)) {
+    put_varint(out, chan.len() as u64);
+    for m in chan {
+        put(out, m);
+    }
+}
+
+fn get_channel_into<T>(
+    r: &mut Reader<'_>,
+    chan: &mut Channel<T>,
+    get: impl Fn(&mut Reader<'_>) -> DecodeResult<T>,
+) -> DecodeResult<()> {
+    let len = r.varint()?;
+    // A ≥ 2-message decode into a channel that is already spilled reuses
+    // the spill buffer (clear + push keeps capacity), so repeated decodes
+    // into one scratch state allocate for channels only while the spill
+    // high-water mark is still growing. If a message fails to decode the
+    // buffer may transiently hold fewer than two messages (a
+    // non-canonical representation); every error path discards or
+    // re-decodes the whole state, and any subsequent successful decode
+    // rewrites every channel, so the transient never escapes.
+    if len >= 2 {
+        if let Some(v) = chan.spill_mut() {
+            v.clear();
+            for _ in 0..len {
+                v.push(get(r)?);
+            }
+            return Ok(());
+        }
+    }
+    chan.clear();
+    for _ in 0..len {
+        chan.push(get(r)?);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The codec.
+// ---------------------------------------------------------------------
+
+/// Buffer-slot tag bits of the per-device header byte.
+const BUF_EMPTY: u8 = 0;
+const BUF_RSP: u8 = 1;
+const BUF_REQ: u8 = 2;
+/// Header-byte layout: bits 0–4 `DState`, bits 5–6 buffer tag, bit 7 the
+/// quiet flag.
+const QUIET_BIT: u8 = 0x80;
+
+/// The byte-packing codec for one exploration run: it carries the
+/// [`Topology`] so the device count is stored once per run, not once per
+/// state, and every encoded state of the run shares the same layout.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_core::codec::StateCodec;
+/// use cxl_core::instr::programs;
+/// use cxl_core::SystemState;
+///
+/// let s = SystemState::initial(programs::store(42), programs::load());
+/// let codec = StateCodec::new(s.topology());
+/// let bytes = codec.encode(&s);
+/// assert_eq!(codec.decode(&bytes).unwrap(), s);
+/// // Idle components compress away: the whole two-device initial state
+/// // packs into well under the size of one heap `SystemState`.
+/// assert!(bytes.len() < 32);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateCodec {
+    topology: Topology,
+}
+
+impl StateCodec {
+    /// A codec for states of `topology`.
+    #[must_use]
+    pub fn new(topology: Topology) -> Self {
+        StateCodec { topology }
+    }
+
+    /// A codec matching `state`'s own topology.
+    #[must_use]
+    pub fn for_state(state: &SystemState) -> Self {
+        StateCodec::new(state.topology())
+    }
+
+    /// The topology this codec encodes for.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Append `state`'s encoding to `out` (the arena-append primitive —
+    /// callers manage framing via the returned range implicit in
+    /// `out.len()` before/after).
+    ///
+    /// # Panics
+    /// Panics if `state`'s device count differs from the codec's
+    /// topology.
+    pub fn encode_into(&self, state: &SystemState, out: &mut Vec<u8>) {
+        assert_eq!(
+            state.device_count(),
+            self.topology.device_count(),
+            "codec for {} asked to encode a {}-device state",
+            self.topology,
+            state.device_count()
+        );
+        put_varint(out, state.counter);
+        out.push(state.host.state as u8);
+        put_signed(out, state.host.val);
+        for d in state.device_ids() {
+            encode_device(state.dev(d), out);
+        }
+    }
+
+    /// Encode `state` into a fresh buffer.
+    #[must_use]
+    pub fn encode(&self, state: &SystemState) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * self.topology.device_count());
+        self.encode_into(state, &mut out);
+        out
+    }
+
+    /// Decode one state, writing into `out` and reusing its heap
+    /// allocations (program queues, spilled channel buffers, the device
+    /// spill vector). If `out` inhabits a different topology it is
+    /// rebuilt first.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes.
+    pub fn decode_into(&self, bytes: &[u8], out: &mut SystemState) -> DecodeResult<()> {
+        if out.device_count() != self.topology.device_count() {
+            *out = self.blank();
+        }
+        let mut r = Reader::new(bytes);
+        out.counter = r.varint()?;
+        out.host = HCache::new(0, HState::I);
+        out.host.state = hstate_from(r.byte()?)?;
+        out.host.val = r.signed()?;
+        for i in 0..self.topology.device_count() {
+            decode_device(&mut r, &mut out.devs[i])?;
+        }
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete state",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decode one state into a fresh value.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes.
+    pub fn decode(&self, bytes: &[u8]) -> DecodeResult<SystemState> {
+        let mut out = self.blank();
+        self.decode_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    /// An all-idle state of this codec's topology — the reusable decode
+    /// target and the scratch seed for rule firing.
+    #[must_use]
+    pub fn blank(&self) -> SystemState {
+        SystemState::initial_n(self.topology.device_count(), Vec::new())
+    }
+
+    /// The 64-bit fingerprint of an *encoded* state: an
+    /// [`crate::FxHasher`] run over the packed bytes. Because the
+    /// encoding is deterministic, this is a well-defined state
+    /// fingerprint — the one the packed-arena checker dedups on (byte
+    /// equality replaces full state equality on collision).
+    #[must_use]
+    pub fn fingerprint(bytes: &[u8]) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::fasthash::FxHasher::default();
+        h.write(bytes);
+        h.write_usize(bytes.len());
+        h.finish()
+    }
+}
+
+fn encode_device(dev: &DeviceState, out: &mut Vec<u8>) {
+    let quiet = dev.prog.is_empty() && dev.channels_quiet();
+    let buf_tag = match dev.buffer {
+        DBufferSlot::Empty => BUF_EMPTY,
+        DBufferSlot::Rsp(_) => BUF_RSP,
+        DBufferSlot::Req(_) => BUF_REQ,
+    };
+    let header = (dev.cache.state as u8) | (buf_tag << 5) | if quiet { QUIET_BIT } else { 0 };
+    out.push(header);
+    put_signed(out, dev.cache.val);
+    match dev.buffer {
+        DBufferSlot::Empty => {}
+        DBufferSlot::Rsp(rsp) => put_h2d_rsp(out, &rsp),
+        DBufferSlot::Req(req) => put_h2d_req(out, &req),
+    }
+    if quiet {
+        return;
+    }
+    put_varint(out, dev.prog.len() as u64);
+    for instr in dev.prog.iter() {
+        match instr {
+            Instruction::Load => out.push(0),
+            Instruction::Store(v) => {
+                out.push(1);
+                put_signed(out, *v);
+            }
+            Instruction::Evict => out.push(2),
+        }
+    }
+    put_channel(out, &dev.d2h_req, |o, m| put_d2h_req(o, m));
+    put_channel(out, &dev.d2h_rsp, |o, m| put_d2h_rsp(o, m));
+    put_channel(out, &dev.d2h_data, |o, m| put_data(o, m));
+    put_channel(out, &dev.h2d_req, |o, m| put_h2d_req(o, m));
+    put_channel(out, &dev.h2d_rsp, |o, m| put_h2d_rsp(o, m));
+    put_channel(out, &dev.h2d_data, |o, m| put_data(o, m));
+}
+
+fn decode_device(r: &mut Reader<'_>, dev: &mut DeviceState) -> DecodeResult<()> {
+    let header = r.byte()?;
+    let quiet = header & QUIET_BIT != 0;
+    let buf_tag = (header >> 5) & 0x03;
+    dev.cache = DCache::new(0, dstate_from(header & 0x1f)?);
+    dev.cache.val = r.signed()?;
+    dev.buffer = match buf_tag {
+        BUF_EMPTY => DBufferSlot::Empty,
+        BUF_RSP => DBufferSlot::Rsp(get_h2d_rsp(r)?),
+        BUF_REQ => DBufferSlot::Req(get_h2d_req(r)?),
+        other => return Err(CodecError(format!("bad buffer tag {other}"))),
+    };
+    if quiet {
+        dev.prog.clear();
+        dev.d2h_req.clear();
+        dev.d2h_rsp.clear();
+        dev.d2h_data.clear();
+        dev.h2d_req.clear();
+        dev.h2d_rsp.clear();
+        dev.h2d_data.clear();
+        return Ok(());
+    }
+    let prog_len = r.varint()?;
+    dev.prog.clear();
+    for _ in 0..prog_len {
+        let instr = match r.byte()? {
+            0 => Instruction::Load,
+            1 => Instruction::Store(r.signed()?),
+            2 => Instruction::Evict,
+            other => return Err(CodecError(format!("bad instruction tag {other}"))),
+        };
+        dev.prog.push_back(instr);
+    }
+    get_channel_into(r, &mut dev.d2h_req, get_d2h_req)?;
+    get_channel_into(r, &mut dev.d2h_rsp, get_d2h_rsp)?;
+    get_channel_into(r, &mut dev.d2h_data, get_data)?;
+    get_channel_into(r, &mut dev.h2d_req, get_h2d_req)?;
+    get_channel_into(r, &mut dev.h2d_rsp, get_h2d_rsp)?;
+    get_channel_into(r, &mut dev.h2d_data, get_data)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The packed arena.
+// ---------------------------------------------------------------------
+
+/// The canonical state store of an exploration: encoded states laid
+/// end-to-end in one contiguous byte buffer, with an offset table mapping
+/// a discovery-order id to its byte range. Append-only; decode on demand.
+///
+/// Replacing the model checker's old `Vec<Arc<SystemState>>` arena, this
+/// stores a reached state in tens of *bytes* instead of hundreds (plus
+/// heap blocks and an `Arc` header) — the decomposition that lets N ≥ 3
+/// sweeps be bounded by time rather than memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateArena {
+    codec: StateCodec,
+    bytes: Vec<u8>,
+    /// Start offset of each state; state `i` spans
+    /// `offsets[i]..offsets[i + 1]` (or `..bytes.len()` for the last).
+    offsets: Vec<usize>,
+}
+
+impl StateArena {
+    /// An empty arena encoding with `codec`.
+    #[must_use]
+    pub fn new(codec: StateCodec) -> Self {
+        StateArena { codec, bytes: Vec::new(), offsets: Vec::new() }
+    }
+
+    /// The codec states are packed with.
+    #[must_use]
+    pub fn codec(&self) -> &StateCodec {
+        &self.codec
+    }
+
+    /// Number of stored states.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Is the arena empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Total packed payload size in bytes (excluding the offset table).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Approximate resident footprint: packed payload capacity plus the
+    /// offset table — the figure the memory-budget truncation check and
+    /// the bench snapshot's `bytes_per_state` column read.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.bytes.capacity() + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Encode and append a state, returning its id.
+    pub fn push_state(&mut self, state: &SystemState) -> usize {
+        let id = self.offsets.len();
+        self.offsets.push(self.bytes.len());
+        self.codec.encode_into(state, &mut self.bytes);
+        id
+    }
+
+    /// Append an already-encoded state (the merge path: successors are
+    /// encoded once into a scratch buffer, deduped by byte equality, and
+    /// only survivors are copied in here).
+    pub fn push_encoded(&mut self, encoded: &[u8]) -> usize {
+        let id = self.offsets.len();
+        self.offsets.push(self.bytes.len());
+        self.bytes.extend_from_slice(encoded);
+        id
+    }
+
+    /// The packed bytes of state `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn bytes_of(&self, id: usize) -> &[u8] {
+        let start = self.offsets[id];
+        let end = self.offsets.get(id + 1).copied().unwrap_or(self.bytes.len());
+        &self.bytes[start..end]
+    }
+
+    /// Decode state `id` into a fresh value.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (arena contents always decode).
+    #[must_use]
+    pub fn decode(&self, id: usize) -> SystemState {
+        self.codec.decode(self.bytes_of(id)).expect("arena holds only codec output")
+    }
+
+    /// Decode state `id` into `out`, reusing its allocations — the hot
+    /// path for frontier expansion.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn decode_into(&self, id: usize, out: &mut SystemState) {
+        self.codec.decode_into(self.bytes_of(id), out).expect("arena holds only codec output");
+    }
+
+    /// Iterate over all states in discovery order, decoding each.
+    pub fn iter_decoded(&self) -> impl Iterator<Item = SystemState> + '_ {
+        (0..self.len()).map(|id| self.decode(id))
+    }
+}
+
+/// An estimate of a heap `SystemState`'s resident bytes — the *baseline*
+/// the packed arena is compared against in `bench_results` and
+/// `PERFORMANCE.md`: the inline struct size plus its heap blocks
+/// (program queues, spilled channels, the device spill vector).
+#[must_use]
+pub fn heap_state_bytes(state: &SystemState) -> usize {
+    use std::mem::size_of;
+    let mut total = size_of::<SystemState>();
+    for d in state.device_ids() {
+        let dev = state.dev(d);
+        if !dev.prog.is_empty() {
+            total += dev.prog.len() * size_of::<Instruction>();
+        }
+        // Spilled channels (len >= 2) hold their messages in a heap Vec.
+        fn spill<T>(c: &Channel<T>) -> usize {
+            if c.len() >= 2 {
+                c.len() * std::mem::size_of::<T>()
+            } else {
+                0
+            }
+        }
+        total += spill(&dev.d2h_req)
+            + spill(&dev.d2h_rsp)
+            + spill(&dev.d2h_data)
+            + spill(&dev.h2d_req)
+            + spill(&dev.h2d_rsp)
+            + spill(&dev.h2d_data);
+    }
+    if state.device_count() > 2 {
+        total += (state.device_count() - 2) * size_of::<DeviceState>();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::ids::DeviceId;
+    use crate::instr::programs;
+    use crate::rules::Ruleset;
+
+    fn codec2() -> StateCodec {
+        StateCodec::new(Topology::pair())
+    }
+
+    #[test]
+    fn roundtrip_initial_states() {
+        let codec = codec2();
+        for s in [
+            SystemState::initial(Vec::new(), Vec::new()),
+            SystemState::initial(programs::store(42), programs::load()),
+            SystemState::initial(programs::stores(-3, 3), programs::evicts(2)),
+        ] {
+            let bytes = codec.encode(&s);
+            assert_eq!(codec.decode(&bytes).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_a_whole_exploration() {
+        // Every reachable state of the headline scenario round-trips and
+        // encodes deterministically.
+        let rules = Ruleset::new(ProtocolConfig::full());
+        let codec = codec2();
+        let mut frontier = vec![SystemState::initial(programs::store(42), programs::load())];
+        for _ in 0..8 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                let bytes = codec.encode(st);
+                let back = codec.decode(&bytes).unwrap();
+                assert_eq!(&back, st);
+                assert_eq!(codec.encode(&back), bytes, "re-encode must be byte-identical");
+                for (_, succ) in rules.successors(st) {
+                    next.push(succ);
+                }
+            }
+            next.truncate(48);
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn quiet_devices_encode_compactly() {
+        let codec = StateCodec::new(Topology::new(4));
+        let s = SystemState::initial_n(4, vec![]);
+        let bytes = codec.encode(&s);
+        // counter (1) + host (2) + 4 × (header + val) = 11 bytes.
+        assert_eq!(bytes.len(), 11, "all-idle 4-device state: {bytes:?}");
+        assert_eq!(codec.decode(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn spilled_channels_and_buffers_roundtrip() {
+        let codec = codec2();
+        let mut s = SystemState::initial(programs::load(), Vec::new());
+        s.counter = 300; // multi-byte varint
+        s.host.val = -7;
+        let d = DeviceId::D1;
+        s.dev_mut(d).d2h_rsp.push(D2HRsp::new(D2HRspType::RspIFwdM, 1));
+        s.dev_mut(d).d2h_rsp.push(D2HRsp::new(D2HRspType::RspIHitI, 200));
+        s.dev_mut(d).d2h_data.push(DataMsg::bogus(2, -1));
+        s.dev_mut(d).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePullDrop, DState::ISDI, 3));
+        s.dev_mut(d).buffer = DBufferSlot::Req(H2DReq::new(H2DReqType::SnpData, 9));
+        s.dev_mut(DeviceId::D2).buffer =
+            DBufferSlot::Rsp(H2DRsp::new(H2DRspType::GO, DState::M, 4));
+        let bytes = codec.encode(&s);
+        assert_eq!(codec.decode(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_into_reuses_and_rebuilds() {
+        let codec = codec2();
+        let a = SystemState::initial(programs::stores(0, 2), programs::load());
+        let b = SystemState::initial(Vec::new(), programs::evict());
+        let (ea, eb) = (codec.encode(&a), codec.encode(&b));
+        // Reuse one target across decodes.
+        let mut out = codec.blank();
+        codec.decode_into(&ea, &mut out).unwrap();
+        assert_eq!(out, a);
+        codec.decode_into(&eb, &mut out).unwrap();
+        assert_eq!(out, b);
+        // A wrong-topology target is rebuilt.
+        let mut wide = SystemState::initial_n(4, vec![]);
+        codec.decode_into(&ea, &mut wide).unwrap();
+        assert_eq!(wide, a);
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        let codec = codec2();
+        let good = codec.encode(&SystemState::initial(programs::load(), Vec::new()));
+        assert!(codec.decode(&good[..good.len() - 1]).is_err(), "truncation");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(codec.decode(&trailing).is_err(), "trailing bytes");
+        assert!(codec.decode(&[0xff; 3]).is_err(), "garbage");
+    }
+
+    #[test]
+    fn arena_appends_and_decodes() {
+        let codec = codec2();
+        let mut arena = StateArena::new(codec);
+        let a = SystemState::initial(programs::store(1), programs::load());
+        let b = SystemState::initial(Vec::new(), Vec::new());
+        assert_eq!(arena.push_state(&a), 0);
+        let eb = codec.encode(&b);
+        assert_eq!(arena.push_encoded(&eb), 1);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.decode(0), a);
+        assert_eq!(arena.decode(1), b);
+        assert_eq!(arena.bytes_of(1), &eb[..]);
+        assert_eq!(arena.byte_len(), arena.bytes_of(0).len() + eb.len());
+        let all: Vec<_> = arena.iter_decoded().collect();
+        assert_eq!(all, vec![a, b]);
+    }
+
+    #[test]
+    fn fingerprints_follow_byte_equality() {
+        let codec = codec2();
+        let a = codec.encode(&SystemState::initial(programs::store(1), programs::load()));
+        let b = codec.encode(&SystemState::initial(programs::store(1), programs::load()));
+        let c = codec.encode(&SystemState::initial(programs::store(2), programs::load()));
+        assert_eq!(StateCodec::fingerprint(&a), StateCodec::fingerprint(&b));
+        assert_ne!(StateCodec::fingerprint(&a), StateCodec::fingerprint(&c));
+    }
+
+    #[test]
+    fn packed_states_beat_the_heap_baseline() {
+        let s = SystemState::initial(programs::stores(0, 3), programs::loads(3));
+        let bytes = StateCodec::for_state(&s).encode(&s);
+        let baseline = heap_state_bytes(&s);
+        assert!(
+            bytes.len() * 4 <= baseline,
+            "expected >= 4x compression: {} packed vs {} heap",
+            bytes.len(),
+            baseline
+        );
+    }
+}

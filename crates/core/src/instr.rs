@@ -53,9 +53,23 @@ impl fmt::Display for Instruction {
 /// semantics (two programs are equal iff they hold the same remaining
 /// instructions in the same order), so `SystemState` dedup behaviour is
 /// unchanged.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, PartialEq, Eq, Hash)]
 pub struct Program {
     items: VecDeque<Instruction>,
+}
+
+/// `clone_from` delegates to the queue's, which reuses the destination's
+/// ring buffer — programs are the last per-successor heap block, and the
+/// scratch-state firing path (`Ruleset::try_fire_into`) keeps them
+/// allocation-free once the scratch has grown to the longest program.
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        Program { items: self.items.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.items.clone_from(&source.items);
+    }
 }
 
 impl Program {
@@ -92,6 +106,12 @@ impl Program {
     /// Retire the head instruction in O(1) (`DProg := tail(DProg)`).
     pub fn pop_front(&mut self) -> Option<Instruction> {
         self.items.pop_front()
+    }
+
+    /// Empty the program in place, keeping the queue's allocation — the
+    /// decode hook of [`crate::codec::StateCodec`].
+    pub fn clear(&mut self) {
+        self.items.clear();
     }
 
     /// Append an instruction at the tail.

@@ -101,6 +101,7 @@
 pub mod builder;
 pub mod cacheline;
 pub mod channel;
+pub mod codec;
 pub mod config;
 pub mod fasthash;
 pub mod ids;
@@ -113,6 +114,7 @@ pub mod state;
 pub use builder::StateBuilder;
 pub use cacheline::{DCache, DState, HCache, HState};
 pub use channel::Channel;
+pub use codec::{CodecError, StateArena, StateCodec};
 pub use config::{ProtocolConfig, Relaxation};
 pub use fasthash::{FpIndex, FxBuildHasher, FxHasher};
 pub use ids::{DeviceId, Tid, Topology, Val};

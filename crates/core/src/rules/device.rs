@@ -1,9 +1,13 @@
 //! Device-side transition rules: issue, completion, and snoop processing.
 //!
 //! Conventions shared by all rules in this module:
-//! - every function is a *guard-then-act* pair: it returns `None` without
-//!   allocating if any guard fails, and otherwise clones the state and
-//!   applies the actions atomically;
+//! - every function is a *guard-then-act* pair in **fire-into** form: it
+//!   returns `false` without touching `out` if any guard fails, and
+//!   otherwise `clone_from`s the pre-state into the caller's scratch
+//!   successor and applies the actions atomically (`out`'s previous
+//!   contents are unspecified on `false`). The scratch is reused across
+//!   firings, so generating a successor that later dedups away allocates
+//!   nothing;
 //! - `d` is the acting device;
 //! - snoop rules honour the **Snoop-pushes-GO** restriction (CXL §3.2.5.2)
 //!   via [`snoop_allowed`], unless the configuration relaxes it.
@@ -83,17 +87,18 @@ pub(super) fn invalid_load(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::I || s.dev(d).next_instr() != Some(Instruction::Load) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    let tid = n.fresh_tid();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let tid = out.fresh_tid();
+    let dev = out.dev_mut(d);
     dev.d2h_req.push(D2HReq::new(D2HReqType::RdShared, tid));
     dev.cache.state = DState::ISAD;
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 /// `I` + pending `Store` → request `RdOwn`, enter `IMAD`.
@@ -101,17 +106,18 @@ pub(super) fn invalid_store(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::I || pending_store_value(s, d).is_none() {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    let tid = n.fresh_tid();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let tid = out.fresh_tid();
+    let dev = out.dev_mut(d);
     dev.d2h_req.push(D2HReq::new(D2HReqType::RdOwn, tid));
     dev.cache.state = DState::IMAD;
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 /// `I` + pending `Evict` → nothing to do; the instruction retires.
@@ -119,13 +125,14 @@ pub(super) fn invalid_evict(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::I || s.dev(d).next_instr() != Some(Instruction::Evict) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(d).retire_instr();
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(d).retire_instr();
+    true
 }
 
 /// `S` + pending `Load` → read hit; the instruction retires.
@@ -133,13 +140,14 @@ pub(super) fn shared_load(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::S || s.dev(d).next_instr() != Some(Instruction::Load) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(d).retire_instr();
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(d).retire_instr();
+    true
 }
 
 /// `S` + pending `Store` → request ownership (`RdOwn`), enter `SMAD`.
@@ -147,17 +155,18 @@ pub(super) fn shared_store(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::S || pending_store_value(s, d).is_none() {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    let tid = n.fresh_tid();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let tid = out.fresh_tid();
+    let dev = out.dev_mut(d);
     dev.d2h_req.push(D2HReq::new(D2HReqType::RdOwn, tid));
     dev.cache.state = DState::SMAD;
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 /// Paper Table 1 `SharedEvict`: `S` + pending `Evict` → send `CleanEvict`,
@@ -166,17 +175,18 @@ pub(super) fn shared_evict(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::S || s.dev(d).next_instr() != Some(Instruction::Evict) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    let tid = n.fresh_tid();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let tid = out.fresh_tid();
+    let dev = out.dev_mut(d);
     dev.d2h_req.push(D2HReq::new(D2HReqType::CleanEvict, tid));
     dev.cache.state = DState::SIA;
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 /// `S` + pending `Evict` → send `CleanEvictNoData`, enter `SIAC`
@@ -186,20 +196,21 @@ pub(super) fn shared_evict_no_data(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if !cfg.clean_evict_no_data
         || s.dev(d).cache.state != DState::S
         || s.dev(d).next_instr() != Some(Instruction::Evict)
     {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    let tid = n.fresh_tid();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let tid = out.fresh_tid();
+    let dev = out.dev_mut(d);
     dev.d2h_req.push(D2HReq::new(D2HReqType::CleanEvictNoData, tid));
     dev.cache.state = DState::SIAC;
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 /// `M` + pending `Load` → read hit; the instruction retires.
@@ -207,13 +218,14 @@ pub(super) fn modified_load(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::M || s.dev(d).next_instr() != Some(Instruction::Load) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(d).retire_instr();
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(d).retire_instr();
+    true
 }
 
 /// Paper Fig. 4 `ModifiedStore`: `M` + pending `Store(v)` → write `v`
@@ -222,17 +234,20 @@ pub(super) fn modified_store(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::M {
-        return None;
+        return false;
     }
-    let v = pending_store_value(s, d)?;
-    let mut n = s.clone();
-    let dev = n.dev_mut(d);
+    let Some(v) = pending_store_value(s, d) else {
+        return false;
+    };
+    out.clone_from(s);
+    let dev = out.dev_mut(d);
     dev.cache.val = v;
     dev.retire_instr();
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 /// Paper Table 2 `ModifiedEvict`: `M` + pending `Evict` → send
@@ -241,17 +256,18 @@ pub(super) fn modified_evict(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != DState::M || s.dev(d).next_instr() != Some(Instruction::Evict) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    let tid = n.fresh_tid();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let tid = out.fresh_tid();
+    let dev = out.dev_mut(d);
     dev.d2h_req.push(D2HReq::new(D2HReqType::DirtyEvict, tid));
     dev.cache.state = DState::MIA;
     dev.buffer = DBufferSlot::Empty;
-    Some(n)
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -266,17 +282,20 @@ fn consume_go(
     from: DState,
     granted: DState,
     to: DState,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != from {
-        return None;
+        return false;
     }
-    let rsp = ready_rsp(s, d, H2DRspType::GO, granted)?;
-    let mut n = s.clone();
-    let dev = n.dev_mut(d);
+    let Some(rsp) = ready_rsp(s, d, H2DRspType::GO, granted) else {
+        return false;
+    };
+    out.clone_from(s);
+    let dev = out.dev_mut(d);
     dev.h2d_rsp.pop();
     dev.cache.state = to;
     dev.buffer = DBufferSlot::Rsp(rsp);
-    Some(n)
+    true
 }
 
 /// Shared helper: consume the data at the head and transition `from → to`,
@@ -286,22 +305,30 @@ fn consume_data(
     d: DeviceId,
     from: DState,
     to: DState,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != from {
-        return None;
+        return false;
     }
-    let data = ready_data(s, d)?;
-    let mut n = s.clone();
-    let dev = n.dev_mut(d);
+    let Some(data) = ready_data(s, d) else {
+        return false;
+    };
+    out.clone_from(s);
+    let dev = out.dev_mut(d);
     dev.h2d_data.pop();
     dev.cache.val = data.val;
     dev.cache.state = to;
-    Some(n)
+    true
 }
 
 /// `ISAD` + GO(-S) → `ISD`.
-pub(super) fn isad_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    consume_go(s, d, DState::ISAD, DState::S, DState::ISD)
+pub(super) fn isad_go(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    consume_go(s, d, DState::ISAD, DState::S, DState::ISD, out)
 }
 
 /// `ISAD` + data → `ISA`.
@@ -309,33 +336,53 @@ pub(super) fn isad_data(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    consume_data(s, d, DState::ISAD, DState::ISA)
+    out: &mut SystemState,
+) -> bool {
+    consume_data(s, d, DState::ISAD, DState::ISA, out)
 }
 
 /// `ISD` + data → `S`, retiring the pending `Load`.
-pub(super) fn isd_data(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn isd_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).next_instr() != Some(Instruction::Load) {
-        return None;
+        return false;
     }
-    let mut n = consume_data(s, d, DState::ISD, DState::S)?;
-    n.dev_mut(d).retire_instr();
-    Some(n)
+    if !consume_data(s, d, DState::ISD, DState::S, out) {
+        return false;
+    }
+    out.dev_mut(d).retire_instr();
+    true
 }
 
 /// `ISA` + GO(-S) → `S`, retiring the pending `Load`.
-pub(super) fn isa_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn isa_go(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).next_instr() != Some(Instruction::Load) {
-        return None;
+        return false;
     }
-    let mut n = consume_go(s, d, DState::ISA, DState::S, DState::S)?;
-    n.dev_mut(d).retire_instr();
-    Some(n)
+    if !consume_go(s, d, DState::ISA, DState::S, DState::S, out) {
+        return false;
+    }
+    out.dev_mut(d).retire_instr();
+    true
 }
 
 /// `IMAD` + GO(-M) → `IMD`.
-pub(super) fn imad_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    consume_go(s, d, DState::IMAD, DState::M, DState::IMD)
+pub(super) fn imad_go(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    consume_go(s, d, DState::IMAD, DState::M, DState::IMD, out)
 }
 
 /// `IMAD` + data → `IMA`.
@@ -343,8 +390,9 @@ pub(super) fn imad_data(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    consume_data(s, d, DState::IMAD, DState::IMA)
+    out: &mut SystemState,
+) -> bool {
+    consume_data(s, d, DState::IMAD, DState::IMA, out)
 }
 
 /// Complete a store-upgrade: the device now holds `M`; write the pending
@@ -360,24 +408,47 @@ fn complete_store(n: &mut SystemState, d: DeviceId) {
 }
 
 /// `IMD` + data → `M`, performing the pending store.
-pub(super) fn imd_data(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    pending_store_value(s, d)?;
-    let mut n = consume_data(s, d, DState::IMD, DState::M)?;
-    complete_store(&mut n, d);
-    Some(n)
+pub(super) fn imd_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if pending_store_value(s, d).is_none() {
+        return false;
+    }
+    if !consume_data(s, d, DState::IMD, DState::M, out) {
+        return false;
+    }
+    complete_store(out, d);
+    true
 }
 
 /// `IMA` + GO(-M) → `M`, performing the pending store.
-pub(super) fn ima_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    pending_store_value(s, d)?;
-    let mut n = consume_go(s, d, DState::IMA, DState::M, DState::M)?;
-    complete_store(&mut n, d);
-    Some(n)
+pub(super) fn ima_go(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if pending_store_value(s, d).is_none() {
+        return false;
+    }
+    if !consume_go(s, d, DState::IMA, DState::M, DState::M, out) {
+        return false;
+    }
+    complete_store(out, d);
+    true
 }
 
 /// `SMAD` + GO(-M) → `SMD`.
-pub(super) fn smad_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    consume_go(s, d, DState::SMAD, DState::M, DState::SMD)
+pub(super) fn smad_go(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    consume_go(s, d, DState::SMAD, DState::M, DState::SMD, out)
 }
 
 /// `SMAD` + data → `SMA`.
@@ -385,24 +456,43 @@ pub(super) fn smad_data(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    consume_data(s, d, DState::SMAD, DState::SMA)
+    out: &mut SystemState,
+) -> bool {
+    consume_data(s, d, DState::SMAD, DState::SMA, out)
 }
 
 /// `SMD` + data → `M`, performing the pending store.
-pub(super) fn smd_data(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    pending_store_value(s, d)?;
-    let mut n = consume_data(s, d, DState::SMD, DState::M)?;
-    complete_store(&mut n, d);
-    Some(n)
+pub(super) fn smd_data(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if pending_store_value(s, d).is_none() {
+        return false;
+    }
+    if !consume_data(s, d, DState::SMD, DState::M, out) {
+        return false;
+    }
+    complete_store(out, d);
+    true
 }
 
 /// `SMA` + GO(-M) → `M`, performing the pending store.
-pub(super) fn sma_go(s: &SystemState, d: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
-    pending_store_value(s, d)?;
-    let mut n = consume_go(s, d, DState::SMA, DState::M, DState::M)?;
-    complete_store(&mut n, d);
-    Some(n)
+pub(super) fn sma_go(
+    s: &SystemState,
+    d: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if pending_store_value(s, d).is_none() {
+        return false;
+    }
+    if !consume_go(s, d, DState::SMA, DState::M, DState::M, out) {
+        return false;
+    }
+    complete_store(out, d);
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -419,13 +509,16 @@ fn complete_evict(
     rsp_ty: H2DRspType,
     send_data: bool,
     bogus: bool,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != from || s.dev(d).next_instr() != Some(Instruction::Evict) {
-        return None;
+        return false;
     }
-    let rsp = ready_rsp(s, d, rsp_ty, DState::I)?;
-    let mut n = s.clone();
-    let dev = n.dev_mut(d);
+    let Some(rsp) = ready_rsp(s, d, rsp_ty, DState::I) else {
+        return false;
+    };
+    out.clone_from(s);
+    let dev = out.dev_mut(d);
     dev.h2d_rsp.pop();
     if send_data {
         let msg = if bogus {
@@ -438,7 +531,7 @@ fn complete_evict(
     dev.cache.state = DState::I;
     dev.buffer = DBufferSlot::Rsp(rsp);
     dev.retire_instr();
-    Some(n)
+    true
 }
 
 /// Paper Table 1 `SIAGO_WritePullDrop`: a clean eviction is dropped.
@@ -446,8 +539,9 @@ pub(super) fn sia_go_write_pull_drop(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    complete_evict(s, d, DState::SIA, H2DRspType::GOWritePullDrop, false, false)
+    out: &mut SystemState,
+) -> bool {
+    complete_evict(s, d, DState::SIA, H2DRspType::GOWritePullDrop, false, false, out)
 }
 
 /// A clean eviction is pulled: the device supplies its (clean) data.
@@ -455,8 +549,9 @@ pub(super) fn sia_go_write_pull(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    complete_evict(s, d, DState::SIA, H2DRspType::GOWritePull, true, false)
+    out: &mut SystemState,
+) -> bool {
+    complete_evict(s, d, DState::SIA, H2DRspType::GOWritePull, true, false, out)
 }
 
 /// A `CleanEvictNoData` eviction is dropped (the only legal reply).
@@ -464,8 +559,9 @@ pub(super) fn siac_go_write_pull_drop(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    complete_evict(s, d, DState::SIAC, H2DRspType::GOWritePullDrop, false, false)
+    out: &mut SystemState,
+) -> bool {
+    complete_evict(s, d, DState::SIAC, H2DRspType::GOWritePullDrop, false, false, out)
 }
 
 /// Paper Table 2 `MIAGO_WritePull`: a dirty eviction is pulled; the device
@@ -474,8 +570,9 @@ pub(super) fn mia_go_write_pull(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    complete_evict(s, d, DState::MIA, H2DRspType::GOWritePull, true, false)
+    out: &mut SystemState,
+) -> bool {
+    complete_evict(s, d, DState::MIA, H2DRspType::GOWritePull, true, false, out)
 }
 
 /// A stale eviction is pulled: "the device must [...] set the Bogus field
@@ -485,8 +582,9 @@ pub(super) fn iia_go_write_pull(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    complete_evict(s, d, DState::IIA, H2DRspType::GOWritePull, true, true)
+    out: &mut SystemState,
+) -> bool {
+    complete_evict(s, d, DState::IIA, H2DRspType::GOWritePull, true, true, out)
 }
 
 /// A stale eviction is dropped — the paper's §4.4 optimisation: no bogus
@@ -495,8 +593,9 @@ pub(super) fn iia_go_write_pull_drop(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    complete_evict(s, d, DState::IIA, H2DRspType::GOWritePullDrop, false, false)
+    out: &mut SystemState,
+) -> bool {
+    complete_evict(s, d, DState::IIA, H2DRspType::GOWritePullDrop, false, false, out)
 }
 
 /// `ISDI` + data → `I`: the load observes the value once (recorded as the
@@ -505,13 +604,16 @@ pub(super) fn isdi_data(
     s: &SystemState,
     d: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).next_instr() != Some(Instruction::Load) {
-        return None;
+        return false;
     }
-    let mut n = consume_data(s, d, DState::ISDI, DState::I)?;
-    n.dev_mut(d).retire_instr();
-    Some(n)
+    if !consume_data(s, d, DState::ISDI, DState::I, out) {
+        return false;
+    }
+    out.dev_mut(d).retire_instr();
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -530,13 +632,16 @@ fn process_snoop(
     to: DState,
     rsp_ty: D2HRspType,
     forward_data: bool,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(d).cache.state != from {
-        return None;
+        return false;
     }
-    let snp = ready_snoop(s, d, snp_ty, cfg)?;
-    let mut n = s.clone();
-    let dev = n.dev_mut(d);
+    let Some(snp) = ready_snoop(s, d, snp_ty, cfg) else {
+        return false;
+    };
+    out.clone_from(s);
+    let dev = out.dev_mut(d);
     dev.h2d_req.pop();
     dev.cache.state = to;
     dev.buffer = DBufferSlot::Req(snp);
@@ -545,7 +650,7 @@ fn process_snoop(
         let val = dev.cache.val;
         dev.d2h_data.push(DataMsg::new(snp.tid, val));
     }
-    Some(n)
+    true
 }
 
 /// Paper Fig. 4 `SharedSnpInv`: `S` + `SnpInv` → `I`, answering
@@ -554,8 +659,19 @@ pub(super) fn shared_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::S, DState::I, D2HRspType::RspIHitSE, false)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::S,
+        DState::I,
+        D2HRspType::RspIHitSE,
+        false,
+        out,
+    )
 }
 
 /// `M` + `SnpInv` → `I`, answering `RspIFwdM` and forwarding dirty data.
@@ -563,8 +679,19 @@ pub(super) fn modified_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::M, DState::I, D2HRspType::RspIFwdM, true)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::M,
+        DState::I,
+        D2HRspType::RspIFwdM,
+        true,
+        out,
+    )
 }
 
 /// `M` + `SnpData` → `S`, answering `RspSFwdM` and forwarding dirty data.
@@ -572,8 +699,19 @@ pub(super) fn modified_snp_data(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpData, DState::M, DState::S, D2HRspType::RspSFwdM, true)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpData,
+        DState::M,
+        DState::S,
+        D2HRspType::RspSFwdM,
+        true,
+        out,
+    )
 }
 
 /// `ISD` + `SnpInv` → `ISDI`, answering `RspIHitSE`: the grant has been
@@ -583,7 +721,8 @@ pub(super) fn isd_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     process_snoop(
         s,
         d,
@@ -593,6 +732,7 @@ pub(super) fn isd_snp_inv(
         DState::ISDI,
         D2HRspType::RspIHitSE,
         false,
+        out,
     )
 }
 
@@ -603,7 +743,8 @@ pub(super) fn smad_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     process_snoop(
         s,
         d,
@@ -613,6 +754,7 @@ pub(super) fn smad_snp_inv(
         DState::IMAD,
         D2HRspType::RspIHitSE,
         false,
+        out,
     )
 }
 
@@ -621,8 +763,19 @@ pub(super) fn sia_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::SIA, DState::IIA, D2HRspType::RspIHitSE, false)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::SIA,
+        DState::IIA,
+        D2HRspType::RspIHitSE,
+        false,
+        out,
+    )
 }
 
 /// `SIAC` + `SnpInv` → `IIA`: the no-data clean eviction goes stale.
@@ -630,8 +783,19 @@ pub(super) fn siac_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::SIAC, DState::IIA, D2HRspType::RspIHitSE, false)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::SIAC,
+        DState::IIA,
+        D2HRspType::RspIHitSE,
+        false,
+        out,
+    )
 }
 
 /// `MIA` + `SnpInv` → `IIA`: the dirty eviction goes stale; the dirty data
@@ -641,8 +805,19 @@ pub(super) fn mia_snp_inv(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpInv, DState::MIA, DState::IIA, D2HRspType::RspIFwdM, true)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpInv,
+        DState::MIA,
+        DState::IIA,
+        D2HRspType::RspIFwdM,
+        true,
+        out,
+    )
 }
 
 /// `MIA` + `SnpData` → `SIA`: the dirty eviction is downgraded in flight;
@@ -651,8 +826,19 @@ pub(super) fn mia_snp_data(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
-    process_snoop(s, d, cfg, H2DReqType::SnpData, DState::MIA, DState::SIA, D2HRspType::RspSFwdM, true)
+    out: &mut SystemState,
+) -> bool {
+    process_snoop(
+        s,
+        d,
+        cfg,
+        H2DReqType::SnpData,
+        DState::MIA,
+        DState::SIA,
+        D2HRspType::RspSFwdM,
+        true,
+        out,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -668,20 +854,21 @@ pub(super) fn isad_snp_inv_buggy(
     s: &SystemState,
     d: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if cfg.snoop_pushes_go || s.dev(d).cache.state != DState::ISAD {
-        return None;
+        return false;
     }
     let snp = match s.dev(d).h2d_req.head() {
         Some(req) if req.ty == H2DReqType::SnpInv => *req,
-        _ => return None,
+        _ => return false,
     };
-    let mut n = s.clone();
-    let dev = n.dev_mut(d);
+    out.clone_from(s);
+    let dev = out.dev_mut(d);
     dev.h2d_req.pop();
     dev.d2h_rsp.push(D2HRsp::new(D2HRspType::RspIHitI, snp.tid));
     dev.buffer = DBufferSlot::Req(snp);
-    Some(n)
+    true
 }
 
 #[cfg(test)]
@@ -712,6 +899,28 @@ mod tests {
         assert_eq!(n.counter, 1);
         // The Load is NOT retired at issue time; it retires on completion.
         assert_eq!(dev.next_instr(), Some(Instruction::Load));
+    }
+
+    #[test]
+    fn fire_into_reuses_a_dirty_scratch() {
+        // The fire-into contract: `out`'s previous contents are
+        // irrelevant — firing the same rule into a fresh blank and into a
+        // scratch still holding another successor yields equal states.
+        let rules = strict();
+        let s = SystemState::initial(programs::load(), programs::store(3));
+        let id = RuleId::new(Shape::InvalidLoad, DeviceId::D1);
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        assert!(rules.try_fire_into(
+            RuleId::new(Shape::InvalidStore, DeviceId::D2),
+            &s,
+            &mut scratch
+        ));
+        let dirty = scratch.clone();
+        assert!(rules.try_fire_into(id, &s, &mut scratch));
+        assert_ne!(scratch, dirty);
+        assert_eq!(Some(scratch.clone()), rules.try_fire(id, &s));
+        // A disabled rule leaves `false` and does not report firing.
+        assert!(!rules.try_fire_into(RuleId::new(Shape::SharedLoad, DeviceId::D1), &s, &mut scratch));
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! model assumes that the host does perfect tracking as if it can look at
 //! the state of the device caches."
 //!
+//! Like the device rules, every rule here is in **fire-into** form: guards
+//! run against the borrowed pre-state, and only a fully-guarded firing
+//! `clone_from`s into the caller's reusable scratch successor.
+//!
 //! ## N-device generalisation
 //!
 //! The paper fixes the system to two devices, so its host rules speak of
@@ -169,19 +173,22 @@ pub(super) fn invalid_rd_shared(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::I {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdShared)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdShared) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    grant_with_data(&mut n, r, DState::S, req.tid);
-    n.host.state = HState::S;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    grant_with_data(out, r, DState::S, req.tid);
+    out.host.state = HState::S;
+    true
 }
 
 /// `RdShared` on a shared line — grant GO-S plus data; stays shared.
@@ -189,18 +196,21 @@ pub(super) fn shared_rd_shared(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdShared)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdShared) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    grant_with_data(&mut n, r, DState::S, req.tid);
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    grant_with_data(out, r, DState::S, req.tid);
+    true
 }
 
 /// `RdShared` on an owned line — snoop the owner with `SnpData` (carrying
@@ -210,20 +220,25 @@ pub(super) fn modified_rd_shared(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::M {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdShared)?;
-    let o = owner_peer(s, r, cfg)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdShared) else {
+        return false;
+    };
+    let Some(o) = owner_peer(s, r, cfg) else {
+        return false;
+    };
     if !snoop_launch_allowed(s, o, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    n.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpData, req.tid));
-    n.host.state = HState::SAD;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    out.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpData, req.tid));
+    out.host.state = HState::SAD;
+    true
 }
 
 /// `RdOwn` on an idle line — grant GO-M plus data; the line becomes owned.
@@ -231,19 +246,22 @@ pub(super) fn invalid_rd_own(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::I {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdOwn) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    grant_with_data(&mut n, r, DState::M, req.tid);
-    n.host.state = HState::M;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    grant_with_data(out, r, DState::M, req.tid);
+    out.host.state = HState::M;
+    true
 }
 
 /// `RdOwn` on a shared line whose only sharer is the requester itself —
@@ -255,19 +273,22 @@ pub(super) fn shared_rd_own_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdOwn) else {
+        return false;
+    };
     if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    grant_with_data(&mut n, r, DState::M, req.tid);
-    n.host.state = HState::M;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    grant_with_data(out, r, DState::M, req.tid);
+    out.host.state = HState::M;
+    true
 }
 
 /// Paper Table 3 `SharedRdOwn`: `RdOwn` on a shared line with other
@@ -279,11 +300,14 @@ pub(super) fn shared_rd_own_other(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdOwn) else {
+        return false;
+    };
     // Collect the sharer peers into a stack buffer (N ≤ MAX_DEVICES):
     // this guard runs on every successor-generation pass, so it must not
     // allocate on the rejecting paths.
@@ -297,17 +321,17 @@ pub(super) fn shared_rd_own_other(
     }
     let sharers = &sharers[..count];
     if sharers.is_empty() || sharers.iter().any(|&p| !snoop_launch_allowed(s, p, cfg)) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
     for &p in sharers {
-        n.dev_mut(p).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
+        out.dev_mut(p).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
     }
-    let val = n.host.val;
-    n.dev_mut(r).h2d_data.push(DataMsg::new(req.tid, val));
-    n.host.state = HState::MA;
-    Some(n)
+    let val = out.host.val;
+    out.dev_mut(r).h2d_data.push(DataMsg::new(req.tid, val));
+    out.host.state = HState::MA;
+    true
 }
 
 /// `RdOwn` on an owned line — snoop the owner with `SnpInv` and wait in
@@ -316,20 +340,25 @@ pub(super) fn modified_rd_own(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::M {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::RdOwn)?;
-    let o = owner_peer(s, r, cfg)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::RdOwn) else {
+        return false;
+    };
+    let Some(o) = owner_peer(s, r, cfg) else {
+        return false;
+    };
     if !snoop_launch_allowed(s, o, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    n.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
-    n.host.state = HState::MAD;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    out.dev_mut(o).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, req.tid));
+    out.host.state = HState::MAD;
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -368,48 +397,65 @@ pub(super) fn sad_rsp_s_fwd_m(
     s: &SystemState,
     r: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::SAD || !s_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, _) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM)?;
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_rsp.pop();
-    n.host.state = HState::SD;
-    Some(n)
+    let Some((o, _)) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM) else {
+        return false;
+    };
+    out.clone_from(s);
+    out.dev_mut(o).d2h_rsp.pop();
+    out.host.state = HState::SD;
+    true
 }
 
 /// `SAD` + the owner's forwarded data first → copy it in, forward it to
 /// the requester, and await the response in `SA`.
-pub(super) fn sad_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn sad_data(
+    s: &SystemState,
+    r: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::SAD || !s_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, data) = peer_with_live_data(s, r)?;
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_data.pop();
-    n.host.val = data.val;
-    n.dev_mut(r).h2d_data.push(DataMsg::new(data.tid, data.val));
-    n.host.state = HState::SA;
-    Some(n)
+    let Some((o, data)) = peer_with_live_data(s, r) else {
+        return false;
+    };
+    out.clone_from(s);
+    out.dev_mut(o).d2h_data.pop();
+    out.host.val = data.val;
+    out.dev_mut(r).h2d_data.push(DataMsg::new(data.tid, data.val));
+    out.host.state = HState::SA;
+    true
 }
 
 /// `SD` + the forwarded data → copy it in, send data + GO-S to the
 /// requester; the line is shared.
-pub(super) fn sd_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn sd_data(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::SD || !s_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, data) = peer_with_live_data(s, r)?;
+    let Some((o, data)) = peer_with_live_data(s, r) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_data.pop();
-    n.host.val = data.val;
-    grant_with_data(&mut n, r, DState::S, data.tid);
-    n.host.state = HState::S;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(o).d2h_data.pop();
+    out.host.val = data.val;
+    grant_with_data(out, r, DState::S, data.tid);
+    out.host.state = HState::S;
+    true
 }
 
 /// `SA` + the owner's `RspSFwdM` → send GO-S (the data was already
@@ -418,19 +464,22 @@ pub(super) fn sa_rsp_s_fwd_m(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::SA || !s_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, rsp) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM)?;
+    let Some((o, rsp)) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_rsp.pop();
-    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, rsp.tid));
-    n.host.state = HState::S;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(o).d2h_rsp.pop();
+    out.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, rsp.tid));
+    out.host.state = HState::S;
+    true
 }
 
 /// `MAD` + the owner's `RspIFwdM` → `MD` (awaiting the dirty data).
@@ -438,48 +487,65 @@ pub(super) fn mad_rsp_i_fwd_m(
     s: &SystemState,
     r: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::MAD || !m_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, _) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspIFwdM)?;
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_rsp.pop();
-    n.host.state = HState::MD;
-    Some(n)
+    let Some((o, _)) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspIFwdM) else {
+        return false;
+    };
+    out.clone_from(s);
+    out.dev_mut(o).d2h_rsp.pop();
+    out.host.state = HState::MD;
+    true
 }
 
 /// `MAD` + the dirty data first → copy it in, forward it to the requester,
 /// and await the response in `MA`.
-pub(super) fn mad_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn mad_data(
+    s: &SystemState,
+    r: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::MAD || !m_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, data) = peer_with_live_data(s, r)?;
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_data.pop();
-    n.host.val = data.val;
-    n.dev_mut(r).h2d_data.push(DataMsg::new(data.tid, data.val));
-    n.host.state = HState::MA;
-    Some(n)
+    let Some((o, data)) = peer_with_live_data(s, r) else {
+        return false;
+    };
+    out.clone_from(s);
+    out.dev_mut(o).d2h_data.pop();
+    out.host.val = data.val;
+    out.dev_mut(r).h2d_data.push(DataMsg::new(data.tid, data.val));
+    out.host.state = HState::MA;
+    true
 }
 
 /// `MD` + the dirty data → copy it in, send data + GO-M to the requester;
 /// the line is owned by the requester.
-pub(super) fn md_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn md_data(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::MD || !m_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, data) = peer_with_live_data(s, r)?;
+    let Some((o, data)) = peer_with_live_data(s, r) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_data.pop();
-    n.host.val = data.val;
-    grant_with_data(&mut n, r, DState::M, data.tid);
-    n.host.state = HState::M;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(o).d2h_data.pop();
+    out.host.val = data.val;
+    grant_with_data(out, r, DState::M, data.tid);
+    out.host.state = HState::M;
+    true
 }
 
 /// `MA` + a snooped device's response → consume it; once the *last*
@@ -494,13 +560,20 @@ pub(super) fn md_data(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Opt
 /// peers has a snoop or response in flight. For `N = 2` there is exactly
 /// one snooped peer and the GO launches on the first firing, exactly as in
 /// the two-device model.
-pub(super) fn ma_snp_rsp(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn ma_snp_rsp(
+    s: &SystemState,
+    r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::MA || !m_grant_requester(s, r) {
-        return None;
+        return false;
     }
-    let (o, rsp) = peer_with_rsp(s, r, |ty| {
+    let Some((o, rsp)) = peer_with_rsp(s, r, |ty| {
         matches!(ty, D2HRspType::RspIHitSE | D2HRspType::RspIFwdM | D2HRspType::RspIHitI)
-    })?;
+    }) else {
+        return false;
+    };
     // Is this the last outstanding snoop transaction among the peers
     // (after consuming `o`'s response)?
     let last = !s.peer_ids(r).any(|p| {
@@ -509,15 +582,15 @@ pub(super) fn ma_snp_rsp(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> 
         !dp.h2d_req.is_empty() || rsp_left
     });
     if last && !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    let mut n = s.clone();
-    n.dev_mut(o).d2h_rsp.pop();
+    out.clone_from(s);
+    out.dev_mut(o).d2h_rsp.pop();
     if last {
-        n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, rsp.tid));
-        n.host.state = HState::M;
+        out.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::M, rsp.tid));
+        out.host.state = HState::M;
     }
-    Some(n)
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -526,24 +599,22 @@ pub(super) fn ma_snp_rsp(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> 
 
 /// Pop `r`'s eviction request and answer `GO_WritePullDrop`; the host
 /// moves to `next`.
-fn drop_evict(s: &SystemState, r: DeviceId, tid: u64, next: HState) -> SystemState {
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePullDrop, DState::I, tid));
-    n.dev_mut(r).buffer = DBufferSlot::Empty;
-    n.host.state = next;
-    n
+fn drop_evict(s: &SystemState, r: DeviceId, tid: u64, next: HState, out: &mut SystemState) {
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    out.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePullDrop, DState::I, tid));
+    out.dev_mut(r).buffer = DBufferSlot::Empty;
+    out.host.state = next;
 }
 
 /// Pop `r`'s eviction request and answer `GO_WritePull`; the host moves to
 /// `next` (a data-awaiting state).
-fn pull_evict(s: &SystemState, r: DeviceId, tid: u64, next: HState) -> SystemState {
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, tid));
-    n.dev_mut(r).buffer = DBufferSlot::Empty;
-    n.host.state = next;
-    n
+fn pull_evict(s: &SystemState, r: DeviceId, tid: u64, next: HState, out: &mut SystemState) {
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    out.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, tid));
+    out.dev_mut(r).buffer = DBufferSlot::Empty;
+    out.host.state = next;
 }
 
 /// `CleanEvict` by the last sharer → drop; the line goes idle.
@@ -551,15 +622,19 @@ pub(super) fn clean_evict_drop_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvict) else {
+        return false;
+    };
     if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(drop_evict(s, r, req.tid, HState::I))
+    drop_evict(s, r, req.tid, HState::I, out);
+    true
 }
 
 /// Paper Table 1 `Shared_CleanEvict_NotLastDrop`: `CleanEvict` while
@@ -568,15 +643,19 @@ pub(super) fn clean_evict_drop_not_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvict) else {
+        return false;
+    };
     if !any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(drop_evict(s, r, req.tid, HState::S))
+    drop_evict(s, r, req.tid, HState::S, out);
+    true
 }
 
 /// `CleanEvict` by the last sharer, with the host electing to pull the
@@ -585,15 +664,19 @@ pub(super) fn clean_evict_pull_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if !cfg.clean_evict_pull || s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvict) else {
+        return false;
+    };
     if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(pull_evict(s, r, req.tid, HState::IB))
+    pull_evict(s, r, req.tid, HState::IB, out);
+    true
 }
 
 /// As [`clean_evict_pull_last`] with another sharer remaining (`SB`).
@@ -601,15 +684,19 @@ pub(super) fn clean_evict_pull_not_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if !cfg.clean_evict_pull || s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvict) else {
+        return false;
+    };
     if !any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(pull_evict(s, r, req.tid, HState::SB))
+    pull_evict(s, r, req.tid, HState::SB, out);
+    true
 }
 
 /// `CleanEvictNoData` by the last sharer → drop (pulling is forbidden);
@@ -618,15 +705,19 @@ pub(super) fn clean_evict_no_data_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S || s.dev(r).cache.state != DState::SIAC {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvictNoData)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvictNoData) else {
+        return false;
+    };
     if any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(drop_evict(s, r, req.tid, HState::I))
+    drop_evict(s, r, req.tid, HState::I, out);
+    true
 }
 
 /// `CleanEvictNoData` with another sharer remaining → drop; stays shared.
@@ -634,15 +725,19 @@ pub(super) fn clean_evict_no_data_not_last(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S || s.dev(r).cache.state != DState::SIAC {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvictNoData)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvictNoData) else {
+        return false;
+    };
     if !any_peer_sharer(s, r, cfg) || !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(drop_evict(s, r, req.tid, HState::S))
+    drop_evict(s, r, req.tid, HState::S, out);
+    true
 }
 
 /// Paper Fig. 4 / Table 2 `HostModifiedDirtyEvict`: a dirty eviction is
@@ -653,32 +748,41 @@ pub(super) fn modified_dirty_evict(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::M || s.dev(r).cache.state != DState::MIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::DirtyEvict) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
-    Some(pull_evict(s, r, req.tid, HState::ID))
+    pull_evict(s, r, req.tid, HState::ID, out);
+    true
 }
 
 /// Paper Table 2 `IDData`: the written-back data arrives; the host copies
 /// it in and the line goes idle.
-pub(super) fn id_data(s: &SystemState, r: DeviceId, _cfg: &ProtocolConfig) -> Option<SystemState> {
+pub(super) fn id_data(
+    s: &SystemState,
+    r: DeviceId,
+    _cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::ID {
-        return None;
+        return false;
     }
     let data = match s.dev(r).d2h_data.head() {
         Some(d) if !d.bogus => *d,
-        _ => return None,
+        _ => return false,
     };
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_data.pop();
-    n.host.val = data.val;
-    n.host.state = HState::I;
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_data.pop();
+    out.host.val = data.val;
+    out.host.state = HState::I;
+    true
 }
 
 /// Host-state the line should settle in after `r`'s eviction completes,
@@ -698,16 +802,20 @@ pub(super) fn cleaned_dirty_evict_drop(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::DirtyEvict) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
     let next = after_evict(s, r, cfg);
-    Some(drop_evict(s, r, req.tid, next))
+    drop_evict(s, r, req.tid, next, out);
+    true
 }
 
 /// As [`cleaned_dirty_evict_drop`], but the host elects to pull the
@@ -717,19 +825,23 @@ pub(super) fn cleaned_dirty_evict_pull(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if !cfg.clean_evict_pull || s.host.state != HState::S || s.dev(r).cache.state != DState::SIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::DirtyEvict) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
     let next = match after_evict(s, r, cfg) {
         HState::S => HState::SB,
         _ => HState::IB,
     };
-    Some(pull_evict(s, r, req.tid, next))
+    pull_evict(s, r, req.tid, next, out);
+    true
 }
 
 /// A *stale* `DirtyEvict` (device in `IIA`): baseline CXL behaviour —
@@ -739,21 +851,25 @@ pub(super) fn stale_dirty_evict_pull(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(r).cache.state != DState::IIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::DirtyEvict) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
     let next = match s.host.state {
         HState::I => HState::IB,
         HState::S => HState::SB,
         HState::M => HState::MB,
-        _ => return None,
+        _ => return false,
     };
-    Some(pull_evict(s, r, req.tid, next))
+    pull_evict(s, r, req.tid, next, out);
+    true
 }
 
 /// A stale `DirtyEvict` answered with `GO_WritePullDrop` — the paper's
@@ -764,16 +880,20 @@ pub(super) fn stale_dirty_evict_drop(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if !cfg.stale_evict_drop_optimisation || s.dev(r).cache.state != DState::IIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::DirtyEvict)?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::DirtyEvict) else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
     let next = s.host.state; // stays stable; no data to wait for
-    Some(drop_evict(s, r, req.tid, next))
+    drop_evict(s, r, req.tid, next, out);
+    true
 }
 
 /// A stale `CleanEvict` / `CleanEvictNoData` (device in `IIA`) → drop.
@@ -781,17 +901,22 @@ pub(super) fn stale_clean_evict_drop(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if s.dev(r).cache.state != DState::IIA {
-        return None;
+        return false;
     }
-    let req = head_req_stable(s, r, D2HReqType::CleanEvict)
-        .or_else(|| head_req_stable(s, r, D2HReqType::CleanEvictNoData))?;
+    let Some(req) = head_req_stable(s, r, D2HReqType::CleanEvict)
+        .or_else(|| head_req_stable(s, r, D2HReqType::CleanEvictNoData))
+    else {
+        return false;
+    };
     if !go_launch_allowed(s, r, cfg) {
-        return None;
+        return false;
     }
     let next = s.host.state;
-    Some(drop_evict(s, r, req.tid, next))
+    drop_evict(s, r, req.tid, next, out);
+    true
 }
 
 /// A blocked host (`IB`/`SB`/`MB`) discards pulled eviction data and
@@ -801,15 +926,18 @@ pub(super) fn blocked_data(
     s: &SystemState,
     r: DeviceId,
     _cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if !s.host.state.is_blocked_on_pull() {
-        return None;
+        return false;
     }
-    s.dev(r).d2h_data.head()?;
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_data.pop();
-    n.host.state = n.host.state.unblocked();
-    Some(n)
+    if s.dev(r).d2h_data.head().is_none() {
+        return false;
+    }
+    out.clone_from(s);
+    out.dev_mut(r).d2h_data.pop();
+    out.host.state = out.host.state.unblocked();
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -826,25 +954,26 @@ pub(super) fn eager_stale_dirty_evict(
     s: &SystemState,
     r: DeviceId,
     cfg: &ProtocolConfig,
-) -> Option<SystemState> {
+    out: &mut SystemState,
+) -> bool {
     if cfg.go_cannot_tailgate_snoop {
-        return None;
+        return false;
     }
     // Mid-transaction host (it has dispatched a snoop and is waiting).
     if s.host.state.is_stable() || s.host.state.is_blocked_on_pull() || s.host.state == HState::ID {
-        return None;
+        return false;
     }
     if s.dev(r).cache.state != DState::MIA || s.dev(r).h2d_req.is_empty() {
-        return None;
+        return false;
     }
     let req = match s.dev(r).d2h_req.head() {
         Some(req) if req.ty == D2HReqType::DirtyEvict => *req,
-        _ => return None,
+        _ => return false,
     };
-    let mut n = s.clone();
-    n.dev_mut(r).d2h_req.pop();
-    n.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, req.tid));
-    Some(n)
+    out.clone_from(s);
+    out.dev_mut(r).d2h_req.pop();
+    out.dev_mut(r).h2d_rsp.push(H2DRsp::new(H2DRspType::GOWritePull, DState::I, req.tid));
+    true
 }
 
 #[cfg(test)]

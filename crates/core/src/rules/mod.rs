@@ -90,7 +90,9 @@ macro_rules! shapes {
                 }
             }
 
-            fn fire_fn(self) -> fn(&SystemState, DeviceId, &ProtocolConfig) -> Option<SystemState> {
+            fn fire_fn(
+                self,
+            ) -> fn(&SystemState, DeviceId, &ProtocolConfig, &mut SystemState) -> bool {
                 match self {
                     $( Shape::$name => $func, )+
                 }
@@ -753,16 +755,33 @@ impl Ruleset {
         );
     }
 
-    /// Attempt to fire one rule: returns the successor state if every
-    /// guard holds, or `None` if the rule is disabled in `state`.
+    /// Attempt to fire one rule **into a caller-owned scratch successor**
+    /// — the allocation-free firing primitive (ROADMAP's `try_fire_into`
+    /// item). If every guard holds, `out` is `clone_from`'d with the
+    /// pre-state and the rule's actions are applied to it, returning
+    /// `true`; otherwise `out` is untouched (still holding whatever the
+    /// previous firing left) and the call returns `false`. Because
+    /// `clone_from` reuses `out`'s heap blocks (program queues, spilled
+    /// channels, the device spill), a caller that reuses one scratch
+    /// across a whole exploration stops allocating per successor —
+    /// duplicates that fail fingerprint dedup cost no allocation at all.
     #[must_use]
-    pub fn try_fire(&self, id: RuleId, state: &SystemState) -> Option<SystemState> {
+    pub fn try_fire_into(&self, id: RuleId, state: &SystemState, out: &mut SystemState) -> bool {
         debug_assert_eq!(
             state.device_count(),
             self.device_count(),
             "state/topology device-count mismatch"
         );
-        (id.shape.fire_fn())(state, id.dev, &self.config)
+        (id.shape.fire_fn())(state, id.dev, &self.config, out)
+    }
+
+    /// Attempt to fire one rule: returns the successor state if every
+    /// guard holds, or `None` if the rule is disabled in `state`. The
+    /// allocating convenience wrapper over [`Self::try_fire_into`].
+    #[must_use]
+    pub fn try_fire(&self, id: RuleId, state: &SystemState) -> Option<SystemState> {
+        let mut out = SystemState::initial_n(self.device_count(), Vec::new());
+        self.try_fire_into(id, state, &mut out).then_some(out)
     }
 
     /// Is the rule enabled in `state`?
@@ -792,19 +811,24 @@ impl Ruleset {
     /// `tests/differential.rs` hold the two paths equal over whole
     /// exploration runs.
     pub fn successors_into(&self, state: &SystemState, out: &mut Vec<(RuleId, SystemState)>) {
-        self.assert_same_topology(state);
         out.clear();
-        // Gather the candidate rule instances from the buckets the state
-        // keys into (one per device cache state, one for the host state),
-        // then fire them in canonical dense-index order so the successor
-        // order is identical to the naive full scan. The candidate list is
-        // bounded by `CANDIDATE_CAP` (asserted at construction for the
-        // topology), so it lives on the stack.
+        let mut scratch = SystemState::initial_n(self.device_count(), Vec::new());
+        self.for_each_enabled(state, &mut scratch, |id, succ| {
+            out.push((id, succ.clone()));
+        });
+    }
+
+    /// Gather the candidate rule instances from the buckets `state` keys
+    /// into (one per device cache state, one for the host state), sorted
+    /// into canonical dense-index order so firing order is identical to
+    /// the naive full scan. The candidate list is bounded by
+    /// `CANDIDATE_CAP` (asserted at construction for the topology), so it
+    /// lives on the caller's stack; the filled prefix length is returned.
+    fn gather_candidates(&self, state: &SystemState, buf: &mut [u16; CANDIDATE_CAP]) -> usize {
         let ndev = self.device_count();
-        let mut candidates = [0u16; CANDIDATE_CAP];
         let mut n = 0usize;
         let mut push_all = |bucket: &[u16]| {
-            candidates[n..n + bucket.len()].copy_from_slice(bucket);
+            buf[n..n + bucket.len()].copy_from_slice(bucket);
             n += bucket.len();
         };
         for d in self.topology.devices() {
@@ -812,30 +836,54 @@ impl Ruleset {
             push_all(&self.device_buckets[(cs as usize) * ndev + d.index()]);
         }
         push_all(&self.host_buckets[state.host.state as usize]);
-        let candidates = &mut candidates[..n];
-        candidates.sort_unstable();
+        buf[..n].sort_unstable();
+        n
+    }
 
-        for &mut dense in candidates {
+    /// The zero-alloc streaming form of successor generation — the model
+    /// checker's expansion primitive. Every enabled rule is fired **into
+    /// `scratch`** via [`Self::try_fire_into`] and handed to `f` by
+    /// reference, in the same canonical order as [`Self::successors`];
+    /// the caller typically encodes the borrowed successor into a packed
+    /// byte buffer rather than cloning it. Between calls to `f`,
+    /// `scratch` is overwritten in place (`clone_from`), so once its heap
+    /// blocks have grown to the workload's high-water mark the whole
+    /// generation loop performs no allocation.
+    pub fn for_each_enabled(
+        &self,
+        state: &SystemState,
+        scratch: &mut SystemState,
+        mut f: impl FnMut(RuleId, &SystemState),
+    ) {
+        self.assert_same_topology(state);
+        let mut candidates = [0u16; CANDIDATE_CAP];
+        let n = self.gather_candidates(state, &mut candidates);
+        for &dense in &candidates[..n] {
             let id = self.ids[dense as usize];
             if !id.shape.quick_enabled(state, id.dev) {
                 continue;
             }
-            if let Some(next) = self.try_fire(id, state) {
-                out.push((id, next));
+            if self.try_fire_into(id, state, scratch) {
+                f(id, scratch);
             }
         }
     }
 
     /// Reference successor generation: fire every rule's full guard with
     /// no pre-screening. Kept as the oracle the optimized path
-    /// ([`Self::successors_into`]) is differentially tested against.
+    /// ([`Self::successors_into`]) is differentially tested against. One
+    /// scratch state serves the whole scan (constructed once per call,
+    /// not once per rule instance), so the naive baseline's cost profile
+    /// stays what it always was: full guards plus one clone per enabled
+    /// rule.
     #[must_use]
     pub fn successors_naive(&self, state: &SystemState) -> Vec<(RuleId, SystemState)> {
         self.assert_same_topology(state);
+        let mut scratch = SystemState::initial_n(self.device_count(), Vec::new());
         let mut out = Vec::new();
         for &id in &self.ids {
-            if let Some(next) = self.try_fire(id, state) {
-                out.push((id, next));
+            if self.try_fire_into(id, state, &mut scratch) {
+                out.push((id, scratch.clone()));
             }
         }
         out

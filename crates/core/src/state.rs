@@ -23,7 +23,7 @@ use std::fmt;
 
 /// Everything belonging to one device side of Figure 2: the program, the
 /// cache, the six channels connecting it to the host, and the buffer.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DeviceState {
     /// The driving program (`DProgᵢ`).
     pub prog: Program,
@@ -43,6 +43,36 @@ pub struct DeviceState {
     pub h2d_data: Channel<DataMsg>,
     /// The device buffer slot (`DBufferᵢ`).
     pub buffer: DBufferSlot,
+}
+
+/// Field-wise `clone_from` so a scratch device reuses its program queue
+/// and any spilled channel buffers (see [`crate::rules::Ruleset::try_fire_into`]).
+impl Clone for DeviceState {
+    fn clone(&self) -> Self {
+        DeviceState {
+            prog: self.prog.clone(),
+            cache: self.cache,
+            d2h_req: self.d2h_req.clone(),
+            d2h_rsp: self.d2h_rsp.clone(),
+            d2h_data: self.d2h_data.clone(),
+            h2d_req: self.h2d_req.clone(),
+            h2d_rsp: self.h2d_rsp.clone(),
+            h2d_data: self.h2d_data.clone(),
+            buffer: self.buffer,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.prog.clone_from(&src.prog);
+        self.cache = src.cache;
+        self.d2h_req.clone_from(&src.d2h_req);
+        self.d2h_rsp.clone_from(&src.d2h_rsp);
+        self.d2h_data.clone_from(&src.d2h_data);
+        self.h2d_req.clone_from(&src.h2d_req);
+        self.h2d_rsp.clone_from(&src.h2d_rsp);
+        self.h2d_data.clone_from(&src.h2d_data);
+        self.buffer = src.buffer;
+    }
 }
 
 impl DeviceState {
@@ -105,10 +135,25 @@ impl DeviceState {
 /// always-present slots (every topology has ≥ 2 devices) and a heap spill
 /// for devices 3..N. A two-device clone copies the inline pair in place —
 /// no outer allocation, matching the old `[DeviceState; 2]` layout.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct DeviceVec {
     base: [DeviceState; 2],
     extra: Vec<DeviceState>,
+}
+
+/// `clone_from` recurses into every slot (and lets `Vec` reuse the spill
+/// allocation when the device counts match), keeping the scratch-state
+/// rule-firing path of the model checker allocation-free.
+impl Clone for DeviceVec {
+    fn clone(&self) -> Self {
+        DeviceVec { base: self.base.clone(), extra: self.extra.clone() }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.base[0].clone_from(&src.base[0]);
+        self.base[1].clone_from(&src.base[1]);
+        self.extra.clone_from(&src.extra);
+    }
 }
 
 impl DeviceVec {
@@ -212,7 +257,7 @@ impl Deserialize for DeviceVec {
 
 /// The complete system state (paper Figure 3's `SystemState` record,
 /// generalised to N devices).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SystemState {
     /// The devices, indexed by [`DeviceId`].
     pub devs: DeviceVec,
@@ -223,6 +268,22 @@ pub struct SystemState {
     /// identifiers, so we use a simple, globally accessible counter"
     /// (paper §3.1).
     pub counter: Tid,
+}
+
+/// `clone_from` reuses the destination's heap blocks end-to-end — the
+/// primitive behind [`crate::rules::Ruleset::try_fire_into`]'s
+/// clone-into-scratch firing, under which generating a duplicate
+/// successor allocates nothing at all.
+impl Clone for SystemState {
+    fn clone(&self) -> Self {
+        SystemState { devs: self.devs.clone(), host: self.host, counter: self.counter }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.devs.clone_from(&src.devs);
+        self.host = src.host;
+        self.counter = src.counter;
+    }
 }
 
 impl SystemState {

@@ -179,9 +179,9 @@ impl Litmus {
                     let exploration = mc.explore(&self.initial, &[]);
                     let mut checked = 0usize;
                     for id in exploration.terminal_indices() {
-                        let st = &exploration.states[id];
+                        let st = exploration.state(id);
                         checked += 1;
-                        if !check(st) {
+                        if !check(&st) {
                             ok = false;
                             notes.push(format!("final-state check failed on:\n{st}"));
                         }

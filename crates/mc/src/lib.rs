@@ -48,7 +48,9 @@ mod checker;
 mod property;
 mod report;
 
-pub use checker::{CheckOptions, Exploration, ModelChecker, Prune, NOT_EXPANDED};
+pub use checker::{
+    CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_MEM_BUDGET, NOT_EXPANDED,
+};
 pub use property::{
     boolean_property, FnProperty, InvariantProperty, Property, PropertyOutcome, SwmrProperty,
 };

@@ -101,9 +101,13 @@ pub struct Report {
     pub transitions: usize,
     /// Deepest BFS layer reached.
     pub depth: usize,
-    /// True if the exploration hit a state or depth bound before
+    /// True if the exploration hit a state, depth, or memory bound before
     /// exhausting the reachable space.
     pub truncated: bool,
+    /// True if the bound that truncated the search was the memory budget
+    /// ([`crate::CheckOptions::mem_budget`]) — lets callers report "ran
+    /// out of budget" distinctly from "hit `max_states`".
+    pub truncated_by_memory: bool,
     /// Property violations (bounded by the checker's options).
     pub violations: Vec<Violation>,
     /// Non-quiescent terminal states.
@@ -118,6 +122,10 @@ pub struct Report {
     pub rule_firings: BTreeMap<RuleId, u64>,
     /// Wall-clock exploration time.
     pub elapsed: Duration,
+    /// Resident bytes of the packed state store at the end of the search
+    /// (payload + offset table) — the figure the memory budget bounds and
+    /// the bench snapshot's `bytes_per_state` divides.
+    pub memory_bytes: usize,
 }
 
 impl Report {
@@ -156,10 +164,12 @@ impl fmt::Display for Report {
         )?;
         writeln!(
             f,
-            "violations: {}  deadlocks: {}  elapsed: {:?}",
+            "violations: {}  deadlocks: {}  elapsed: {:?}  state store: {:.1} KiB{}",
             self.violations.len(),
             self.deadlocks.len(),
-            self.elapsed
+            self.elapsed,
+            self.memory_bytes as f64 / 1024.0,
+            if self.truncated_by_memory { " (memory budget exhausted)" } else { "" }
         )?;
         for v in &self.violations {
             write!(f, "  {v}")?;

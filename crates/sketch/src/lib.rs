@@ -46,4 +46,4 @@ mod universe;
 
 pub use matrix::{CellCounterexample, CellResult, MatrixReport, ObligationMatrix, RuleSummary};
 pub use script::{matrix_script, per_rule_table, rule_lemma_script, SessionStats};
-pub use universe::{default_program_grid, random_state, Universe};
+pub use universe::{default_program_grid, random_state, random_state_n, Universe};

@@ -198,8 +198,12 @@ impl ObligationMatrix {
             let mut holds = vec![true; n];
             let mut counterexamples: Vec<Option<(SystemState, SystemState)>> = vec![None; n];
             let mut enabled = 0usize;
+            // One scratch successor serves the whole column: most
+            // (rule, state) pairs fail the guard and cost no allocation
+            // at all; enabled pairs fire into the reused scratch.
+            let mut succ = SystemState::initial_n(self.rules.device_count(), Vec::new());
             for st in &hypothesis {
-                if let Some(succ) = self.rules.try_fire(rule, st) {
+                if self.rules.try_fire_into(rule, st, &mut succ) {
                     enabled += 1;
                     for (i, conjunct) in self.invariant.iter().enumerate() {
                         if (holds[i] || counterexamples[i].is_none())

@@ -16,8 +16,8 @@
 
 use cxl_core::instr::Instruction;
 use cxl_core::{
-    Channel, D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DState, DataMsg, DeviceId,
-    FpIndex, H2DReq, H2DReqType, H2DRsp, H2DRspType, HState, Invariant, Ruleset, SystemState,
+    Channel, D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DState, DataMsg, FpIndex,
+    H2DReq, H2DReqType, H2DRsp, H2DRspType, HState, Invariant, Ruleset, SystemState, Topology,
 };
 use cxl_mc::ModelChecker;
 use rand::rngs::StdRng;
@@ -49,6 +49,10 @@ pub struct Universe {
     pub reachable: usize,
     /// How many were randomly synthesised.
     pub random: usize,
+    /// The topology every state of this universe inhabits — recorded
+    /// from the rule set at construction so [`Universe::with_random`]
+    /// synthesises states of the right width.
+    topology: Topology,
     /// Fingerprint index over `states`, carried so extensions
     /// ([`Universe::with_random`]) never re-hash what is already
     /// deduplicated.
@@ -112,13 +116,19 @@ impl Universe {
             }
         }
         let reachable = states.len();
-        Universe { states, reachable, random: 0, index }
+        Universe { states, reachable, random: 0, topology: rules.topology(), index }
     }
 
-    /// Extend the universe with `n` randomly synthesised states (seeded,
-    /// so runs are reproducible). Dedup continues on the fingerprint
-    /// index built during [`Universe::reachable`] — no state is hashed
-    /// twice.
+    /// The topology of this universe's states.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Extend the universe with `n` randomly synthesised states of the
+    /// universe's own topology (seeded, so runs are reproducible). Dedup
+    /// continues on the fingerprint index built during
+    /// [`Universe::reachable`] — no state is hashed twice.
     #[must_use]
     pub fn with_random(mut self, n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -127,7 +137,7 @@ impl Universe {
         let mut attempts = 0usize;
         while added < n && attempts < n * 20 {
             attempts += 1;
-            let st = Arc::new(random_state(&mut rng));
+            let st = Arc::new(random_state_n(&mut rng, self.topology.device_count()));
             let fp = st.fingerprint();
             let candidate = u32::try_from(self.states.len()).expect("universe fits u32");
             let states = &self.states;
@@ -171,7 +181,18 @@ fn random_channel<T, F: FnMut(&mut StdRng) -> T>(
     (0..len).map(|_| gen(rng)).collect()
 }
 
-/// Synthesise a random (not necessarily reachable) system state.
+/// Synthesise a random (not necessarily reachable) two-device state —
+/// the paper's topology, kept as the stable sampling stream the
+/// differential suite probes with.
+#[must_use]
+pub fn random_state(rng: &mut StdRng) -> SystemState {
+    random_state_n(rng, 2)
+}
+
+/// Synthesise a random (not necessarily reachable) `n`-device state —
+/// the N-device generalisation of the randomised universe (ROADMAP open
+/// item), quantifying the same templates over a [`Topology`] instead of
+/// the hardcoded device pair.
 ///
 /// Half the states are *plausible*: a consistent settled configuration
 /// (host/directory agreement, matching values) optionally extended with an
@@ -181,19 +202,24 @@ fn random_channel<T, F: FnMut(&mut StdRng) -> T>(
 /// violate the invariant (vacuous hypotheses) but probe conjuncts that
 /// plausible states cannot, e.g. SWMR-holding-but-unreachable states for
 /// the "SWMR alone is not inductive" demonstration (paper §6).
+///
+/// # Panics
+/// Panics if `n` is outside `2..=Topology::MAX_DEVICES`.
 #[must_use]
-pub fn random_state(rng: &mut StdRng) -> SystemState {
+pub fn random_state_n(rng: &mut StdRng, n: usize) -> SystemState {
+    let topology = Topology::new(n);
     if rng.gen_bool(0.5) {
-        plausible_state(rng)
+        plausible_state(rng, topology)
     } else {
-        wild_state(rng)
+        wild_state(rng, topology)
     }
 }
 
 /// A consistent settled configuration, optionally with one in-flight
 /// transaction.
-fn plausible_state(rng: &mut StdRng) -> SystemState {
-    let mut s = SystemState::initial(Vec::new(), Vec::new());
+fn plausible_state(rng: &mut StdRng, topology: Topology) -> SystemState {
+    let n = topology.device_count();
+    let mut s = SystemState::initial_n(n, Vec::new());
     s.counter = rng.gen_range(1..6u64);
     let counter = s.counter;
     let tid = |rng: &mut StdRng| rng.gen_range(0..counter);
@@ -207,23 +233,23 @@ fn plausible_state(rng: &mut StdRng) -> SystemState {
         }
         1 => {
             s.host.state = HState::S;
-            let both = rng.gen_bool(0.5);
-            s.devs[0].cache = cxl_core::DCache::new(s.host.val, DState::S);
-            if both {
-                s.devs[1].cache = cxl_core::DCache::new(s.host.val, DState::S);
-            }
-            if rng.gen_bool(0.5) {
-                s.devs.swap(0, 1);
+            // At least one sharer (a uniformly chosen primary); every
+            // other device joins the sharer set with its own coin flip.
+            let primary = rng.gen_range(0..n);
+            for i in 0..n {
+                if i == primary || rng.gen_bool(0.5) {
+                    s.devs[i].cache = cxl_core::DCache::new(s.host.val, DState::S);
+                }
             }
         }
         _ => {
             s.host.state = HState::M;
-            let owner = rng.gen_range(0..2usize);
+            let owner = rng.gen_range(0..n);
             s.devs[owner].cache = cxl_core::DCache::new(val(rng), DState::M);
         }
     }
     // Random residual values on invalid lines and random programs.
-    for d in [DeviceId::D1, DeviceId::D2] {
+    for d in topology.devices() {
         let dev = s.dev_mut(d);
         if dev.cache.state == DState::I {
             dev.cache.val = val(rng);
@@ -239,7 +265,7 @@ fn plausible_state(rng: &mut StdRng) -> SystemState {
     }
     // Optionally put one transaction in flight via a template.
     if rng.gen_bool(0.7) {
-        let d = *[DeviceId::D1, DeviceId::D2].choose(rng).expect("non-empty");
+        let d = topology.device(rng.gen_range(0..n));
         let t = tid(rng);
         let dev_state = s.dev(d).cache.state;
         match (dev_state, rng.gen_range(0..3u8)) {
@@ -274,17 +300,17 @@ fn plausible_state(rng: &mut StdRng) -> SystemState {
 }
 
 /// Fully independent component sampling.
-fn wild_state(rng: &mut StdRng) -> SystemState {
+fn wild_state(rng: &mut StdRng, topology: Topology) -> SystemState {
     let counter = rng.gen_range(0..6u64);
     let tid = |rng: &mut StdRng| rng.gen_range(0..counter.max(1));
     let val = |rng: &mut StdRng| rng.gen_range(-1..50i64);
 
-    let mut s = SystemState::initial(Vec::new(), Vec::new());
+    let mut s = SystemState::initial_n(topology.device_count(), Vec::new());
     s.counter = counter;
     s.host.val = val(rng);
     s.host.state = *HState::ALL.choose(rng).expect("non-empty");
 
-    for d in [DeviceId::D1, DeviceId::D2] {
+    for d in topology.devices() {
         let dstate = *DState::ALL.choose(rng).expect("non-empty");
         let prog_len = rng.gen_range(0..3usize);
         let prog: Vec<Instruction> = (0..prog_len)
@@ -400,6 +426,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let hits = (0..2000).filter(|_| inv.holds(&random_state(&mut rng))).count();
         assert!(hits > 200, "expected a usable fraction of invariant-satisfying states, got {hits}");
+    }
+
+    #[test]
+    fn n_device_universe_synthesises_matching_width() {
+        // A 3-device rule set yields a universe whose random extension
+        // produces 3-device states, deduplicated into the same index.
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let grid = vec![(vec![Instruction::Store(1)], vec![Instruction::Load])];
+        let u = Universe::reachable(&rules, &grid).with_random(200, 5);
+        assert_eq!(u.topology().device_count(), 3);
+        assert_eq!(u.random, 200);
+        assert!(u.states.iter().all(|s| s.device_count() == 3));
+        let set: std::collections::HashSet<_> = u.states.iter().collect();
+        assert_eq!(set.len(), u.len(), "no duplicates across provenances");
+    }
+
+    #[test]
+    fn n_device_random_states_probe_wide_invariants() {
+        // The plausible half of the 4-device generator must still land a
+        // usable fraction inside the 4-device invariant.
+        let inv = Invariant::for_devices(&ProtocolConfig::strict(), 4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..2000).filter(|_| inv.holds(&random_state_n(&mut rng, 4))).count();
+        assert!(hits > 150, "expected invariant-satisfying 4-device states, got {hits}");
     }
 
     #[test]

@@ -239,6 +239,62 @@ fn four_device_smoke_explores_cleanly() {
 }
 
 // -------------------------------------------------------------------
+// 2b. 4-device strict-grid sweep (opened up by the packed state arena).
+// -------------------------------------------------------------------
+
+/// A bounded grid of four-device programs: every device participates,
+/// including multi-sharer snoop fan-outs over three peers at once and
+/// concurrent evictions racing upgrades.
+fn four_device_grid() -> Vec<Vec<Vec<Instruction>>> {
+    use Instruction::*;
+    vec![
+        vec![vec![Store(42)], vec![Load], vec![Load], vec![Load]],
+        vec![vec![Store(1), Evict], vec![Load], vec![Load], vec![Store(2)]],
+        vec![vec![Load, Load], vec![Store(9), Evict], vec![Load], vec![Evict]],
+        vec![vec![Store(3)], vec![Store(4)], vec![Load, Evict], vec![Load]],
+    ]
+}
+
+#[test]
+fn four_device_strict_grid_sweep_fits_the_default_memory_budget() {
+    // The whole grid explores exhaustively under default CheckOptions —
+    // including the default packed-store memory budget — with SWMR and
+    // the full 4-device invariant holding everywhere. Under the old
+    // heap-`Arc` arena each of these spaces cost hundreds of bytes per
+    // state; the packed arena keeps the entire sweep in the tens of
+    // KiB range (asserted loosely below so the bound survives workload
+    // tweaks).
+    let cfg = ProtocolConfig::strict();
+    let inv = InvariantProperty::new(Invariant::for_devices(&cfg, 4));
+    let mc = ModelChecker::new(Ruleset::with_devices(cfg, 4));
+    let mut total_states = 0usize;
+    for progs in four_device_grid() {
+        let init = SystemState::initial_n(4, progs.iter().cloned().map(Into::into).collect());
+        let exp = mc.explore(&init, &[&SwmrProperty, &inv]);
+        assert!(exp.report.clean(), "4-device scenario {progs:?} broke:\n{}", exp.report);
+        assert!(!exp.report.truncated, "4-device scenario {progs:?} truncated");
+        assert!(
+            exp.bytes_per_state() < 128.0,
+            "packed encoding regressed: {:.1} bytes/state",
+            exp.bytes_per_state()
+        );
+        total_states += exp.report.states;
+    }
+    assert!(total_states > 20_000, "the grid should be a real sweep, got {total_states}");
+}
+
+#[test]
+fn four_device_table3_violation_reproduces() {
+    let init = SystemState::initial_n(4, vec![programs::store(42), programs::load()]);
+    assert_table3_violation(&init, "two idle fourth-topology devices");
+    let busy = SystemState::initial_n(
+        4,
+        vec![programs::store(42), programs::load(), programs::load(), programs::load()],
+    );
+    assert_table3_violation(&busy, "all four devices active");
+}
+
+// -------------------------------------------------------------------
 // 3. 3-device Table 3 violation reproduction.
 // -------------------------------------------------------------------
 
