@@ -32,13 +32,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cxl_bench::{baseline_state_bytes, peak_rss_mb, BenchSnapshot, ThroughputRow};
 use cxl_core::instr::programs;
 use cxl_core::{ProtocolConfig, Ruleset, SystemState};
-use cxl_mc::{CheckOptions, Exploration, ModelChecker};
+use cxl_mc::{CheckOptions, Exploration, ModelChecker, Reduction, ReductionConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const WORKLOAD: &str = "stores(0,3) x loads(3)";
 const WORKLOAD_N3: &str = "stores(0,2) x loads(2) x loads(1)";
 const WORKLOAD_N4: &str = "stores(0,2) x loads(2) x loads(1) x evicts(1)";
+/// The symmetric strict-grid sweeps the reduction rows run: identical
+/// `[Store(7), Load]` programs on every device, so the detected
+/// symmetry subgroup is the full S_N.
+const WORKLOAD_SYM: &str = "[S7,L] x N (symmetric)";
 
 fn workload() -> SystemState {
     SystemState::initial(programs::stores(0, 3), programs::loads(3))
@@ -58,8 +63,39 @@ fn workload_n4() -> SystemState {
     )
 }
 
+fn workload_sym(n: usize) -> SystemState {
+    let prog = || {
+        vec![cxl_core::Instruction::Store(7), cxl_core::Instruction::Load].into()
+    };
+    SystemState::initial_n(n, (0..n).map(|_| prog()).collect())
+}
+
+/// A checker with symmetry reduction armed for `init`.
+fn reduced_checker(devices: usize, init: &SystemState) -> ModelChecker {
+    let rules = Ruleset::with_devices(ProtocolConfig::strict(), devices);
+    let red = Arc::new(Reduction::new(
+        &rules,
+        init,
+        ReductionConfig { symmetry: true, por: false },
+    ));
+    let opts = CheckOptions {
+        reduction: Some(red as Arc<dyn cxl_mc::Reducer>),
+        ..CheckOptions::default()
+    };
+    ModelChecker::with_options(Ruleset::with_devices(ProtocolConfig::strict(), devices), opts)
+}
+
 fn par_threads() -> usize {
     std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8)
+}
+
+/// Thread count for the dedicated multi-threaded row, recorded only on
+/// single-core hosts (where `optimized_par` degenerates to one thread):
+/// forced to two, so a `threads > 1` measurement of the packed chunk
+/// protocol lands in every snapshot — the ROADMAP's re-measurement item.
+/// On multi-core hosts `optimized_par` already is that row.
+fn mt_threads() -> usize {
+    2
 }
 
 /// Best-of-N wall time of one exploration variant.
@@ -93,6 +129,8 @@ fn snapshot_row(
     transitions: usize,
     best: Duration,
     memory: (f64, f64),
+    reduction: &str,
+    states_explored_unreduced: usize,
 ) -> ThroughputRow {
     let secs = best.as_secs_f64();
     let states_per_sec = if secs > 0.0 { states as f64 / secs } else { 0.0 };
@@ -109,6 +147,8 @@ fn snapshot_row(
         bytes_per_state: memory.0,
         baseline_bytes_per_state: memory.1,
         peak_rss_mb: peak_rss_mb(),
+        reduction: reduction.to_string(),
+        states_explored_unreduced,
     }
 }
 
@@ -146,6 +186,11 @@ fn bench(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("optimized_n4", WORKLOAD_N4), &init4, |b, init| {
         b.iter(|| black_box(opt4.check(init, &[])));
     });
+    let sym3 = workload_sym(3);
+    g.bench_with_input(BenchmarkId::new("reduced_n3", WORKLOAD_SYM), &sym3, |b, init| {
+        let red3 = reduced_checker(3, init);
+        b.iter(|| black_box(red3.check(init, &[])));
+    });
     g.finish();
 
     // Durable snapshot: best-of-N per pipeline, speedups vs naive, and
@@ -177,39 +222,141 @@ fn bench(c: &mut Criterion) {
         let r = opt4.check(&init4, &[]);
         (r.states, r.transitions)
     });
+    // The dedicated threads > 1 row (see mt_threads), measured only when
+    // optimized_par would otherwise run single-threaded — on multi-core
+    // hosts it would duplicate that row exactly.
+    let mt_row = (par_threads() == 1).then(|| {
+        let mt = ModelChecker::with_options(
+            Ruleset::new(ProtocolConfig::strict()),
+            CheckOptions { threads: mt_threads(), ..CheckOptions::default() },
+        );
+        let (m_states, m_trans, m_best) = best_of(iters, || {
+            let r = mt.check(&init, &[]);
+            (r.states, r.transitions)
+        });
+        assert_eq!((n_states, n_trans), (m_states, m_trans), "pipelines must agree");
+        snapshot_row(
+            "optimized_mt",
+            WORKLOAD,
+            2,
+            mt_threads(),
+            m_states,
+            m_trans,
+            m_best,
+            mem2,
+            "none",
+            m_states,
+        )
+    });
     assert_eq!((n_states, n_trans), (o_states, o_trans), "pipelines must agree");
     assert_eq!((n_states, n_trans), (p_states, p_trans), "pipelines must agree");
     assert!(t_states > n_states, "the 3-device space must dwarf the 2-device one");
     assert!(q_states > t_states, "the 4-device space must dwarf the 3-device one");
 
+    // Reduced-mode rows: symmetric strict grids at N = 2..4, symmetry
+    // canonicalization on, verdictwise identical to the unreduced sweep.
+    // The unreduced state count of each workload is measured once (the
+    // space is deterministic) for the reduction-ratio column.
+    let mut reduced_rows = Vec::new();
+    for n in 2..=4usize {
+        let init_sym = workload_sym(n);
+        let unreduced = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), n))
+            .explore(&init_sym, &[]);
+        let red_mc = reduced_checker(n, &init_sym);
+        let mem_red = memory_columns(&red_mc.explore(&init_sym, &[]));
+        let (r_states, r_trans, r_best) = best_of(iters, || {
+            let r = red_mc.check(&init_sym, &[]);
+            (r.states, r.transitions)
+        });
+        assert!(
+            r_states < unreduced.report.states,
+            "symmetry must shrink the N={n} symmetric grid"
+        );
+        reduced_rows.push(snapshot_row(
+            &format!("reduced_n{n}"),
+            WORKLOAD_SYM,
+            n,
+            1,
+            r_states,
+            r_trans,
+            r_best,
+            mem_red,
+            "symmetry",
+            unreduced.report.states,
+        ));
+    }
+
+    let mut rows = vec![
+        snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best, mem2, "none", n_states),
+        snapshot_row(
+            "optimized",
+            WORKLOAD,
+            2,
+            1,
+            o_states,
+            o_trans,
+            o_best,
+            mem2,
+            "none",
+            o_states,
+        ),
+        snapshot_row(
+            "optimized_par",
+            WORKLOAD,
+            2,
+            par_threads(),
+            p_states,
+            p_trans,
+            p_best,
+            mem2,
+            "none",
+            p_states,
+        ),
+        snapshot_row(
+            "optimized_n3",
+            WORKLOAD_N3,
+            3,
+            1,
+            t_states,
+            t_trans,
+            t_best,
+            mem3,
+            "none",
+            t_states,
+        ),
+        snapshot_row(
+            "optimized_n4",
+            WORKLOAD_N4,
+            4,
+            1,
+            q_states,
+            q_trans,
+            q_best,
+            mem4,
+            "none",
+            q_states,
+        ),
+    ];
+    rows.extend(mt_row);
+    rows.extend(reduced_rows);
     let snapshot = BenchSnapshot::new(
         "mc_throughput",
         format!(
-            "best of {iters} runs; optimized_par uses {} worker threads; \
-             release profile; clean exhaustive runs (no violations); \
+            "best of {iters} runs; optimized_par uses {} worker threads; on \
+             single-core hosts an optimized_mt row forces {} threads so a \
+             threads > 1 measurement of the packed chunk protocol is always \
+             recorded; release profile; clean exhaustive runs (no violations); \
              optimized_n3/_n4 explore 3-/4-device topologies sequentially; \
-             bytes_per_state is the packed StateArena payload, \
-             baseline_bytes_per_state the heap Arc<SystemState> estimate it \
-             replaced; peak_rss_mb is process VmHWM at row-record time \
-             (monotone within a run)",
-            par_threads()
+             reduced_n2..4 run symmetry canonicalization over the symmetric \
+             [S7,L]xN strict grid, with states_explored_unreduced the measured \
+             unreduced count of the same workload; bytes_per_state is the packed \
+             StateArena payload, baseline_bytes_per_state the heap \
+             Arc<SystemState> estimate it replaced; peak_rss_mb is process VmHWM \
+             at row-record time (monotone within a run)",
+            par_threads(),
+            mt_threads()
         ),
-        vec![
-            snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best, mem2),
-            snapshot_row("optimized", WORKLOAD, 2, 1, o_states, o_trans, o_best, mem2),
-            snapshot_row(
-                "optimized_par",
-                WORKLOAD,
-                2,
-                par_threads(),
-                p_states,
-                p_trans,
-                p_best,
-                mem2,
-            ),
-            snapshot_row("optimized_n3", WORKLOAD_N3, 3, 1, t_states, t_trans, t_best, mem3),
-            snapshot_row("optimized_n4", WORKLOAD_N4, 4, 1, q_states, q_trans, q_best, mem4),
-        ],
+        rows,
     );
     match snapshot.write() {
         Ok(path) => println!("snapshot written to {}", path.display()),
@@ -227,6 +374,17 @@ fn bench(c: &mut Criterion) {
             row.baseline_bytes_per_state,
             row.baseline_bytes_per_state / row.bytes_per_state.max(1e-9),
         );
+        if row.reduction != "none" {
+            println!(
+                "reduction [{} N={}]: {} of {} unreduced states ({:.1}x smaller, {})",
+                row.pipeline,
+                row.devices,
+                row.states,
+                row.states_explored_unreduced,
+                row.states_explored_unreduced as f64 / row.states.max(1) as f64,
+                row.reduction,
+            );
+        }
     }
 }
 

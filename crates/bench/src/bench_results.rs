@@ -47,6 +47,13 @@ pub struct ThroughputRow {
     /// where the platform does not expose it. Monotone across rows of
     /// one run — read it on the *last* row for the run's true peak.
     pub peak_rss_mb: f64,
+    /// Which state-space reduction the row ran with: `none`, `symmetry`,
+    /// `por`, or `symmetry+por`.
+    pub reduction: String,
+    /// States the same workload explores **without** reduction (equal to
+    /// `states` on unreduced rows) — `states / states_explored_unreduced`
+    /// is the measured reduction ratio the ROADMAP tracks.
+    pub states_explored_unreduced: usize,
 }
 
 /// A named collection of measurements plus derived ratios.
@@ -152,6 +159,8 @@ mod tests {
                     bytes_per_state: 30.0,
                     baseline_bytes_per_state: 600.0,
                     peak_rss_mb: 1.0,
+                    reduction: "none".into(),
+                    states_explored_unreduced: 10,
                 },
                 ThroughputRow {
                     pipeline: "optimized".into(),
@@ -166,6 +175,8 @@ mod tests {
                     bytes_per_state: 30.0,
                     baseline_bytes_per_state: 600.0,
                     peak_rss_mb: 1.0,
+                    reduction: "none".into(),
+                    states_explored_unreduced: 10,
                 },
             ],
         );

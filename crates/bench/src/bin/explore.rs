@@ -11,11 +11,20 @@
 //!     [--devices N] [--p3 … --p8 …] \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
 //!     [--full] [--trace] [--threads N] [--firings] [--expect-clean] \
-//!     [--mem-budget-mb N]
+//!     [--mem-budget-mb N] [--symmetry auto|off] [--por on|off]
 //! ```
 //!
 //! `--expect-clean` exits non-zero when the exploration finds a violation,
 //! a deadlock, or truncates — the CI smoke-check mode.
+//!
+//! `--symmetry auto` (the default) detects the device-permutation
+//! subgroup fixing the initial state and explores one representative per
+//! orbit — symmetric grids (identical programs on several devices)
+//! shrink toward 1/N! of their raw size, with identical verdicts; `off`
+//! restores the unreduced search. `--por on` additionally collapses
+//! interleavings around statically-safe local steps (default `off`).
+//! When a reduced run finds a violation, the printed counterexample is
+//! de-permuted back into original device coordinates before rendering.
 //!
 //! `--mem-budget-mb` caps the packed state store: when a big grid (an
 //! N = 4 sweep with long programs, say) outgrows the budget, exploration
@@ -127,11 +136,55 @@ fn main() {
             .map(|mb| mb * 1024 * 1024)
             .or(cxl_mc::CheckOptions::default().mem_budget);
 
+        let symmetry = match arg_value(&args, "--symmetry").as_deref() {
+            None | Some("auto") => true,
+            Some("off") => false,
+            Some(other) => return Err(format!("bad --symmetry {other:?} (auto, off)")),
+        };
+        let por = match arg_value(&args, "--por").as_deref() {
+            None | Some("off") => false,
+            Some("on") => true,
+            Some(other) => return Err(format!("bad --por {other:?} (on, off)")),
+        };
+        // Both stock properties quantify over devices symmetrically, so
+        // the reduction's property-invariance obligation holds; an inert
+        // reducer (asymmetric workload, no POR) is simply not installed.
+        let rules_for_group = Ruleset::with_devices(cfg, devices);
+        let reduction = std::sync::Arc::new(cxl_mc::Reduction::new(
+            &rules_for_group,
+            &init,
+            cxl_mc::ReductionConfig { symmetry, por },
+        ));
+        let active = reduction.is_active();
+
         let invariant = InvariantProperty::new(Invariant::for_devices(&cfg, devices));
-        let opts =
-            cxl_mc::CheckOptions { threads, mem_budget, ..cxl_mc::CheckOptions::default() };
+        let opts = cxl_mc::CheckOptions {
+            threads,
+            mem_budget,
+            reduction: active
+                .then(|| std::sync::Arc::clone(&reduction) as std::sync::Arc<dyn cxl_mc::Reducer>),
+            ..cxl_mc::CheckOptions::default()
+        };
         let mc = ModelChecker::with_options(Ruleset::with_devices(cfg, devices), opts);
-        let report = mc.check(&init, &[&SwmrProperty, &invariant]);
+        let mut report = mc.check(&init, &[&SwmrProperty, &invariant]);
+        // Reduced counterexamples live in canonical coordinates:
+        // de-permute them (violations and deadlock traces alike) into
+        // concrete runs before any rendering, so printed device indices
+        // match the user's --p<i> program assignment.
+        if active {
+            let fix = |trace: &mut cxl_mc::Trace| {
+                match cxl_litmus::replay::decanonicalize_trace(mc.rules(), &reduction, trace) {
+                    Ok(concrete) => *trace = concrete,
+                    Err(e) => eprintln!("warning: could not de-canonicalize trace: {e}"),
+                }
+            };
+            for v in &mut report.violations {
+                fix(&mut v.trace);
+            }
+            for d in &mut report.deadlocks {
+                fix(&mut d.trace);
+            }
+        }
         println!("{report}");
         if report.truncated_by_memory {
             println!(

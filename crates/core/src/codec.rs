@@ -399,6 +399,44 @@ impl StateCodec {
         SystemState::initial_n(self.topology.device_count(), Vec::new())
     }
 
+    /// Byte offsets of the per-device segments inside one encoded state:
+    /// on success `bounds[0]` is the end of the global header (counter +
+    /// host cache) and `bounds[i + 1]` the end of device `i`'s segment —
+    /// so device `i` spans `bounds[i]..bounds[i + 1]`.
+    ///
+    /// Because the encoding lays devices out in index order after a fixed
+    /// global header, a device permutation of the *state* acts on the
+    /// *encoding* purely by rearranging these segments. That is the hook
+    /// the symmetry-reduction engine canonicalises through: the
+    /// orbit-representative encoding is computed by reordering segments
+    /// at the byte level, never by decoding the state.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes (arena
+    /// contents always parse).
+    pub fn device_segment_bounds(
+        &self,
+        bytes: &[u8],
+        bounds: &mut [usize; Topology::MAX_DEVICES + 1],
+    ) -> Result<(), CodecError> {
+        let mut r = Reader::new(bytes);
+        r.varint()?; // counter
+        hstate_from(r.byte()?)?; // host state
+        r.signed()?; // host value
+        bounds[0] = r.pos;
+        for i in 0..self.topology.device_count() {
+            skip_device(&mut r)?;
+            bounds[i + 1] = r.pos;
+        }
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete state",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
+
     /// The 64-bit fingerprint of an *encoded* state: an
     /// [`crate::FxHasher`] run over the packed bytes. Because the
     /// encoding is deterministic, this is a well-defined state
@@ -443,12 +481,64 @@ fn encode_device(dev: &DeviceState, out: &mut Vec<u8>) {
             Instruction::Evict => out.push(2),
         }
     }
-    put_channel(out, &dev.d2h_req, |o, m| put_d2h_req(o, m));
-    put_channel(out, &dev.d2h_rsp, |o, m| put_d2h_rsp(o, m));
-    put_channel(out, &dev.d2h_data, |o, m| put_data(o, m));
-    put_channel(out, &dev.h2d_req, |o, m| put_h2d_req(o, m));
-    put_channel(out, &dev.h2d_rsp, |o, m| put_h2d_rsp(o, m));
-    put_channel(out, &dev.h2d_data, |o, m| put_data(o, m));
+    put_channel(out, &dev.d2h_req, put_d2h_req);
+    put_channel(out, &dev.d2h_rsp, put_d2h_rsp);
+    put_channel(out, &dev.d2h_data, put_data);
+    put_channel(out, &dev.h2d_req, put_h2d_req);
+    put_channel(out, &dev.h2d_rsp, put_h2d_rsp);
+    put_channel(out, &dev.h2d_data, put_data);
+}
+
+/// Advance the reader past one encoded device without materialising it —
+/// the parsing half of [`StateCodec::device_segment_bounds`]. Mirrors
+/// [`decode_device`] field for field (the messages are `Copy`, so parsing
+/// and discarding them allocates nothing).
+fn skip_device(r: &mut Reader<'_>) -> DecodeResult<()> {
+    let header = r.byte()?;
+    let quiet = header & QUIET_BIT != 0;
+    let buf_tag = (header >> 5) & 0x03;
+    dstate_from(header & 0x1f)?;
+    r.signed()?; // cache value
+    match buf_tag {
+        BUF_EMPTY => {}
+        BUF_RSP => {
+            get_h2d_rsp(r)?;
+        }
+        BUF_REQ => {
+            get_h2d_req(r)?;
+        }
+        other => return Err(CodecError(format!("bad buffer tag {other}"))),
+    }
+    if quiet {
+        return Ok(());
+    }
+    let prog_len = r.varint()?;
+    for _ in 0..prog_len {
+        match r.byte()? {
+            0 | 2 => {}
+            1 => {
+                r.signed()?;
+            }
+            other => return Err(CodecError(format!("bad instruction tag {other}"))),
+        }
+    }
+    fn skip_channel<T>(
+        r: &mut Reader<'_>,
+        get: impl Fn(&mut Reader<'_>) -> DecodeResult<T>,
+    ) -> DecodeResult<()> {
+        let len = r.varint()?;
+        for _ in 0..len {
+            get(r)?;
+        }
+        Ok(())
+    }
+    skip_channel(r, get_d2h_req)?;
+    skip_channel(r, get_d2h_rsp)?;
+    skip_channel(r, get_data)?;
+    skip_channel(r, get_h2d_req)?;
+    skip_channel(r, get_h2d_rsp)?;
+    skip_channel(r, get_data)?;
+    Ok(())
 }
 
 fn decode_device(r: &mut Reader<'_>, dev: &mut DeviceState) -> DecodeResult<()> {
@@ -763,6 +853,37 @@ mod tests {
         assert_eq!(arena.byte_len(), arena.bytes_of(0).len() + eb.len());
         let all: Vec<_> = arena.iter_decoded().collect();
         assert_eq!(all, vec![a, b]);
+    }
+
+    #[test]
+    fn device_segment_bounds_delimit_each_device() {
+        // Segment bounds must partition the encoding: header, then one
+        // contiguous range per device, with each range re-encodable from
+        // the device alone (checked by splicing segments between two
+        // states and decoding the hybrid).
+        let codec = StateCodec::new(Topology::new(3));
+        let mut a = SystemState::initial_n(3, vec![programs::store(5), programs::load()]);
+        a.dev_mut(DeviceId::new(2)).d2h_rsp.push(D2HRsp::new(D2HRspType::RspIHitSE, 7));
+        a.counter = 300;
+        let ea = codec.encode(&a);
+        let mut bounds = [0usize; Topology::MAX_DEVICES + 1];
+        codec.device_segment_bounds(&ea, &mut bounds).unwrap();
+        assert_eq!(bounds[3], ea.len(), "last segment must end the encoding");
+        assert!(bounds[0] > 0 && bounds[0] <= bounds[1] && bounds[1] <= bounds[2]);
+
+        // Swapping two device segments at the byte level decodes to the
+        // state with those devices swapped.
+        let mut spliced = Vec::new();
+        spliced.extend_from_slice(&ea[..bounds[0]]);
+        spliced.extend_from_slice(&ea[bounds[1]..bounds[2]]); // device 1 first
+        spliced.extend_from_slice(&ea[bounds[0]..bounds[1]]); // then device 0
+        spliced.extend_from_slice(&ea[bounds[2]..]);
+        let mut swapped = a.clone();
+        swapped.devs.swap(0, 1);
+        assert_eq!(codec.decode(&spliced).unwrap(), swapped);
+
+        // Malformed input is rejected, not mis-sliced.
+        assert!(codec.device_segment_bounds(&ea[..ea.len() - 1], &mut bounds).is_err());
     }
 
     #[test]

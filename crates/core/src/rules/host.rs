@@ -121,26 +121,44 @@ fn owner_peer(s: &SystemState, r: DeviceId, cfg: &ProtocolConfig) -> Option<Devi
     s.peer_ids(r).find(|&p| tracked_owner(s, p, cfg))
 }
 
+/// The D2HRsp head of device `o`, if it satisfies `matches`.
+fn rsp_head_matching(
+    s: &SystemState,
+    o: DeviceId,
+    matches: impl Fn(D2HRspType) -> bool,
+) -> Option<D2HRsp> {
+    match s.dev(o).d2h_rsp.head() {
+        Some(rsp) if matches(rsp.ty) => Some(*rsp),
+        _ => None,
+    }
+}
+
+/// The D2HData head of device `o`, if present and live (non-bogus).
+fn live_data_head(s: &SystemState, o: DeviceId) -> Option<DataMsg> {
+    match s.dev(o).d2h_data.head() {
+        Some(d) if !d.bogus => Some(*d),
+        _ => None,
+    }
+}
+
 /// The lowest-indexed peer of `r` whose D2HRsp head satisfies `matches`,
-/// with that head.
+/// with that head — the host's deterministic internal scan order. The
+/// `*_from` rule variants below take the responding peer explicitly
+/// instead, which is what makes the collection rules equivariant under
+/// device permutation (the successor relation the symmetry-reduction
+/// engine explores).
 fn peer_with_rsp(
     s: &SystemState,
     r: DeviceId,
     matches: impl Fn(D2HRspType) -> bool,
 ) -> Option<(DeviceId, D2HRsp)> {
-    s.peer_ids(r).find_map(|p| match s.dev(p).d2h_rsp.head() {
-        Some(rsp) if matches(rsp.ty) => Some((p, *rsp)),
-        _ => None,
-    })
+    s.peer_ids(r).find_map(|p| rsp_head_matching(s, p, &matches).map(|m| (p, m)))
 }
 
 /// The lowest-indexed peer of `r` with a live (non-bogus) D2HData head,
-/// with that message.
+/// with that message (see [`peer_with_rsp`] on scan order).
 fn peer_with_live_data(s: &SystemState, r: DeviceId) -> Option<(DeviceId, DataMsg)> {
-    s.peer_ids(r).find_map(|p| match s.dev(p).d2h_data.head() {
-        Some(d) if !d.bogus => Some((p, *d)),
-        _ => None,
-    })
+    s.peer_ids(r).find_map(|p| live_data_head(s, p).map(|m| (p, m)))
 }
 
 /// The request at the head of `r`'s D2HReq channel, if it matches `ty` and
@@ -222,13 +240,25 @@ pub(super) fn modified_rd_shared(
     cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::M {
+    match owner_peer(s, r, cfg) {
+        Some(o) => modified_rd_shared_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`modified_rd_shared`] with the snooped owner `o` given explicitly —
+/// the equivariant variant the symmetry engine enumerates.
+pub(super) fn modified_rd_shared_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if s.host.state != HState::M || o == r || !tracked_owner(s, o, cfg) {
         return false;
     }
     let Some(req) = head_req_stable(s, r, D2HReqType::RdShared) else {
-        return false;
-    };
-    let Some(o) = owner_peer(s, r, cfg) else {
         return false;
     };
     if !snoop_launch_allowed(s, o, cfg) {
@@ -342,13 +372,24 @@ pub(super) fn modified_rd_own(
     cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::M {
+    match owner_peer(s, r, cfg) {
+        Some(o) => modified_rd_own_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`modified_rd_own`] with the snooped owner `o` given explicitly.
+pub(super) fn modified_rd_own_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if s.host.state != HState::M || o == r || !tracked_owner(s, o, cfg) {
         return false;
     }
     let Some(req) = head_req_stable(s, r, D2HReqType::RdOwn) else {
-        return false;
-    };
-    let Some(o) = owner_peer(s, r, cfg) else {
         return false;
     };
     if !snoop_launch_allowed(s, o, cfg) {
@@ -396,15 +437,29 @@ fn m_grant_requester(s: &SystemState, r: DeviceId) -> bool {
 pub(super) fn sad_rsp_s_fwd_m(
     s: &SystemState,
     r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    match peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM) {
+        Some((o, _)) => sad_rsp_s_fwd_m_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`sad_rsp_s_fwd_m`] consuming the response of peer `o` explicitly.
+pub(super) fn sad_rsp_s_fwd_m_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
     _cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::SAD || !s_grant_requester(s, r) {
+    if s.host.state != HState::SAD || o == r || !s_grant_requester(s, r) {
         return false;
     }
-    let Some((o, _)) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM) else {
+    if rsp_head_matching(s, o, |ty| ty == D2HRspType::RspSFwdM).is_none() {
         return false;
-    };
+    }
     out.clone_from(s);
     out.dev_mut(o).d2h_rsp.pop();
     out.host.state = HState::SD;
@@ -416,13 +471,27 @@ pub(super) fn sad_rsp_s_fwd_m(
 pub(super) fn sad_data(
     s: &SystemState,
     r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    match peer_with_live_data(s, r) {
+        Some((o, _)) => sad_data_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`sad_data`] consuming the forwarded data of peer `o` explicitly.
+pub(super) fn sad_data_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
     _cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::SAD || !s_grant_requester(s, r) {
+    if s.host.state != HState::SAD || o == r || !s_grant_requester(s, r) {
         return false;
     }
-    let Some((o, data)) = peer_with_live_data(s, r) else {
+    let Some(data) = live_data_head(s, o) else {
         return false;
     };
     out.clone_from(s);
@@ -441,10 +510,24 @@ pub(super) fn sd_data(
     cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::SD || !s_grant_requester(s, r) {
+    match peer_with_live_data(s, r) {
+        Some((o, _)) => sd_data_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`sd_data`] consuming the forwarded data of peer `o` explicitly.
+pub(super) fn sd_data_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if s.host.state != HState::SD || o == r || !s_grant_requester(s, r) {
         return false;
     }
-    let Some((o, data)) = peer_with_live_data(s, r) else {
+    let Some(data) = live_data_head(s, o) else {
         return false;
     };
     if !go_launch_allowed(s, r, cfg) {
@@ -466,10 +549,24 @@ pub(super) fn sa_rsp_s_fwd_m(
     cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::SA || !s_grant_requester(s, r) {
+    match peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM) {
+        Some((o, _)) => sa_rsp_s_fwd_m_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`sa_rsp_s_fwd_m`] consuming the response of peer `o` explicitly.
+pub(super) fn sa_rsp_s_fwd_m_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if s.host.state != HState::SA || o == r || !s_grant_requester(s, r) {
         return false;
     }
-    let Some((o, rsp)) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspSFwdM) else {
+    let Some(rsp) = rsp_head_matching(s, o, |ty| ty == D2HRspType::RspSFwdM) else {
         return false;
     };
     if !go_launch_allowed(s, r, cfg) {
@@ -486,15 +583,29 @@ pub(super) fn sa_rsp_s_fwd_m(
 pub(super) fn mad_rsp_i_fwd_m(
     s: &SystemState,
     r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    match peer_with_rsp(s, r, |ty| ty == D2HRspType::RspIFwdM) {
+        Some((o, _)) => mad_rsp_i_fwd_m_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`mad_rsp_i_fwd_m`] consuming the response of peer `o` explicitly.
+pub(super) fn mad_rsp_i_fwd_m_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
     _cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::MAD || !m_grant_requester(s, r) {
+    if s.host.state != HState::MAD || o == r || !m_grant_requester(s, r) {
         return false;
     }
-    let Some((o, _)) = peer_with_rsp(s, r, |ty| ty == D2HRspType::RspIFwdM) else {
+    if rsp_head_matching(s, o, |ty| ty == D2HRspType::RspIFwdM).is_none() {
         return false;
-    };
+    }
     out.clone_from(s);
     out.dev_mut(o).d2h_rsp.pop();
     out.host.state = HState::MD;
@@ -506,13 +617,27 @@ pub(super) fn mad_rsp_i_fwd_m(
 pub(super) fn mad_data(
     s: &SystemState,
     r: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    match peer_with_live_data(s, r) {
+        Some((o, _)) => mad_data_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`mad_data`] consuming the forwarded data of peer `o` explicitly.
+pub(super) fn mad_data_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
     _cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::MAD || !m_grant_requester(s, r) {
+    if s.host.state != HState::MAD || o == r || !m_grant_requester(s, r) {
         return false;
     }
-    let Some((o, data)) = peer_with_live_data(s, r) else {
+    let Some(data) = live_data_head(s, o) else {
         return false;
     };
     out.clone_from(s);
@@ -531,10 +656,24 @@ pub(super) fn md_data(
     cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::MD || !m_grant_requester(s, r) {
+    match peer_with_live_data(s, r) {
+        Some((o, _)) => md_data_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`md_data`] consuming the forwarded data of peer `o` explicitly.
+pub(super) fn md_data_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if s.host.state != HState::MD || o == r || !m_grant_requester(s, r) {
         return false;
     }
-    let Some((o, data)) = peer_with_live_data(s, r) else {
+    let Some(data) = live_data_head(s, o) else {
         return false;
     };
     if !go_launch_allowed(s, r, cfg) {
@@ -566,10 +705,29 @@ pub(super) fn ma_snp_rsp(
     cfg: &ProtocolConfig,
     out: &mut SystemState,
 ) -> bool {
-    if s.host.state != HState::MA || !m_grant_requester(s, r) {
+    match peer_with_rsp(s, r, |ty| {
+        matches!(ty, D2HRspType::RspIHitSE | D2HRspType::RspIFwdM | D2HRspType::RspIHitI)
+    }) {
+        Some((o, _)) => ma_snp_rsp_from(s, r, o, cfg, out),
+        None => false,
+    }
+}
+
+/// [`ma_snp_rsp`] consuming the response of peer `o` explicitly. The
+/// "last outstanding snoop" quantification is over *all* peers either
+/// way, so the GO launches after the final response regardless of the
+/// order the responses were consumed in.
+pub(super) fn ma_snp_rsp_from(
+    s: &SystemState,
+    r: DeviceId,
+    o: DeviceId,
+    cfg: &ProtocolConfig,
+    out: &mut SystemState,
+) -> bool {
+    if s.host.state != HState::MA || o == r || !m_grant_requester(s, r) {
         return false;
     }
-    let Some((o, rsp)) = peer_with_rsp(s, r, |ty| {
+    let Some(rsp) = rsp_head_matching(s, o, |ty| {
         matches!(ty, D2HRspType::RspIHitSE | D2HRspType::RspIFwdM | D2HRspType::RspIHitI)
     }) else {
         return false;

@@ -435,6 +435,67 @@ impl Shape {
         }
     }
 
+    /// Does this host-side shape consume a message found by scanning the
+    /// requester's *peers* (snoop responses, forwarded data, or the
+    /// snooped-owner search)? These are the only rules whose determinised
+    /// "lowest-indexed peer first" scan order is not equivariant under
+    /// device permutation; [`Ruleset::fire_variants`] exposes their
+    /// one-successor-per-matching-peer form, which the symmetry-reduction
+    /// engine explores instead.
+    #[must_use]
+    pub fn peer_scan(self) -> bool {
+        // Defined by the dispatch table itself, so the metadata cannot
+        // drift from the set of shapes fire_variants actually fans out.
+        Ruleset::peer_fire_fn(self).is_some()
+    }
+
+    /// Does this shape's guard require a non-empty message channel (i.e.
+    /// does firing it *consume* an in-flight message)? Device-issue
+    /// shapes poll only the program; everything else consumes.
+    ///
+    /// This is one axis of the static locality table behind the
+    /// partial-order-reduction engine: a device-local step is only a
+    /// sound singleton ample set if **no shape sharing its cache-state
+    /// bucket consumes messages** — otherwise a message arriving later
+    /// could enable a dependent same-device rule before the local step
+    /// fires.
+    #[must_use]
+    pub fn consumes_message(self) -> bool {
+        self.category() != RuleCategory::DeviceIssue
+    }
+
+    /// Is this shape a *pure local retirement*: its guard reads only the
+    /// acting device's cache state and program head, and its action pops
+    /// the program and touches nothing else? (No channel traffic, no
+    /// counter mint, no cache write — so it commutes with every rule of
+    /// every other device and of the host, and it is invisible to SWMR
+    /// and to the invariant, whose program conjuncts constrain transient
+    /// states only.)
+    #[must_use]
+    pub fn local_retire(self) -> bool {
+        matches!(self, Shape::SharedLoad | Shape::ModifiedLoad | Shape::InvalidEvict)
+    }
+
+    /// May the partial-order-reduction engine explore **only** this step
+    /// from a state where it is enabled? Derived statically from the rule
+    /// inventory: the shape must be a [`Self::local_retire`] step *and*
+    /// no shape filed under the same device-cache-state bucket may
+    /// consume messages (condition above). `SharedLoad`/`ModifiedLoad`
+    /// fail the second test (a snoop can arrive and race the local hit);
+    /// `InvalidEvict` passes — no shape keyed on `I` consumes anything,
+    /// so while the device sits in `I` no other rule of that device can
+    /// become enabled, and every other device's (and the host's) rules
+    /// are independent of a pure program pop.
+    #[must_use]
+    pub fn safe_local(self) -> bool {
+        self.local_retire()
+            && Shape::ALL.iter().all(|&o| {
+                o == self
+                    || o.device_state_key() != self.device_state_key()
+                    || !o.consumes_message()
+            })
+    }
+
     /// A cheap **necessary** condition for this shape to be enabled for
     /// `dev` in `state` — the guard pre-check of the exploration hot path.
     ///
@@ -647,6 +708,10 @@ pub struct Ruleset {
 /// host bucket, each bounded well under `19 × Topology::MAX_DEVICES`.
 const CANDIDATE_CAP: usize = 256;
 
+/// An explicit-peer rule firing: `(state, requester, peer, config, out)`.
+type PeerFireFn =
+    fn(&SystemState, DeviceId, DeviceId, &ProtocolConfig, &mut SystemState) -> bool;
+
 impl Ruleset {
     /// Build the paper's two-device rule set for `config`.
     #[must_use]
@@ -788,6 +853,95 @@ impl Ruleset {
     #[must_use]
     pub fn enabled(&self, id: RuleId, state: &SystemState) -> bool {
         self.try_fire(id, state).is_some()
+    }
+
+    /// The explicit-peer firing function of a [`Shape::peer_scan`] shape:
+    /// `(state, requester, peer, config, out)`.
+    fn peer_fire_fn(shape: Shape) -> Option<PeerFireFn> {
+        match shape {
+            Shape::HostModifiedRdShared => Some(host::modified_rd_shared_from),
+            Shape::HostModifiedRdOwn => Some(host::modified_rd_own_from),
+            Shape::HostSadRspSFwdM => Some(host::sad_rsp_s_fwd_m_from),
+            Shape::HostSadData => Some(host::sad_data_from),
+            Shape::HostSdData => Some(host::sd_data_from),
+            Shape::HostSaRspSFwdM => Some(host::sa_rsp_s_fwd_m_from),
+            Shape::HostMadRspIFwdM => Some(host::mad_rsp_i_fwd_m_from),
+            Shape::HostMadData => Some(host::mad_data_from),
+            Shape::HostMdData => Some(host::md_data_from),
+            Shape::HostMaSnpRsp => Some(host::ma_snp_rsp_from),
+            _ => None,
+        }
+    }
+
+    /// Fire every **variant** of rule `id` in `state` into `scratch`,
+    /// handing each successor to `f` by reference, and return how many
+    /// fired.
+    ///
+    /// For a [`Shape::peer_scan`] shape this yields one successor per
+    /// matching peer (ascending peer index) — the *equivariant* form of
+    /// the host's collection rules, under which the successor relation
+    /// commutes with device permutation (`succs(σ(s)) = σ(succs(s))` for
+    /// every permutation σ). For every other shape it is exactly
+    /// [`Self::try_fire_into`] (zero or one successors). The deterministic
+    /// single-successor semantics of [`Self::try_fire`] — consume from the
+    /// lowest-indexed matching peer — is always the first variant yielded.
+    pub fn fire_variants(
+        &self,
+        id: RuleId,
+        state: &SystemState,
+        scratch: &mut SystemState,
+        mut f: impl FnMut(&SystemState),
+    ) -> usize {
+        let mut fired = 0;
+        match Self::peer_fire_fn(id.shape) {
+            Some(fire) => {
+                for o in self.topology.peers(id.dev) {
+                    if fire(state, id.dev, o, &self.config, scratch) {
+                        fired += 1;
+                        f(scratch);
+                    }
+                }
+            }
+            None => {
+                if self.try_fire_into(id, state, scratch) {
+                    fired += 1;
+                    f(scratch);
+                }
+            }
+        }
+        fired
+    }
+
+    /// [`Self::for_each_enabled`] over the **equivariant** successor
+    /// relation: peer-scan shapes contribute one successor per matching
+    /// peer (via [`Self::fire_variants`]) instead of only their
+    /// lowest-indexed-peer determinisation. Candidate gathering, guard
+    /// pre-checks and firing order are otherwise identical, so for states
+    /// where every collection rule has at most one matching peer — every
+    /// two-device state, and the vast majority of wider ones — the
+    /// emitted successor sequence is exactly that of
+    /// [`Self::for_each_enabled`].
+    ///
+    /// This is the relation the symmetry-reduction engine explores: the
+    /// lowest-index scan is a *determinisation* whose choice does not
+    /// commute with device permutation, so canonical-representative
+    /// search must consider every peer's variant to cover each orbit.
+    pub fn for_each_enabled_variants(
+        &self,
+        state: &SystemState,
+        scratch: &mut SystemState,
+        mut f: impl FnMut(RuleId, &SystemState),
+    ) {
+        self.assert_same_topology(state);
+        let mut candidates = [0u16; CANDIDATE_CAP];
+        let n = self.gather_candidates(state, &mut candidates);
+        for &dense in &candidates[..n] {
+            let id = self.ids[dense as usize];
+            if !id.shape.quick_enabled(state, id.dev) {
+                continue;
+            }
+            self.fire_variants(id, state, scratch, |succ| f(id, succ));
+        }
     }
 
     /// All enabled transitions from `state`, as `(rule, successor)` pairs.
@@ -1041,6 +1195,180 @@ mod tests {
                 assert_eq!(scratch, naive, "optimized/naive divergence in\n{st}");
                 next.extend(scratch.drain(..).map(|(_, s)| s));
             }
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn safe_local_table_derives_exactly_invalid_evict() {
+        // The static locality table behind the POR engine: the only
+        // singleton-ample-safe shape is InvalidEvict — a pure program pop
+        // whose cache-state bucket (I) contains no message-consuming
+        // shape, so no same-device rule can become enabled before it
+        // fires, and every other-device/host rule is independent of it.
+        let safe: Vec<Shape> =
+            Shape::ALL.iter().copied().filter(|s| s.safe_local()).collect();
+        assert_eq!(safe, vec![Shape::InvalidEvict]);
+        // The near misses fail for the documented reason: a snoop shape
+        // shares their bucket.
+        for shape in [Shape::SharedLoad, Shape::ModifiedLoad] {
+            assert!(shape.local_retire());
+            assert!(!shape.safe_local(), "{shape:?} races a same-bucket snoop");
+        }
+        // Pin the non-consuming set explicitly (an independent copy of
+        // the inventory, so a future shape mis-categorized as
+        // DeviceIssue while consuming messages fails here rather than
+        // silently widening the POR table's premise).
+        let polling: Vec<Shape> =
+            Shape::ALL.iter().copied().filter(|s| !s.consumes_message()).collect();
+        assert_eq!(
+            polling,
+            vec![
+                Shape::InvalidLoad,
+                Shape::InvalidStore,
+                Shape::InvalidEvict,
+                Shape::SharedLoad,
+                Shape::SharedStore,
+                Shape::SharedEvict,
+                Shape::SharedEvictNoData,
+                Shape::ModifiedLoad,
+                Shape::ModifiedStore,
+                Shape::ModifiedEvict,
+            ],
+            "only the device-issue rules poll the program without consuming a message"
+        );
+        // And the peer-scan metadata is defined by the variant dispatch
+        // table itself; pin the expected ten host collection shapes.
+        let scanning: Vec<Shape> =
+            Shape::ALL.iter().copied().filter(|s| s.peer_scan()).collect();
+        assert_eq!(
+            scanning,
+            vec![
+                Shape::HostModifiedRdShared,
+                Shape::HostModifiedRdOwn,
+                Shape::HostSadRspSFwdM,
+                Shape::HostSadData,
+                Shape::HostSdData,
+                Shape::HostSaRspSFwdM,
+                Shape::HostMadRspIFwdM,
+                Shape::HostMadData,
+                Shape::HostMdData,
+                Shape::HostMaSnpRsp,
+            ],
+            "the peer-scan set is exactly the host collection rules"
+        );
+    }
+
+    #[test]
+    fn safe_local_steps_commute_with_every_other_device_rule() {
+        // Dynamic spot-check of the commutativity the table asserts: fire
+        // the safe-local step t and any enabled rule u of a *different*
+        // device in either order — the results must be equal states, and
+        // neither firing may disable the other.
+        let rules = Ruleset::with_devices(ProtocolConfig::full(), 3);
+        let mut frontier = vec![SystemState::initial_n(
+            3,
+            vec![
+                vec![crate::instr::Instruction::Evict, crate::instr::Instruction::Load].into(),
+                programs::stores(0, 2),
+                programs::loads(1),
+            ],
+        )];
+        let mut checked = 0usize;
+        for _ in 0..8 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                let succs = rules.successors(st);
+                for &(t, _) in succs.iter().filter(|(id, _)| id.shape.safe_local()) {
+                    for &(u, _) in succs.iter().filter(|(id, _)| id.dev != t.dev) {
+                        let tu = rules
+                            .try_fire(u, &rules.try_fire(t, st).expect("t enabled"))
+                            .unwrap_or_else(|| panic!("{t} disabled {u} in\n{st}"));
+                        let ut = rules
+                            .try_fire(t, &rules.try_fire(u, st).expect("u enabled"))
+                            .unwrap_or_else(|| panic!("{u} disabled {t} in\n{st}"));
+                        assert_eq!(tu, ut, "{t} and {u} do not commute in\n{st}");
+                        checked += 1;
+                    }
+                }
+                next.extend(succs.into_iter().map(|(_, s)| s));
+            }
+            next.truncate(64);
+            frontier = next;
+        }
+        assert!(checked > 10, "the walk must actually exercise commutation pairs");
+    }
+
+    #[test]
+    fn fire_variants_matches_try_fire_for_single_peer_states() {
+        // With two devices every peer-scan rule has exactly one peer, so
+        // the variant enumeration must reproduce try_fire exactly; for
+        // non-peer-scan shapes they coincide by construction.
+        let rules = Ruleset::new(ProtocolConfig::full());
+        let mut frontier = vec![SystemState::initial(programs::store(1), programs::load())];
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                for &id in rules.rule_ids() {
+                    let mut variants = Vec::new();
+                    rules.fire_variants(id, st, &mut scratch, |succ| {
+                        variants.push(succ.clone());
+                    });
+                    match rules.try_fire(id, st) {
+                        Some(succ) => {
+                            assert_eq!(variants, vec![succ.clone()], "{id} variant mismatch");
+                            next.push(succ);
+                        }
+                        None => assert!(variants.is_empty(), "{id} fired a spurious variant"),
+                    }
+                }
+            }
+            next.truncate(48);
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn variant_relation_contains_the_determinised_one() {
+        // On three devices the equivariant relation is a superset of the
+        // lowest-peer determinisation: every for_each_enabled successor
+        // appears among for_each_enabled_variants (same rule), and the
+        // first variant of each peer-scan rule IS the determinised
+        // successor.
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let mut frontier = vec![SystemState::initial_n(
+            3,
+            vec![programs::store(1), programs::load(), programs::load()],
+        )];
+        let mut scratch = SystemState::initial_n(3, vec![]);
+        for _ in 0..7 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                let mut det: Vec<(RuleId, SystemState)> = Vec::new();
+                rules.for_each_enabled(st, &mut scratch, |id, succ| {
+                    det.push((id, succ.clone()));
+                });
+                let mut all: Vec<(RuleId, SystemState)> = Vec::new();
+                rules.for_each_enabled_variants(st, &mut scratch, |id, succ| {
+                    all.push((id, succ.clone()));
+                });
+                assert!(all.len() >= det.len());
+                for pair in &det {
+                    assert!(
+                        all.contains(pair),
+                        "determinised successor of {} missing from variants in\n{st}",
+                        pair.0
+                    );
+                }
+                // Per rule, the determinised successor is the first variant.
+                for (id, succ) in &det {
+                    let first = all.iter().find(|(i, _)| i == id).expect("rule present");
+                    assert_eq!(&first.1, succ, "{id}: lowest peer must come first");
+                }
+                next.extend(all.into_iter().map(|(_, s)| s));
+            }
+            next.truncate(48);
             frontier = next;
         }
     }

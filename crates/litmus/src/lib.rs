@@ -32,9 +32,9 @@ mod litmus;
 pub mod msc;
 pub mod relax;
 pub mod render;
-mod replay;
+pub mod replay;
 pub mod suite;
 pub mod tables;
 
 pub use litmus::{Expectation, FinalCheck, Litmus, LitmusResult};
-pub use replay::{replay, ReplayError};
+pub use replay::{decanonicalize_trace, replay, replay_trace, ReplayError};

@@ -51,7 +51,8 @@ mod report;
 pub use checker::{
     CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_MEM_BUDGET, NOT_EXPANDED,
 };
+pub use cxl_reduce::{Reducer, Reduction, ReductionConfig, ReductionStats};
 pub use property::{
     boolean_property, FnProperty, InvariantProperty, Property, PropertyOutcome, SwmrProperty,
 };
-pub use report::{Deadlock, Report, Step, Trace, Violation};
+pub use report::{Deadlock, ReductionSummary, Report, Step, Trace, Violation};

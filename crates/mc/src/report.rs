@@ -92,6 +92,40 @@ pub struct Deadlock {
     pub trace: Trace,
 }
 
+/// What a state-space reduction did during one exploration (present only
+/// when [`crate::CheckOptions::reduction`] installed a reducer).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReductionSummary {
+    /// Which engines ran, e.g. `symmetry(|G| = 6, 1 classes) + por`.
+    pub description: String,
+    /// Order of the detected device-permutation subgroup (1 = trivial).
+    pub group_order: u64,
+    /// Successor encodings rewritten to a different orbit representative.
+    pub orbit_canonicalized: u64,
+    /// States expanded through a singleton ample set instead of full
+    /// successor generation.
+    pub ample_steps: u64,
+    /// Σ orbit sizes over the stored arena — exactly how many states the
+    /// unreduced exploration of the equivariant relation would store.
+    /// `orbit_states / states` is the effective symmetry-reduction
+    /// factor (POR savings come on top and are visible only against a
+    /// measured unreduced run).
+    pub orbit_states: u64,
+}
+
+impl ReductionSummary {
+    /// Effective symmetry-reduction factor against `states` stored
+    /// states (1.0 when inert).
+    #[must_use]
+    pub fn effective_factor(&self, states: usize) -> f64 {
+        if states == 0 {
+            1.0
+        } else {
+            self.orbit_states as f64 / states as f64
+        }
+    }
+}
+
 /// Aggregate statistics and findings of one exploration.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -126,6 +160,11 @@ pub struct Report {
     /// (payload + offset table) — the figure the memory budget bounds and
     /// the bench snapshot's `bytes_per_state` divides.
     pub memory_bytes: usize,
+    /// Reduction statistics, when a reducer was installed. Note that a
+    /// reduced report's `states`/`transitions` count *representatives*,
+    /// not raw states, and violation traces are in canonical coordinates
+    /// (de-permute via `cxl-litmus`'s replay module).
+    pub reduction: Option<ReductionSummary>,
 }
 
 impl Report {
@@ -171,6 +210,19 @@ impl fmt::Display for Report {
             self.memory_bytes as f64 / 1024.0,
             if self.truncated_by_memory { " (memory budget exhausted)" } else { "" }
         )?;
+        if let Some(red) = &self.reduction {
+            writeln!(
+                f,
+                "reduction: {}  orbit-canonicalized: {}  ample steps: {}  \
+                 effective factor: {:.2}x ({} orbit states / {} stored)",
+                red.description,
+                red.orbit_canonicalized,
+                red.ample_steps,
+                red.effective_factor(self.states),
+                red.orbit_states,
+                self.states
+            )?;
+        }
         for v in &self.violations {
             write!(f, "  {v}")?;
         }

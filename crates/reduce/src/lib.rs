@@ -1,0 +1,341 @@
+//! # cxl-reduce — state-space reduction for the CXL.cache model checker
+//!
+//! Explicit-state exploration pays for every interleaving and every
+//! device labelling separately, even when neither can change a verdict.
+//! This crate shrinks the space itself, upstream of the checker's packed
+//! arena and fingerprint dedup, through a [`Reducer`] the checker calls
+//! at three points of its hot path:
+//!
+//! - **Device-symmetry canonicalization** ([`symmetry`]) — detect the
+//!   device-permutation subgroup fixing the initial state and rewrite
+//!   every successor's packed encoding to its orbit representative
+//!   *before* fingerprinting, so the visited set stores one state per
+//!   orbit. On the symmetric strict-grid sweeps the repo runs in
+//!   tests/CI/bench this removes up to an N!-fold redundancy.
+//! - **Partial-order reduction** ([`por`]) — when a device has an
+//!   enabled *safe-local* step (statically proven independent of every
+//!   other rule and invisible to the checked properties), explore only
+//!   that step: commuting interleavings around it are collapsed.
+//! - **Equivariant successor generation** — symmetry reduction is only
+//!   sound over a permutation-commuting transition relation, so a
+//!   symmetry-reducing checker expands frontiers with
+//!   [`cxl_core::Ruleset::for_each_enabled_variants`] (the host's
+//!   collection rules consume from *each* matching peer, not just the
+//!   lowest-indexed one). The [`Reducer::wants_peer_variants`] hook tells
+//!   the checker which relation to drive.
+//!
+//! ## Soundness contract
+//!
+//! A [`Reduction`] preserves the checker's verdicts — clean vs. violating
+//! (per property name) vs. deadlocked — under three caller obligations,
+//! all satisfied by the stock SWMR/invariant properties and the repo's
+//! scenario builders:
+//!
+//! 1. every checked property is invariant under device permutation
+//!    (quantifies over devices/pairs rather than naming indices);
+//! 2. no pruning predicate is installed (pruning on a canonical
+//!    representative would prune its whole orbit by a possibly
+//!    asymmetric, order-dependent criterion — the checker enforces this
+//!    one with an assertion); and
+//! 3. with POR enabled, no checked property reads device **programs**:
+//!    an ample safe-local step pops a program entry and suppresses the
+//!    interleavings around the pop, so a custom property sensitive to
+//!    queued-but-unretired instructions could be violated only at a
+//!    skipped intermediate state. SWMR never reads programs, and the
+//!    invariant's program-agreement conjuncts constrain transient cache
+//!    states only, which a safe-local step never inhabits.
+//!
+//! Counterexample traces found under symmetry live in *canonical*
+//! coordinates; `cxl-litmus`'s replay module de-permutes them back into
+//! original coordinates and replays them step by step.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod por;
+pub mod symmetry;
+
+use cxl_core::codec::StateCodec;
+use cxl_core::{RuleId, Ruleset, Shape, SystemState};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use symmetry::{apply_permutation, SymmetryGroup};
+
+/// Counters a [`Reducer`] accumulates over one exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Successor encodings rewritten to a different orbit representative
+    /// (each one a state the unreduced search would have treated as new
+    /// or looked up separately).
+    pub orbit_canonicalized: u64,
+    /// States expanded through a singleton ample set instead of full
+    /// successor generation.
+    pub ample_steps: u64,
+    /// Order of the detected symmetry subgroup (1 = trivial).
+    pub group_order: u64,
+}
+
+/// The reduction interface the model checker drives. Implementations
+/// must be thread-safe: the checker's worker pool calls
+/// [`Reducer::ample_step`] and [`Reducer::canonicalize`] concurrently.
+pub trait Reducer: Send + Sync + fmt::Debug {
+    /// Must the checker expand frontiers over the equivariant successor
+    /// relation ([`Ruleset::for_each_enabled_variants`])? True whenever
+    /// symmetry canonicalization is active — orbit-representative search
+    /// over the lowest-peer determinisation would not cover every orbit.
+    fn wants_peer_variants(&self) -> bool;
+
+    /// If the POR engine elects a singleton ample set for `state`, fire
+    /// it into `scratch` and return its rule; `None` means "expand
+    /// fully". `scratch` holds the successor on `Some`.
+    fn ample_step(
+        &self,
+        rules: &Ruleset,
+        state: &SystemState,
+        scratch: &mut SystemState,
+    ) -> Option<RuleId>;
+
+    /// Rewrite an encoded successor to its canonical orbit
+    /// representative in place (length is permutation-invariant),
+    /// returning whether the bytes changed. `scratch` is a reusable
+    /// assembly buffer.
+    fn canonicalize(&self, bytes: &mut [u8], scratch: &mut Vec<u8>) -> bool;
+
+    /// Orbit size of a (canonical) encoded state — 1 without symmetry.
+    /// Summing this over the stored arena yields the state count of the
+    /// equivalent unreduced equivariant exploration.
+    fn orbit_size(&self, bytes: &[u8]) -> u64;
+
+    /// Snapshot of the accumulated counters.
+    fn stats(&self) -> ReductionStats;
+
+    /// One-line description for reports, e.g. `symmetry(|G| = 6) + por`.
+    fn describe(&self) -> String;
+}
+
+/// Which engines a [`Reduction`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReductionConfig {
+    /// Detect the symmetry subgroup of the initial state and
+    /// canonicalize successors to orbit representatives.
+    pub symmetry: bool,
+    /// Collapse interleavings around safe-local steps.
+    pub por: bool,
+}
+
+impl Default for ReductionConfig {
+    /// Symmetry on, POR off — the `explore` CLI's `--symmetry auto
+    /// --por off` default.
+    fn default() -> Self {
+        ReductionConfig { symmetry: true, por: false }
+    }
+}
+
+/// The stock [`Reducer`]: symmetry canonicalization and/or safe-local
+/// POR over one exploration run.
+pub struct Reduction {
+    codec: StateCodec,
+    group: SymmetryGroup,
+    por: bool,
+    safe_shapes: Vec<Shape>,
+    canonicalized: AtomicU64,
+    ample: AtomicU64,
+}
+
+impl Reduction {
+    /// Build the reducer for exploring `initial` under `rules`. With
+    /// `config.symmetry` the subgroup is detected from the initial
+    /// state's packed encoding; with `config.por` the statically derived
+    /// safe-local table is armed.
+    ///
+    /// # Panics
+    /// Panics if `initial` does not inhabit `rules`' topology.
+    #[must_use]
+    pub fn new(rules: &Ruleset, initial: &SystemState, config: ReductionConfig) -> Self {
+        let codec = StateCodec::new(rules.topology());
+        let group = if config.symmetry {
+            SymmetryGroup::detect(&codec, initial)
+        } else {
+            SymmetryGroup::trivial(rules.device_count())
+        };
+        Reduction {
+            codec,
+            group,
+            por: config.por,
+            safe_shapes: if config.por { por::safe_local_shapes() } else { Vec::new() },
+            canonicalized: AtomicU64::new(0),
+            ample: AtomicU64::new(0),
+        }
+    }
+
+    /// Will this reducer change anything at all? False when the detected
+    /// group is trivial and POR is off — callers can skip installing it
+    /// and keep the checker's unreduced fast path.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.group.nontrivial() || self.por
+    }
+
+    /// The detected (or trivial) symmetry subgroup.
+    #[must_use]
+    pub fn group(&self) -> &SymmetryGroup {
+        &self.group
+    }
+
+    /// The codec this reducer canonicalizes through.
+    #[must_use]
+    pub fn codec(&self) -> &StateCodec {
+        &self.codec
+    }
+
+    /// The canonical encoding of `state` — encode, then canonicalize.
+    /// The comparison key for "are these states in the same orbit?".
+    #[must_use]
+    pub fn canonical_encoding(&self, state: &SystemState) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let mut scratch = Vec::new();
+        self.canonical_encoding_into(state, &mut bytes, &mut scratch);
+        bytes
+    }
+
+    /// [`Self::canonical_encoding`] into caller-owned buffers — the
+    /// allocation-free form for callers that compare many candidates
+    /// (trace de-permutation canonicalizes one encoding per enabled
+    /// variant per step). `buf` receives the canonical bytes; `scratch`
+    /// is the canonicalizer's assembly buffer.
+    pub fn canonical_encoding_into(
+        &self,
+        state: &SystemState,
+        buf: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+    ) {
+        buf.clear();
+        self.codec.encode_into(state, buf);
+        self.group.canonicalize(&self.codec, &mut buf[..], scratch);
+    }
+}
+
+impl fmt::Debug for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reduction")
+            .field("group_order", &self.group.order())
+            .field("classes", &self.group.classes().len())
+            .field("por", &self.por)
+            .finish()
+    }
+}
+
+impl Reducer for Reduction {
+    fn wants_peer_variants(&self) -> bool {
+        self.group.nontrivial()
+    }
+
+    fn ample_step(
+        &self,
+        rules: &Ruleset,
+        state: &SystemState,
+        scratch: &mut SystemState,
+    ) -> Option<RuleId> {
+        if !self.por {
+            return None;
+        }
+        let id = por::ample_step(rules, state, &self.safe_shapes, scratch)?;
+        self.ample.fetch_add(1, Ordering::Relaxed);
+        Some(id)
+    }
+
+    fn canonicalize(&self, bytes: &mut [u8], scratch: &mut Vec<u8>) -> bool {
+        let changed = self.group.canonicalize(&self.codec, bytes, scratch);
+        if changed {
+            self.canonicalized.fetch_add(1, Ordering::Relaxed);
+        }
+        changed
+    }
+
+    fn orbit_size(&self, bytes: &[u8]) -> u64 {
+        self.group.orbit_size(&self.codec, bytes)
+    }
+
+    fn stats(&self) -> ReductionStats {
+        ReductionStats {
+            orbit_canonicalized: self.canonicalized.load(Ordering::Relaxed),
+            ample_steps: self.ample.load(Ordering::Relaxed),
+            group_order: self.group.order(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.group.nontrivial() {
+            parts.push(format!(
+                "symmetry(|G| = {}, {} classes)",
+                self.group.order(),
+                self.group.classes().len()
+            ));
+        }
+        if self.por {
+            parts.push("por".to_string());
+        }
+        if parts.is_empty() {
+            "inactive".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_core::instr::programs;
+    use cxl_core::ProtocolConfig;
+
+    #[test]
+    fn reduction_detects_symmetry_and_counts() {
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
+        let init = SystemState::initial_n(
+            3,
+            vec![programs::load(), programs::load(), programs::load()],
+        );
+        let red = Reduction::new(&rules, &init, ReductionConfig::default());
+        assert!(red.is_active());
+        assert!(red.wants_peer_variants());
+        assert_eq!(red.stats().group_order, 6);
+        assert_eq!(red.describe(), "symmetry(|G| = 6, 1 classes)");
+
+        // Canonicalizing a permuted state counts once and lands on the
+        // same bytes as its mirror image.
+        let mut a = init.clone();
+        a.devs[0].cache.val = 3;
+        let mut b = init.clone();
+        b.devs[2].cache.val = 3;
+        assert_eq!(red.canonical_encoding(&a), red.canonical_encoding(&b));
+        assert_eq!(red.orbit_size(&red.canonical_encoding(&a)), 3);
+    }
+
+    #[test]
+    fn inactive_reduction_reports_itself() {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::store(1), programs::load());
+        let red = Reduction::new(&rules, &init, ReductionConfig { symmetry: true, por: false });
+        assert!(!red.is_active(), "asymmetric two-device workload has no symmetry");
+        assert!(!red.wants_peer_variants());
+        assert_eq!(red.describe(), "inactive");
+
+        let por_only = Reduction::new(&rules, &init, ReductionConfig { symmetry: false, por: true });
+        assert!(por_only.is_active());
+        assert_eq!(por_only.describe(), "por");
+        assert_eq!(por_only.orbit_size(&por_only.codec().encode(&init)), 1);
+    }
+
+    #[test]
+    fn ample_counting_tracks_uses() {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::evicts(1), vec![]);
+        let red = Reduction::new(&rules, &init, ReductionConfig { symmetry: false, por: true });
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        assert!(red.ample_step(&rules, &init, &mut scratch).is_some());
+        assert_eq!(red.stats().ample_steps, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Conservative partial-order reduction: singleton ample sets of
+//! *safe-local* device steps.
+//!
+//! ## The ample-set argument, specialised
+//!
+//! At a state `s` where some device `d` has an enabled
+//! [`Shape::safe_local`] step `t`, exploring **only** `t` from `s` is
+//! sound for every verdict the checker reports:
+//!
+//! - **C0/C1 (faithfulness).** `t`'s guard reads only `d`'s cache state
+//!   and program head; its action pops `d`'s program. No rule of another
+//!   device or of the host reads or writes any of those components
+//!   (host guards read device *channels* and cache states, never
+//!   programs; no rule writes a peer's cache), so `t` commutes with every
+//!   other-device and host transition — pinned dynamically by
+//!   `cxl-core`'s `safe_local_steps_commute_with_every_other_device_rule`.
+//!   The residual hazard of ample-set theory is a *same-device* rule
+//!   becoming enabled before `t` fires (e.g. a snoop arriving); the
+//!   static table rules it out: `safe_local` requires that **no shape in
+//!   `t`'s cache-state bucket consumes messages**, and only `d`'s own
+//!   rules can move `d` out of that bucket. Today that admits exactly
+//!   `InvalidEvict` (eviction of an already-invalid line — the paper's
+//!   "subsequent Evicts have no effect" retirement).
+//! - **C2 (invisibility).** SWMR reads cache lines; the invariant's
+//!   program-agreement conjuncts constrain *transient* cache states only.
+//!   A pure program pop on a device in a stable state changes neither.
+//! - **C3 (no ignoring).** Every safe-local step strictly decreases the
+//!   total remaining instruction count, so a path of forced ample steps
+//!   is finite and ends in a fully-expanded state: nothing is postponed
+//!   forever, and deadlocks (non-quiescent terminal states) remain
+//!   reachable.
+
+use cxl_core::{RuleId, Ruleset, Shape, SystemState};
+
+/// The statically-derived safe-local shapes (see [`Shape::safe_local`]).
+#[must_use]
+pub fn safe_local_shapes() -> Vec<Shape> {
+    Shape::ALL.iter().copied().filter(|s| s.safe_local()).collect()
+}
+
+/// If some device has an enabled safe-local step in `state`, fire it into
+/// `scratch` and return its rule id — the singleton ample set. Devices
+/// and shapes are scanned in canonical order, so the choice is
+/// deterministic.
+#[must_use]
+pub fn ample_step(
+    rules: &Ruleset,
+    state: &SystemState,
+    safe_shapes: &[Shape],
+    scratch: &mut SystemState,
+) -> Option<RuleId> {
+    for d in state.device_ids() {
+        let cs = state.dev(d).cache.state;
+        for &shape in safe_shapes {
+            if shape.device_state_key() == Some(cs) && shape.quick_enabled(state, d) {
+                let id = RuleId::new(shape, d);
+                if rules.try_fire_into(id, state, scratch) {
+                    return Some(id);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_core::instr::programs;
+    use cxl_core::{DeviceId, ProtocolConfig};
+
+    #[test]
+    fn ample_step_picks_the_invalid_evict() {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let shapes = safe_local_shapes();
+        assert_eq!(shapes, vec![Shape::InvalidEvict]);
+
+        let s = SystemState::initial(programs::evicts(2), programs::load());
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        let id = ample_step(&rules, &s, &shapes, &mut scratch).expect("evict on I is ample");
+        assert_eq!(id, RuleId::new(Shape::InvalidEvict, DeviceId::D1));
+        assert_eq!(scratch.dev(DeviceId::D1).prog.len(), 1, "one evict retired");
+
+        // No safe-local step → no ample set.
+        let s = SystemState::initial(programs::load(), programs::store(1));
+        assert!(ample_step(&rules, &s, &shapes, &mut scratch).is_none());
+    }
+}

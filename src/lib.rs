@@ -7,6 +7,9 @@
 //!   transition rules, protocol restrictions and relaxations, the SWMR
 //!   property, and the conjunct-based inductive invariant;
 //! - [`mc`] (`cxl-mc`) — the explicit-state model checker;
+//! - [`reduce`] (`cxl-reduce`) — state-space reduction: device-symmetry
+//!   canonicalization and partial-order reduction the checker drives
+//!   through its `Reducer` hook;
 //! - [`litmus`] (`cxl-litmus`) — scenario verification: the litmus suite,
 //!   restriction tests, and the paper's Tables 1–3 / Figure 5 renderers;
 //! - [`sketch`] (`cxl-sketch`) — the proof-obligation matrix engine (the
@@ -48,5 +51,6 @@ pub use cxl_bench as bench_harness;
 pub use cxl_core as core;
 pub use cxl_litmus as litmus;
 pub use cxl_mc as mc;
+pub use cxl_reduce as reduce;
 pub use cxl_sim as sim;
 pub use cxl_sketch as sketch;

@@ -61,7 +61,7 @@ proptest! {
             [p1, p2, p3, p4].into_iter().take(n).collect();
         let exp = explore_bounded(n, progs);
         let codec = *exp.arena.codec();
-        prop_assert!(exp.len() > 0);
+        prop_assert!(!exp.is_empty());
         for id in 0..exp.len() {
             let bytes = exp.arena.bytes_of(id);
             let decoded = codec.decode(bytes).expect("arena bytes must decode");

@@ -1,0 +1,353 @@
+//! The state-space reduction subsystem's workspace-level guarantees.
+//!
+//! Three layers, mirroring the soundness story in `PERFORMANCE.md`:
+//!
+//! 1. **Canonicalization laws** — proptests that the symmetry engine's
+//!    canonical form is idempotent and permutation-invariant
+//!    (`canon(σ(s)) == canon(s)` for every σ in the detected subgroup)
+//!    over randomised states at N ∈ 2..=4, including wild unreachable
+//!    ones — canonical form is total over codec output.
+//! 2. **Verdict equivalence** — the differential suite: reduced
+//!    (symmetry / por / both) vs. unreduced exploration over N ∈ {2, 3}
+//!    grids under strict, full, and relaxed configurations must agree on
+//!    clean-vs-violating (per property) and deadlock presence, while the
+//!    reduced run never stores more states. On symmetric workloads the
+//!    reduced run's Σ orbit sizes must equal the *measured* unreduced
+//!    state count exactly — the strongest cross-check available without
+//!    materialising the orbits.
+//! 3. **Counterexample fidelity** — the N = 3 Table 3 violation repro
+//!    under reduction de-canonicalizes into a concrete trace that
+//!    replays through `cxl-litmus`'s replay module and still violates
+//!    SWMR; and the acceptance bar: the N = 3 symmetric strict grid
+//!    reduced to ≤ 40% of its unreduced state count.
+
+use cxl_repro::core::instr::Instruction;
+use cxl_repro::core::{ProtocolConfig, Relaxation, Ruleset, SystemState};
+use cxl_repro::litmus::{decanonicalize_trace, replay_trace};
+use cxl_repro::mc::{
+    CheckOptions, Exploration, ModelChecker, Reducer, Reduction, ReductionConfig, SwmrProperty,
+};
+use cxl_repro::reduce::{apply_permutation, SymmetryGroup};
+use cxl_repro::sketch::random_state_n;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn explore_unreduced(cfg: ProtocolConfig, n: usize, init: &SystemState) -> Exploration {
+    ModelChecker::new(Ruleset::with_devices(cfg, n)).explore(init, &[&SwmrProperty])
+}
+
+fn explore_reduced(
+    cfg: ProtocolConfig,
+    n: usize,
+    init: &SystemState,
+    rc: ReductionConfig,
+) -> (Exploration, Arc<Reduction>) {
+    let rules = Ruleset::with_devices(cfg, n);
+    let red = Arc::new(Reduction::new(&rules, init, rc));
+    let opts = CheckOptions {
+        reduction: Some(Arc::clone(&red) as Arc<dyn Reducer>),
+        ..CheckOptions::default()
+    };
+    let exp = ModelChecker::with_options(Ruleset::with_devices(cfg, n), opts)
+        .explore(init, &[&SwmrProperty]);
+    (exp, red)
+}
+
+/// The comparable verdict of an exploration: cleanliness, the violated
+/// property names (the detail strings may name permuted device indices),
+/// and deadlock presence.
+fn verdict(exp: &Exploration) -> (bool, Vec<String>, bool) {
+    (
+        exp.report.clean(),
+        exp.report.violations.iter().map(|v| v.property.clone()).collect(),
+        !exp.report.deadlocks.is_empty(),
+    )
+}
+
+// -------------------------------------------------------------------
+// 1. Canonicalization laws.
+// -------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn canonical_form_is_idempotent_and_permutation_invariant(
+        n in 2usize..5,
+        state_seed in 0u64..1_000_000,
+        perm_pick in 0usize..24,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // All-idle initial state: every device identical, so the
+        // detected subgroup is the full S_N — the richest orbit
+        // structure, exercising every permutation.
+        let init = SystemState::initial_n(n, Vec::new());
+        let codec = cxl_repro::core::codec::StateCodec::new(init.topology());
+        let group = SymmetryGroup::detect(&codec, &init);
+        prop_assert_eq!(group.order(), (1..=n as u64).product::<u64>());
+
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let s = random_state_n(&mut rng, n);
+        let mut scratch = Vec::new();
+
+        let mut canon = codec.encode(&s);
+        group.canonicalize(&codec, &mut canon, &mut scratch);
+
+        // Idempotence: canonicalizing the canonical form is a no-op.
+        let mut twice = canon.clone();
+        prop_assert!(!group.canonicalize(&codec, &mut twice, &mut scratch));
+        prop_assert_eq!(&twice, &canon);
+
+        // Permutation invariance for a random subgroup element.
+        let perms = group.permutations();
+        let perm = &perms[perm_pick % perms.len()];
+        let mut permuted = codec.encode(&apply_permutation(&s, perm));
+        group.canonicalize(&codec, &mut permuted, &mut scratch);
+        prop_assert_eq!(&permuted, &canon);
+
+        // The representative stays inside the orbit: some subgroup
+        // element maps s to it.
+        let decoded = codec.decode(&canon).unwrap();
+        prop_assert!(
+            perms.iter().any(|p| apply_permutation(&s, p) == decoded),
+            "canonical form left the orbit"
+        );
+
+        // Orbit size divides the group order and counts the distinct
+        // permuted encodings.
+        let orbit = group.orbit_size(&codec, &canon);
+        prop_assert_eq!(group.order() % orbit, 0);
+    }
+
+    #[test]
+    fn partial_symmetry_detection_respects_classes(
+        state_seed in 0u64..1_000_000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Devices 1 and 2 identical, device 0 distinct: the subgroup is
+        // exactly the swap of {1, 2}.
+        let init = SystemState::initial_n(3, vec![vec![Instruction::Store(1)].into()]);
+        let codec = cxl_repro::core::codec::StateCodec::new(init.topology());
+        let group = SymmetryGroup::detect(&codec, &init);
+        prop_assert_eq!(group.order(), 2);
+
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let s = random_state_n(&mut rng, 3);
+        let mut scratch = Vec::new();
+        let mut canon = codec.encode(&s);
+        group.canonicalize(&codec, &mut canon, &mut scratch);
+
+        // Invariant under the swap of the symmetric pair…
+        let mut swapped = codec.encode(&apply_permutation(&s, &[0, 2, 1]));
+        group.canonicalize(&codec, &mut swapped, &mut scratch);
+        prop_assert_eq!(&swapped, &canon);
+        // …and device 0's segment is never moved: slots outside a
+        // multi-member class keep their own content.
+        let decoded = codec.decode(&canon).unwrap();
+        prop_assert_eq!(&decoded.devs[0], &s.devs[0]);
+    }
+}
+
+// -------------------------------------------------------------------
+// 2. Differential verdict equivalence.
+// -------------------------------------------------------------------
+
+/// Program grids per device count: symmetric, partially symmetric, and
+/// eviction-bearing workloads (the POR engine's target).
+fn grids(n: usize) -> Vec<Vec<Vec<Instruction>>> {
+    use Instruction::{Evict, Load, Store};
+    let mut out = vec![
+        vec![vec![Store(1), Load]; n],              // fully symmetric
+        vec![vec![Evict, Load]; n],                 // symmetric with evicts
+        {
+            let mut g = vec![vec![Load]; n];        // one writer, N-1 readers
+            g[0] = vec![Store(42)];
+            g
+        },
+        {
+            let mut g = vec![vec![Store(9)]; n];    // evicting reader tail
+            g[n - 1] = vec![Evict, Load];
+            g
+        },
+    ];
+    // A fully asymmetric control: the group must be trivial.
+    out.push((0..n).map(|i| vec![Store(i as i64)]).collect());
+    out
+}
+
+fn assert_reduction_equivalence(cfg: ProtocolConfig, n: usize) {
+    for grid in grids(n) {
+        let init =
+            SystemState::initial_n(n, grid.iter().cloned().map(Into::into).collect());
+        let unreduced = explore_unreduced(cfg, n, &init);
+        for rc in [
+            ReductionConfig { symmetry: true, por: false },
+            ReductionConfig { symmetry: false, por: true },
+            ReductionConfig { symmetry: true, por: true },
+        ] {
+            let (reduced, red) = explore_reduced(cfg, n, &init, rc);
+            assert_eq!(
+                verdict(&unreduced),
+                verdict(&reduced),
+                "verdict diverged under {rc:?} / {cfg:?} on\n{init}"
+            );
+            assert!(
+                reduced.report.states <= unreduced.report.states,
+                "reduction grew the space under {rc:?} / {cfg:?} on\n{init}"
+            );
+            // On clean runs with symmetry, Σ orbit sizes must reproduce
+            // the measured unreduced count exactly (the equivariant and
+            // determinised relations explore the same set of states).
+            if rc.symmetry && !rc.por && unreduced.report.clean() {
+                let summary = reduced.report.reduction.as_ref().expect("summary present");
+                assert_eq!(
+                    summary.orbit_states,
+                    unreduced.report.states as u64,
+                    "orbit accounting drifted under {cfg:?} on\n{init}"
+                );
+            }
+            // POR-only runs preserve terminal states exactly (persistent
+            // sets reach every terminal state of the full graph).
+            if !rc.symmetry && rc.por && unreduced.report.clean() {
+                assert_eq!(
+                    unreduced.report.terminal_states, reduced.report.terminal_states,
+                    "POR lost a terminal state under {cfg:?} on\n{init}"
+                );
+            }
+            // Any counterexample found under reduction de-canonicalizes
+            // and replays (property invariance is checked in layer 3).
+            for v in &reduced.report.violations {
+                let rules = Ruleset::with_devices(cfg, n);
+                let concrete =
+                    decanonicalize_trace(&rules, &red, &v.trace).expect("trace de-permutes");
+                replay_trace(&rules, &concrete).expect("de-canonicalized trace replays");
+            }
+        }
+    }
+}
+
+#[test]
+fn differential_verdicts_two_devices() {
+    for cfg in [
+        ProtocolConfig::strict(),
+        ProtocolConfig::full(),
+        ProtocolConfig::relaxed(Relaxation::SnoopPushesGo),
+        ProtocolConfig::relaxed(Relaxation::NaiveTransientTracking),
+    ] {
+        assert_reduction_equivalence(cfg, 2);
+    }
+}
+
+#[test]
+fn differential_verdicts_three_devices() {
+    for cfg in [
+        ProtocolConfig::strict(),
+        ProtocolConfig::relaxed(Relaxation::SnoopPushesGo),
+    ] {
+        assert_reduction_equivalence(cfg, 3);
+    }
+}
+
+// -------------------------------------------------------------------
+// 3. Counterexample fidelity + the acceptance bar.
+// -------------------------------------------------------------------
+
+#[test]
+fn n3_symmetric_strict_grid_reduces_below_forty_percent() {
+    // The PR's acceptance criterion: the symmetric [S5,L]^3 strict grid
+    // must shrink to at most 40% of its unreduced size (measured: ~17%,
+    // approaching 1/3!).
+    let init = SystemState::initial_n(
+        3,
+        vec![
+            vec![Instruction::Store(5), Instruction::Load].into(),
+            vec![Instruction::Store(5), Instruction::Load].into(),
+            vec![Instruction::Store(5), Instruction::Load].into(),
+        ],
+    );
+    let cfg = ProtocolConfig::strict();
+    let unreduced = explore_unreduced(cfg, 3, &init);
+    let (reduced, _) =
+        explore_reduced(cfg, 3, &init, ReductionConfig { symmetry: true, por: false });
+    assert!(unreduced.report.clean() && reduced.report.clean());
+    assert!(
+        reduced.report.states * 100 <= unreduced.report.states * 40,
+        "reduced {} vs unreduced {}: above the 40% bar",
+        reduced.report.states,
+        unreduced.report.states
+    );
+    let summary = reduced.report.reduction.as_ref().expect("summary present");
+    assert_eq!(summary.group_order, 6);
+    assert_eq!(summary.orbit_states, unreduced.report.states as u64);
+}
+
+#[test]
+fn n3_table3_violation_reproduces_and_replays_under_reduction() {
+    // The paper's headline violation embedded in a 3-device topology
+    // with a symmetric reader pair: reduction must still reach it, and
+    // the de-canonicalized counterexample must replay and violate SWMR.
+    let cfg = ProtocolConfig::relaxed(Relaxation::SnoopPushesGo);
+    let init = SystemState::initial_n(
+        3,
+        vec![
+            vec![Instruction::Store(42)].into(),
+            vec![Instruction::Load].into(),
+            vec![Instruction::Load].into(),
+        ],
+    );
+    let (reduced, red) = {
+        let rules = Ruleset::with_devices(cfg, 3);
+        let red = Arc::new(Reduction::new(&rules, &init, ReductionConfig::default()));
+        assert_eq!(red.group().order(), 2, "the two readers are interchangeable");
+        let opts = CheckOptions {
+            reduction: Some(Arc::clone(&red) as Arc<dyn Reducer>),
+            max_violations: 8,
+            ..CheckOptions::default()
+        };
+        (
+            ModelChecker::with_options(Ruleset::with_devices(cfg, 3), opts)
+                .explore(&init, &[&SwmrProperty]),
+            red,
+        )
+    };
+    let swmr_violations: Vec<_> = reduced
+        .report
+        .violations
+        .iter()
+        .filter(|v| v.property == "SWMR")
+        .collect();
+    assert!(!swmr_violations.is_empty(), "SWMR violation reachable under reduction");
+    let rules = Ruleset::with_devices(cfg, 3);
+    for v in swmr_violations {
+        let concrete = decanonicalize_trace(&rules, &red, &v.trace).expect("de-permutes");
+        replay_trace(&rules, &concrete).expect("replays");
+        assert!(
+            !cxl_repro::core::swmr(concrete.last_state()),
+            "concrete final state must violate SWMR"
+        );
+    }
+}
+
+#[test]
+fn por_collapses_evict_interleavings_with_identical_verdicts() {
+    // Eviction-heavy N=2 workload: POR's safe-local InvalidEvict steps
+    // must measurably shrink the space while preserving everything the
+    // report asserts about terminals.
+    let init = SystemState::initial(
+        vec![Instruction::Evict, Instruction::Evict],
+        vec![Instruction::Store(3), Instruction::Load],
+    );
+    let cfg = ProtocolConfig::strict();
+    let unreduced = explore_unreduced(cfg, 2, &init);
+    let (reduced, _) =
+        explore_reduced(cfg, 2, &init, ReductionConfig { symmetry: false, por: true });
+    assert_eq!(verdict(&unreduced), verdict(&reduced));
+    assert!(reduced.report.states < unreduced.report.states);
+    assert_eq!(unreduced.report.terminal_states, reduced.report.terminal_states);
+    let summary = reduced.report.reduction.as_ref().expect("summary present");
+    assert!(summary.ample_steps > 0, "the evicts must be taken as ample steps");
+}
