@@ -44,6 +44,11 @@ const WORKLOAD_N4: &str = "stores(0,2) x loads(2) x loads(1) x evicts(1)";
 /// `[Store(7), Load]` programs on every device, so the detected
 /// symmetry subgroup is the full S_N.
 const WORKLOAD_SYM: &str = "[S7,L] x N (symmetric)";
+/// The store-heavy asymmetric grid of the data-symmetry rows: byte-wise
+/// all programs distinct (trivial byte-equality group — PR 4's engine is
+/// inert) but value-isomorphic, with three interchangeable stored
+/// values.
+const WORKLOAD_STORE_HEAVY: &str = "[S1,L] x [S2,L] x [S3,L] (store-heavy, asymmetric)";
 
 fn workload() -> SystemState {
     SystemState::initial(programs::stores(0, 3), programs::loads(3))
@@ -70,19 +75,32 @@ fn workload_sym(n: usize) -> SystemState {
     SystemState::initial_n(n, (0..n).map(|_| prog()).collect())
 }
 
-/// A checker with symmetry reduction armed for `init`.
-fn reduced_checker(devices: usize, init: &SystemState) -> ModelChecker {
+fn workload_store_heavy() -> SystemState {
+    use cxl_core::Instruction::{Load, Store};
+    SystemState::initial_n(
+        3,
+        vec![
+            vec![Store(1), Load].into(),
+            vec![Store(2), Load].into(),
+            vec![Store(3), Load].into(),
+        ],
+    )
+}
+
+/// A checker with the given reduction engines armed for `init`.
+fn reduced_checker(devices: usize, init: &SystemState, rc: ReductionConfig) -> ModelChecker {
     let rules = Ruleset::with_devices(ProtocolConfig::strict(), devices);
-    let red = Arc::new(Reduction::new(
-        &rules,
-        init,
-        ReductionConfig { symmetry: true, por: false },
-    ));
+    let red = Arc::new(Reduction::new(&rules, init, rc));
     let opts = CheckOptions {
         reduction: Some(red as Arc<dyn cxl_mc::Reducer>),
         ..CheckOptions::default()
     };
     ModelChecker::with_options(Ruleset::with_devices(ProtocolConfig::strict(), devices), opts)
+}
+
+/// Device symmetry alone — the PR 4 rows, kept comparable across PRs.
+fn sym_only() -> ReductionConfig {
+    ReductionConfig { symmetry: true, data_symmetry: false, por: cxl_mc::PorMode::Off }
 }
 
 fn par_threads() -> usize {
@@ -188,9 +206,26 @@ fn bench(c: &mut Criterion) {
     });
     let sym3 = workload_sym(3);
     g.bench_with_input(BenchmarkId::new("reduced_n3", WORKLOAD_SYM), &sym3, |b, init| {
-        let red3 = reduced_checker(3, init);
+        let red3 = reduced_checker(3, init, sym_only());
         b.iter(|| black_box(red3.check(init, &[])));
     });
+    let heavy = workload_store_heavy();
+    g.bench_with_input(
+        BenchmarkId::new("datasym_n3", WORKLOAD_STORE_HEAVY),
+        &heavy,
+        |b, init| {
+            let red = reduced_checker(
+                3,
+                init,
+                ReductionConfig {
+                    symmetry: true,
+                    data_symmetry: true,
+                    por: cxl_mc::PorMode::Off,
+                },
+            );
+            b.iter(|| black_box(red.check(init, &[])));
+        },
+    );
     g.finish();
 
     // Durable snapshot: best-of-N per pipeline, speedups vs naive, and
@@ -262,7 +297,7 @@ fn bench(c: &mut Criterion) {
         let init_sym = workload_sym(n);
         let unreduced = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), n))
             .explore(&init_sym, &[]);
-        let red_mc = reduced_checker(n, &init_sym);
+        let red_mc = reduced_checker(n, &init_sym, sym_only());
         let mem_red = memory_columns(&red_mc.explore(&init_sym, &[]));
         let (r_states, r_trans, r_best) = best_of(iters, || {
             let r = red_mc.check(&init_sym, &[]);
@@ -283,6 +318,77 @@ fn bench(c: &mut Criterion) {
             mem_red,
             "symmetry",
             unreduced.report.states,
+        ));
+    }
+
+    // The PR 5 headline rows. `datasym_n3`: the store-heavy asymmetric
+    // grid whose byte-equality group is trivial (PR 4 inert) — the
+    // data-symmetry engine is the sole contributor, riding on
+    // `symmetry: true` for its value-blind joint permutations.
+    // `widepor_n3`: the symmetric grid with the widened POR tier
+    // stacked on device symmetry — the figure that must beat PR 4's
+    // symmetry-only 16.8%.
+    {
+        let heavy = workload_store_heavy();
+        let unreduced = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 3))
+            .explore(&heavy, &[]);
+        let cfg = ReductionConfig {
+            symmetry: true,
+            data_symmetry: true,
+            por: cxl_mc::PorMode::Off,
+        };
+        let red_mc = reduced_checker(3, &heavy, cfg);
+        let mem_red = memory_columns(&red_mc.explore(&heavy, &[]));
+        let (r_states, r_trans, r_best) = best_of(iters, || {
+            let r = red_mc.check(&heavy, &[]);
+            (r.states, r.transitions)
+        });
+        assert!(
+            r_states * 2 <= unreduced.report.states,
+            "data symmetry must at least halve the store-heavy grid"
+        );
+        reduced_rows.push(snapshot_row(
+            "datasym_n3",
+            WORKLOAD_STORE_HEAVY,
+            3,
+            1,
+            r_states,
+            r_trans,
+            r_best,
+            mem_red,
+            "data-symmetry",
+            unreduced.report.states,
+        ));
+
+        let sym3 = workload_sym(3);
+        let unreduced_sym = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 3))
+            .explore(&sym3, &[]);
+        let cfg = ReductionConfig {
+            symmetry: true,
+            data_symmetry: false,
+            por: cxl_mc::PorMode::Wide,
+        };
+        let red_mc = reduced_checker(3, &sym3, cfg);
+        let mem_red = memory_columns(&red_mc.explore(&sym3, &[]));
+        let (r_states, r_trans, r_best) = best_of(iters, || {
+            let r = red_mc.check(&sym3, &[]);
+            (r.states, r.transitions)
+        });
+        assert!(
+            r_states * 1000 < unreduced_sym.report.states * 168,
+            "symmetry + wide POR must beat the 16.8% symmetry-only figure"
+        );
+        reduced_rows.push(snapshot_row(
+            "widepor_n3",
+            WORKLOAD_SYM,
+            3,
+            1,
+            r_states,
+            r_trans,
+            r_best,
+            mem_red,
+            "symmetry+por(wide)",
+            unreduced_sym.report.states,
         ));
     }
 
@@ -348,7 +454,13 @@ fn bench(c: &mut Criterion) {
              recorded; release profile; clean exhaustive runs (no violations); \
              optimized_n3/_n4 explore 3-/4-device topologies sequentially; \
              reduced_n2..4 run symmetry canonicalization over the symmetric \
-             [S7,L]xN strict grid, with states_explored_unreduced the measured \
+             [S7,L]xN strict grid, datasym_n3 arms data-symmetry on top of \
+             device symmetry over a store-heavy asymmetric grid (the \
+             byte-equality group is trivial there, so the value engine is the \
+             sole contributor, but --symmetry auto is required: the value-blind \
+             joint permutations ride on the device-permutation machinery), and \
+             widepor_n3 stacks the widened POR tier on device symmetry, each \
+             with states_explored_unreduced the measured \
              unreduced count of the same workload; bytes_per_state is the packed \
              StateArena payload, baseline_bytes_per_state the heap \
              Arc<SystemState> estimate it replaced; peak_rss_mb is process VmHWM \

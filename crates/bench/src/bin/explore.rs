@@ -11,7 +11,8 @@
 //!     [--devices N] [--p3 … --p8 …] \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
 //!     [--full] [--trace] [--threads N] [--firings] [--expect-clean] \
-//!     [--mem-budget-mb N] [--symmetry auto|off] [--por on|off]
+//!     [--mem-budget-mb N] [--symmetry auto|off] \
+//!     [--data-symmetry auto|off] [--por on|wide|off]
 //! ```
 //!
 //! `--expect-clean` exits non-zero when the exploration finds a violation,
@@ -21,10 +22,15 @@
 //! subgroup fixing the initial state and explores one representative per
 //! orbit — symmetric grids (identical programs on several devices)
 //! shrink toward 1/N! of their raw size, with identical verdicts; `off`
-//! restores the unreduced search. `--por on` additionally collapses
-//! interleavings around statically-safe local steps (default `off`).
-//! When a reduced run finds a violation, the printed counterexample is
-//! de-permuted back into original device coordinates before rendering.
+//! restores the unreduced search. `--data-symmetry auto` (the default)
+//! additionally canonicalizes *value* assignments — store-heavy grids
+//! whose programs differ but whose value spaces are interchangeable
+//! collapse multiplicatively; `off` disables the value engine. `--por
+//! on` collapses interleavings around statically-safe local steps;
+//! `--por wide` widens that to snoop-free local hits and GO/data
+//! completion diamonds (default `off`). When a reduced run finds a
+//! violation, the printed counterexample is de-permuted (device *and*
+//! value coordinates) back into the user's frame before rendering.
 //!
 //! `--mem-budget-mb` caps the packed state store: when a big grid (an
 //! N = 4 sweep with long programs, say) outgrows the budget, exploration
@@ -141,19 +147,27 @@ fn main() {
             Some("off") => false,
             Some(other) => return Err(format!("bad --symmetry {other:?} (auto, off)")),
         };
-        let por = match arg_value(&args, "--por").as_deref() {
-            None | Some("off") => false,
-            Some("on") => true,
-            Some(other) => return Err(format!("bad --por {other:?} (on, off)")),
+        let data_symmetry = match arg_value(&args, "--data-symmetry").as_deref() {
+            None | Some("auto") => true,
+            Some("off") => false,
+            Some(other) => return Err(format!("bad --data-symmetry {other:?} (auto, off)")),
         };
-        // Both stock properties quantify over devices symmetrically, so
-        // the reduction's property-invariance obligation holds; an inert
-        // reducer (asymmetric workload, no POR) is simply not installed.
+        let por = match arg_value(&args, "--por").as_deref() {
+            None | Some("off") => cxl_mc::PorMode::Off,
+            Some("on") => cxl_mc::PorMode::On,
+            Some("wide") => cxl_mc::PorMode::Wide,
+            Some(other) => return Err(format!("bad --por {other:?} (on, wide, off)")),
+        };
+        // Both stock properties quantify over devices symmetrically and
+        // compare values only between components, so the reduction's
+        // property-invariance obligations hold; an inert reducer
+        // (asymmetric storeless workload, no POR) is simply not
+        // installed.
         let rules_for_group = Ruleset::with_devices(cfg, devices);
         let reduction = std::sync::Arc::new(cxl_mc::Reduction::new(
             &rules_for_group,
             &init,
-            cxl_mc::ReductionConfig { symmetry, por },
+            cxl_mc::ReductionConfig { symmetry, data_symmetry, por },
         ));
         let active = reduction.is_active();
 

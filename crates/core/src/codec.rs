@@ -437,6 +437,82 @@ impl StateCodec {
         Ok(())
     }
 
+    /// Rewrite every **`Val` slot** of one encoded state through `f`,
+    /// appending the rewritten encoding to `out` (which is cleared first).
+    /// Value slots are, in encoding order: the host cache value, then per
+    /// device its cache value, the operand of every `Store` remaining in
+    /// its program, and the value of every data message in its
+    /// `D2HData`/`H2DData` channels. Mapping the operands too is what
+    /// makes `f` act as a genuine value bijection on the *whole* state —
+    /// the transition relation is equivariant under it (a mapped program
+    /// stores the mapped value), which is the soundness hook of the
+    /// data-symmetry engine. Everything that is not a value slot is
+    /// copied byte for byte; value slots are re-encoded as zigzag varints,
+    /// so the output length may differ from the input's.
+    ///
+    /// Because the encoding is deterministic, `map_vals` with the identity
+    /// function reproduces the input exactly — the property the
+    /// data-symmetry canonicalizer's "unchanged" fast path relies on.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes.
+    pub fn map_vals(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<u8>,
+        mut f: impl FnMut(crate::ids::Val) -> crate::ids::Val,
+    ) -> Result<(), CodecError> {
+        out.clear();
+        let mut r = Reader::new(bytes);
+        copy_span(&mut r, out, |r| r.varint().map(|_| ()))?; // counter
+        let hs = r.byte()?;
+        hstate_from(hs)?;
+        out.push(hs);
+        let hv = r.signed()?;
+        put_signed(out, f(hv));
+        for _ in 0..self.topology.device_count() {
+            map_device_vals(&mut r, out, &mut f)?;
+        }
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete state",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Append the operand of every `Store` instruction remaining in any
+    /// device's program of one encoded state to `out` — the state's
+    /// mint inventory (the values its future can still introduce). The
+    /// data-symmetry engine reads it off the initial state to decide
+    /// whether any mintable value escapes the pinned set (i.e. whether
+    /// the engine can ever act). Duplicates are appended as
+    /// encountered; callers treat `out` as a set.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes.
+    pub fn collect_program_vals(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<crate::ids::Val>,
+    ) -> Result<(), CodecError> {
+        let mut r = Reader::new(bytes);
+        r.varint()?; // counter
+        hstate_from(r.byte()?)?;
+        r.signed()?; // host value
+        for _ in 0..self.topology.device_count() {
+            collect_device_program_vals(&mut r, out)?;
+        }
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete state",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
+
     /// The 64-bit fingerprint of an *encoded* state: an
     /// [`crate::FxHasher`] run over the packed bytes. Because the
     /// encoding is deterministic, this is a well-defined state
@@ -519,6 +595,157 @@ fn skip_device(r: &mut Reader<'_>) -> DecodeResult<()> {
             1 => {
                 r.signed()?;
             }
+            other => return Err(CodecError(format!("bad instruction tag {other}"))),
+        }
+    }
+    fn skip_channel<T>(
+        r: &mut Reader<'_>,
+        get: impl Fn(&mut Reader<'_>) -> DecodeResult<T>,
+    ) -> DecodeResult<()> {
+        let len = r.varint()?;
+        for _ in 0..len {
+            get(r)?;
+        }
+        Ok(())
+    }
+    skip_channel(r, get_d2h_req)?;
+    skip_channel(r, get_d2h_rsp)?;
+    skip_channel(r, get_data)?;
+    skip_channel(r, get_h2d_req)?;
+    skip_channel(r, get_h2d_rsp)?;
+    skip_channel(r, get_data)?;
+    Ok(())
+}
+
+/// Parse one syntactic element with `parse` and copy its raw bytes to
+/// `out` verbatim — the copy primitive of [`StateCodec::map_vals`].
+fn copy_span(
+    r: &mut Reader<'_>,
+    out: &mut Vec<u8>,
+    parse: impl FnOnce(&mut Reader<'_>) -> DecodeResult<()>,
+) -> DecodeResult<()> {
+    let start = r.pos;
+    parse(r)?;
+    out.extend_from_slice(&r.bytes[start..r.pos]);
+    Ok(())
+}
+
+/// The per-device half of [`StateCodec::map_vals`]: copy one encoded
+/// device, rewriting its cache value and data-message values through `f`.
+/// Mirrors [`skip_device`] field for field.
+fn map_device_vals(
+    r: &mut Reader<'_>,
+    out: &mut Vec<u8>,
+    f: &mut impl FnMut(crate::ids::Val) -> crate::ids::Val,
+) -> DecodeResult<()> {
+    let header = r.byte()?;
+    let quiet = header & QUIET_BIT != 0;
+    let buf_tag = (header >> 5) & 0x03;
+    dstate_from(header & 0x1f)?;
+    out.push(header);
+    let cv = r.signed()?;
+    put_signed(out, f(cv));
+    match buf_tag {
+        BUF_EMPTY => {}
+        // Buffered H2D responses/requests carry no `Val`: copy verbatim.
+        BUF_RSP => copy_span(r, out, |r| get_h2d_rsp(r).map(|_| ()))?,
+        BUF_REQ => copy_span(r, out, |r| get_h2d_req(r).map(|_| ()))?,
+        other => return Err(CodecError(format!("bad buffer tag {other}"))),
+    }
+    if quiet {
+        return Ok(());
+    }
+    let prog_len = {
+        let start = r.pos;
+        let len = r.varint()?;
+        out.extend_from_slice(&r.bytes[start..r.pos]);
+        len
+    };
+    for _ in 0..prog_len {
+        let tag = r.byte()?;
+        out.push(tag);
+        match tag {
+            0 | 2 => {}
+            1 => {
+                let v = r.signed()?;
+                put_signed(out, f(v));
+            }
+            other => return Err(CodecError(format!("bad instruction tag {other}"))),
+        }
+    }
+    fn copy_channel<T>(
+        r: &mut Reader<'_>,
+        out: &mut Vec<u8>,
+        get: impl Fn(&mut Reader<'_>) -> DecodeResult<T>,
+    ) -> DecodeResult<()> {
+        copy_span(r, out, |r| {
+            let len = r.varint()?;
+            for _ in 0..len {
+                get(r)?;
+            }
+            Ok(())
+        })
+    }
+    copy_channel(r, out, get_d2h_req)?;
+    copy_channel(r, out, get_d2h_rsp)?;
+    map_one_data_channel(r, out, f)?; // d2h_data
+    copy_channel(r, out, get_h2d_req)?;
+    copy_channel(r, out, get_h2d_rsp)?;
+    map_one_data_channel(r, out, f)?; // h2d_data
+    Ok(())
+}
+
+/// Copy one data channel, rewriting each message's value through `f`.
+fn map_one_data_channel(
+    r: &mut Reader<'_>,
+    out: &mut Vec<u8>,
+    f: &mut impl FnMut(crate::ids::Val) -> crate::ids::Val,
+) -> DecodeResult<()> {
+    let start = r.pos;
+    let len = r.varint()?;
+    out.extend_from_slice(&r.bytes[start..r.pos]);
+    for _ in 0..len {
+        copy_span(r, out, |r| {
+            match r.byte()? {
+                0 | 1 => {}
+                other => return Err(CodecError(format!("bad bogus flag {other}"))),
+            }
+            r.varint().map(|_| ()) // tid
+        })?;
+        let v = r.signed()?;
+        put_signed(out, f(v));
+    }
+    Ok(())
+}
+
+/// The per-device half of [`StateCodec::collect_program_vals`].
+fn collect_device_program_vals(
+    r: &mut Reader<'_>,
+    out: &mut Vec<crate::ids::Val>,
+) -> DecodeResult<()> {
+    let header = r.byte()?;
+    let quiet = header & QUIET_BIT != 0;
+    let buf_tag = (header >> 5) & 0x03;
+    dstate_from(header & 0x1f)?;
+    r.signed()?; // cache value
+    match buf_tag {
+        BUF_EMPTY => {}
+        BUF_RSP => {
+            get_h2d_rsp(r)?;
+        }
+        BUF_REQ => {
+            get_h2d_req(r)?;
+        }
+        other => return Err(CodecError(format!("bad buffer tag {other}"))),
+    }
+    if quiet {
+        return Ok(());
+    }
+    let prog_len = r.varint()?;
+    for _ in 0..prog_len {
+        match r.byte()? {
+            0 | 2 => {}
+            1 => out.push(r.signed()?),
             other => return Err(CodecError(format!("bad instruction tag {other}"))),
         }
     }
@@ -884,6 +1111,58 @@ mod tests {
 
         // Malformed input is rejected, not mis-sliced.
         assert!(codec.device_segment_bounds(&ea[..ea.len() - 1], &mut bounds).is_err());
+    }
+
+    #[test]
+    fn map_vals_rewrites_every_value_slot() {
+        let codec = codec2();
+        let mut s = SystemState::initial(programs::stores(5, 2), programs::load());
+        s.host.val = 7;
+        s.dev_mut(DeviceId::D1).cache.val = 5;
+        s.dev_mut(DeviceId::D2).h2d_data.push(DataMsg::new(3, 7));
+        s.dev_mut(DeviceId::D2).d2h_data.push(DataMsg::bogus(4, 5));
+        let bytes = codec.encode(&s);
+
+        // Identity mapping reproduces the encoding byte for byte.
+        let mut out = Vec::new();
+        codec.map_vals(&bytes, &mut out, |v| v).unwrap();
+        assert_eq!(out, bytes);
+
+        // A value shift lands on every slot — caches, data messages,
+        // and the remaining Store operands (a bijection acts on the
+        // whole state, programs included).
+        codec.map_vals(&bytes, &mut out, |v| v + 100).unwrap();
+        let mapped = codec.decode(&out).unwrap();
+        assert_eq!(mapped.host.val, 107);
+        assert_eq!(mapped.dev(DeviceId::D1).cache.val, 105);
+        assert_eq!(mapped.dev(DeviceId::D2).cache.val, 99);
+        assert_eq!(mapped.dev(DeviceId::D2).h2d_data.head().unwrap().val, 107);
+        assert_eq!(mapped.dev(DeviceId::D2).d2h_data.head().unwrap().val, 105);
+        assert!(mapped.dev(DeviceId::D2).d2h_data.head().unwrap().bogus);
+        let ops: Vec<_> = mapped.dev(DeviceId::D1).prog.iter().copied().collect();
+        assert_eq!(ops, vec![Instruction::Store(105), Instruction::Store(106)]);
+
+        // Malformed input is rejected.
+        assert!(codec.map_vals(&bytes[..bytes.len() - 1], &mut out, |v| v).is_err());
+    }
+
+    #[test]
+    fn collect_program_vals_lists_remaining_store_operands() {
+        let codec = StateCodec::new(Topology::new(3));
+        let mut s = SystemState::initial_n(
+            3,
+            vec![programs::stores(5, 2), programs::load(), programs::store(-9)],
+        );
+        s.host.val = 42; // live values never show up in the pinned set
+        let mut vals = Vec::new();
+        codec.collect_program_vals(&codec.encode(&s), &mut vals).unwrap();
+        assert_eq!(vals, vec![5, 6, -9]);
+
+        // Retiring an instruction shrinks the pinned set.
+        s.dev_mut(DeviceId::new(0)).prog.pop_front();
+        vals.clear();
+        codec.collect_program_vals(&codec.encode(&s), &mut vals).unwrap();
+        assert_eq!(vals, vec![6, -9]);
     }
 
     #[test]

@@ -124,5 +124,5 @@ pub use msg::{
     D2HReq, D2HReqType, D2HRsp, D2HRspType, DBufferSlot, DataMsg, H2DReq, H2DReqType, H2DRsp,
     H2DRspType,
 };
-pub use rules::{RuleCategory, RuleId, Ruleset, Shape};
+pub use rules::{H2DChannel, RuleCategory, RuleId, Ruleset, Shape};
 pub use state::{DeviceState, SystemState};

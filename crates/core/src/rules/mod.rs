@@ -59,6 +59,22 @@ impl fmt::Display for RuleCategory {
     }
 }
 
+/// Which of the acting device's host-to-device channels a *device-side*
+/// shape consumes from — the finer-grained locality axis behind the
+/// widened partial-order-reduction table: a local step only races a
+/// same-bucket shape through the channel that shape consumes, so knowing
+/// the channel lets the POR engine admit local steps in states where
+/// that channel is *dynamically* empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum H2DChannel {
+    /// The snoop channel (`H2DReq`).
+    Req,
+    /// The response channel (`H2DRsp` — GO messages).
+    Rsp,
+    /// The data channel (`H2DData`).
+    Data,
+}
+
 macro_rules! shapes {
     ($( $(#[$doc:meta])* $name:ident => ($cat:ident, $pt:literal, $func:path) ),+ $(,)?) => {
         /// A device-indexed rule shape. See the module docs for provenance.
@@ -494,6 +510,77 @@ impl Shape {
                     || o.device_state_key() != self.device_state_key()
                     || !o.consumes_message()
             })
+    }
+
+    /// The H2D channel a *device-side* shape consumes from, or `None`
+    /// for shapes that poll only the program (device issue) and for
+    /// host-side shapes. Restates the channel half of
+    /// [`Self::quick_enabled`]'s leading guards as data, so the POR
+    /// engine can reason about which in-flight message could enable a
+    /// same-bucket competitor.
+    #[must_use]
+    pub fn device_consumes(self) -> Option<H2DChannel> {
+        self.device_state_key()?;
+        match self.category() {
+            RuleCategory::DeviceIssue => None,
+            RuleCategory::DeviceSnoop => Some(H2DChannel::Req),
+            _ => match self {
+                // The buggy relaxed snoop also consumes from H2DReq.
+                Shape::IsadSnpInvBuggy => Some(H2DChannel::Req),
+                Shape::IsadData
+                | Shape::IsdData
+                | Shape::ImadData
+                | Shape::ImdData
+                | Shape::SmadData
+                | Shape::SmdData
+                | Shape::IsdiData => Some(H2DChannel::Data),
+                _ => Some(H2DChannel::Rsp),
+            },
+        }
+    }
+
+    /// Is this a local retirement that is ample-safe **in snoop-free
+    /// contexts**: a [`Self::local_retire`] step whose cache-state bucket
+    /// contains message-consuming shapes, but all of them consuming only
+    /// from the snoop channel (`H2DReq`)? In a state where the acting
+    /// device's snoop channel is empty, no same-device rule can fire
+    /// before the local step; the in-flight-snoop race that keeps these
+    /// shapes out of the static [`Self::safe_local`] table is exactly the
+    /// condition the widened POR engine checks dynamically. Derived:
+    /// admits `SharedLoad` and `ModifiedLoad` (their buckets' only
+    /// consumers are snoop shapes).
+    #[must_use]
+    pub fn snoop_gated_local(self) -> bool {
+        self.local_retire()
+            && !self.safe_local()
+            && Shape::ALL.iter().all(|&o| {
+                o == self
+                    || o.device_state_key() != self.device_state_key()
+                    || !o.consumes_message()
+                    || o.device_consumes() == Some(H2DChannel::Req)
+            })
+    }
+
+    /// If this shape is the **GO leg** of a completion diamond, the
+    /// matching **data leg**: from the A/D-split transient states
+    /// (`ISAD`/`IMAD`/`SMAD`) the pending GO and data may be consumed in
+    /// either order, and the two orders *converge to the identical
+    /// state* after both messages land (the GO records into the buffer,
+    /// the data writes the cache value — disjoint effects; store
+    /// completion happens once both are in). When both messages are in
+    /// flight and the snoop channel is empty, the widened POR engine
+    /// collapses the diamond by exploring only the GO leg. Validity of
+    /// the collapse additionally requires the bucket to contain no other
+    /// message consumer beyond the two legs and snoop shapes — pinned by
+    /// the `diamond_buckets_contain_only_legs_and_snoops` test.
+    #[must_use]
+    pub fn completion_diamond(self) -> Option<Shape> {
+        match self {
+            Shape::IsadGo => Some(Shape::IsadData),
+            Shape::ImadGo => Some(Shape::ImadData),
+            Shape::SmadGo => Some(Shape::SmadData),
+            _ => None,
+        }
     }
 
     /// A cheap **necessary** condition for this shape to be enabled for
@@ -1257,6 +1344,128 @@ mod tests {
             ],
             "the peer-scan set is exactly the host collection rules"
         );
+    }
+
+    #[test]
+    fn widened_locality_tables_derive_the_documented_shapes() {
+        // The snoop-gated set is exactly the two local cache hits whose
+        // buckets contain only snoop consumers.
+        let gated: Vec<Shape> =
+            Shape::ALL.iter().copied().filter(|s| s.snoop_gated_local()).collect();
+        assert_eq!(gated, vec![Shape::SharedLoad, Shape::ModifiedLoad]);
+        // Their buckets' consumers really are snoop-only.
+        for t in gated {
+            for &o in Shape::ALL {
+                if o != t && o.device_state_key() == t.device_state_key() && o.consumes_message()
+                {
+                    assert_eq!(o.device_consumes(), Some(H2DChannel::Req), "{o:?}");
+                }
+            }
+        }
+        // Every device-side consumer names its channel; issue shapes and
+        // host-side shapes name none.
+        for &s in Shape::ALL {
+            match (s.device_state_key(), s.category()) {
+                (Some(_), RuleCategory::DeviceIssue) | (None, _) => {
+                    assert_eq!(s.device_consumes(), None, "{s:?}");
+                }
+                (Some(_), _) => assert!(s.device_consumes().is_some(), "{s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_buckets_contain_only_legs_and_snoops() {
+        // The diamond table lists exactly the three GO legs, and each
+        // bucket's message consumers are the two legs plus (possibly)
+        // snoop shapes — the premise of the wide POR engine's collapse.
+        let diamonds: Vec<(Shape, Shape)> = Shape::ALL
+            .iter()
+            .filter_map(|&s| s.completion_diamond().map(|d| (s, d)))
+            .collect();
+        assert_eq!(
+            diamonds,
+            vec![
+                (Shape::IsadGo, Shape::IsadData),
+                (Shape::ImadGo, Shape::ImadData),
+                (Shape::SmadGo, Shape::SmadData),
+            ]
+        );
+        for (go, data) in diamonds {
+            assert_eq!(go.device_consumes(), Some(H2DChannel::Rsp));
+            assert_eq!(data.device_consumes(), Some(H2DChannel::Data));
+            assert_eq!(go.device_state_key(), data.device_state_key());
+            for &o in Shape::ALL {
+                if o != go
+                    && o != data
+                    && o.device_state_key() == go.device_state_key()
+                    && o.consumes_message()
+                {
+                    assert_eq!(
+                        o.device_consumes(),
+                        Some(H2DChannel::Req),
+                        "{o:?} shares {go:?}'s bucket but consumes a non-snoop message"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completion_diamonds_converge_to_identical_states() {
+        // Dynamic pin of the confluence the wide POR engine exploits:
+        // wherever both legs of a diamond are enabled, GO-then-data and
+        // data-then-GO reach the same state after both messages land.
+        let rules = Ruleset::new(ProtocolConfig::full());
+        let follow = |shape: Shape| -> Vec<Shape> {
+            // The second step of each leg (from the post-leg state).
+            match shape {
+                Shape::IsadGo => vec![Shape::IsdData],
+                Shape::IsadData => vec![Shape::IsaGo],
+                Shape::ImadGo => vec![Shape::ImdData],
+                Shape::ImadData => vec![Shape::ImaGo],
+                Shape::SmadGo => vec![Shape::SmdData],
+                Shape::SmadData => vec![Shape::SmaGo],
+                other => unreachable!("not a diamond leg: {other:?}"),
+            }
+        };
+        let mut frontier = vec![SystemState::initial(programs::store(1), programs::loads(2))];
+        let mut checked = 0usize;
+        for _ in 0..10 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                for d in st.device_ids() {
+                    for &go in &[Shape::IsadGo, Shape::ImadGo, Shape::SmadGo] {
+                        let data = go.completion_diamond().unwrap();
+                        let (Some(after_go), Some(after_data)) = (
+                            rules.try_fire(RuleId::new(go, d), st),
+                            rules.try_fire(RuleId::new(data, d), st),
+                        ) else {
+                            continue;
+                        };
+                        let mut joins_go = Vec::new();
+                        let mut joins_data = Vec::new();
+                        for &f in &follow(go) {
+                            if let Some(j) = rules.try_fire(RuleId::new(f, d), &after_go) {
+                                joins_go.push(j);
+                            }
+                        }
+                        for &f in &follow(data) {
+                            if let Some(j) = rules.try_fire(RuleId::new(f, d), &after_data) {
+                                joins_data.push(j);
+                            }
+                        }
+                        assert_eq!(joins_go, joins_data, "diamond {go:?} diverged in\n{st}");
+                        assert!(!joins_go.is_empty(), "diamond {go:?} has no join in\n{st}");
+                        checked += 1;
+                    }
+                }
+                next.extend(rules.successors(st).into_iter().map(|(_, s)| s));
+            }
+            next.truncate(64);
+            frontier = next;
+        }
+        assert!(checked > 0, "the walk must exercise at least one diamond");
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //!   [`Ruleset::fire_variants`] the reduced
 //!   checker explores — a collection rule may have consumed a
 //!   non-lowest-indexed peer's response);
-//! - [`decanonicalize_trace`] rewrites a trace whose states are orbit
-//!   representatives back into **original device coordinates**: starting
-//!   from the (symmetry-invariant) initial state it re-finds, step by
-//!   step, a concrete firing whose successor lies in the stored step's
-//!   orbit. The result replays through [`replay_trace`] and ends in a
-//!   state that violates exactly what the canonical trace violated (the
-//!   checked properties are permutation-invariant).
+//! - [`decanonicalize_trace`] rewrites a trace whose states are class
+//!   representatives back into **original device and value
+//!   coordinates**: starting from the stored (uncanonicalized) initial
+//!   state it re-finds, step by step, a concrete firing whose successor
+//!   lies in the stored step's joint orbit. The result replays through
+//!   [`replay_trace`] and ends in a state that violates exactly what
+//!   the canonical trace violated (the checked properties are
+//!   permutation- and value-bijection-invariant).
 
 use cxl_core::{RuleId, Ruleset, SystemState};
 use cxl_mc::{Step, Trace};
@@ -104,18 +105,21 @@ pub fn replay_trace(rules: &Ruleset, trace: &Trace) -> Result<(), ReplayError> {
 }
 
 /// Rewrite a canonical-coordinate counterexample into original device
-/// coordinates under `reduction`'s symmetry subgroup.
+/// **and value** coordinates under `reduction`'s engines.
 ///
-/// The reduced checker stores orbit *representatives*: each stored step
+/// The reduced checker stores class *representatives*: each stored step
 /// records the rule fired from the decoded representative and the
-/// canonicalized successor. This walks the trace in concrete coordinates
-/// — the initial state is fixed by the subgroup, so it needs no
-/// translation — and at every step searches the enabled variants of the
-/// step's *shape* (any device instance: the acting device index may be
-/// permuted) for a successor whose canonical encoding matches the stored
-/// state. Equivariance of the variant relation guarantees a match
-/// exists; the returned trace is a genuine run of the model and
-/// validates via [`replay_trace`].
+/// canonicalized successor (whose device arrangement may be permuted
+/// and whose free values — program operands included — may be
+/// renumbered to canonical tokens). This walks the trace in concrete
+/// coordinates — the checker stores the root uncanonicalized, so the
+/// trace's initial state is the caller's own — and at every step
+/// searches the enabled variants of the step's *shape* (any device
+/// instance: the acting device index may be permuted) for a successor
+/// whose canonical encoding matches the stored state. Equivariance of
+/// the variant relation under both engines guarantees a match exists;
+/// the returned trace is a genuine run of the model and validates via
+/// [`replay_trace`].
 ///
 /// # Errors
 /// Returns [`ReplayError`] if a step cannot be matched — which would

@@ -51,7 +51,9 @@ mod report;
 pub use checker::{
     CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_MEM_BUDGET, NOT_EXPANDED,
 };
-pub use cxl_reduce::{Reducer, Reduction, ReductionConfig, ReductionStats};
+pub use cxl_reduce::{
+    DataSymmetry, PorMode, Reducer, Reduction, ReductionConfig, ReductionStats,
+};
 pub use property::{
     boolean_property, FnProperty, InvariantProperty, Property, PropertyOutcome, SwmrProperty,
 };

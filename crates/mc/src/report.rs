@@ -93,29 +93,44 @@ pub struct Deadlock {
 }
 
 /// What a state-space reduction did during one exploration (present only
-/// when [`crate::CheckOptions::reduction`] installed a reducer).
+/// when [`crate::CheckOptions::reduction`] installed a reducer), with
+/// per-engine accounting: device symmetry, data symmetry, and POR each
+/// report their own contribution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReductionSummary {
-    /// Which engines ran, e.g. `symmetry(|G| = 6, 1 classes) + por`.
+    /// Which engines ran, e.g.
+    /// `symmetry(|G| = 6, 1 classes) + data-symmetry(2 pinned) + por(wide)`.
     pub description: String,
     /// Order of the detected device-permutation subgroup (1 = trivial).
     pub group_order: u64,
-    /// Successor encodings rewritten to a different orbit representative.
+    /// Successor encodings whose device arrangement was rewritten to a
+    /// different orbit representative (device-symmetry engine).
     pub orbit_canonicalized: u64,
-    /// States expanded through a singleton ample set instead of full
-    /// successor generation.
-    pub ample_steps: u64,
-    /// Σ orbit sizes over the stored arena — exactly how many states the
-    /// unreduced exploration of the equivariant relation would store.
-    /// `orbit_states / states` is the effective symmetry-reduction
-    /// factor (POR savings come on top and are visible only against a
-    /// measured unreduced run).
+    /// Successor encodings whose value assignment was renumbered
+    /// (data-symmetry engine).
+    pub value_canonicalized: u64,
+    /// Was the data-symmetry engine armed (and potentially active)?
+    pub data_symmetry: bool,
+    /// States expanded through a singleton ample **local** step (static
+    /// safe-local, or a snoop-free local hit under the wide tier).
+    pub ample_local: u64,
+    /// States expanded through a collapsed GO/data completion diamond
+    /// (wide tier only).
+    pub ample_diamond: u64,
+    /// The POR tier that ran.
+    pub por: cxl_reduce::PorMode,
+    /// Σ device-orbit sizes over the stored arena — exactly how many
+    /// states the unreduced exploration of the equivariant relation
+    /// would store *under the device-symmetry engine alone*.
+    /// `orbit_states / states` is the effective device-symmetry factor;
+    /// data-symmetry and POR savings come on top and are visible only
+    /// against a measured unreduced run.
     pub orbit_states: u64,
 }
 
 impl ReductionSummary {
-    /// Effective symmetry-reduction factor against `states` stored
-    /// states (1.0 when inert).
+    /// Effective device-symmetry reduction factor against `states`
+    /// stored states (1.0 when inert).
     #[must_use]
     pub fn effective_factor(&self, states: usize) -> f64 {
         if states == 0 {
@@ -123,6 +138,12 @@ impl ReductionSummary {
         } else {
             self.orbit_states as f64 / states as f64
         }
+    }
+
+    /// Total singleton-ample expansions across both POR tiers.
+    #[must_use]
+    pub fn ample_steps(&self) -> u64 {
+        self.ample_local + self.ample_diamond
     }
 }
 
@@ -211,17 +232,39 @@ impl fmt::Display for Report {
             if self.truncated_by_memory { " (memory budget exhausted)" } else { "" }
         )?;
         if let Some(red) = &self.reduction {
-            writeln!(
-                f,
-                "reduction: {}  orbit-canonicalized: {}  ample steps: {}  \
-                 effective factor: {:.2}x ({} orbit states / {} stored)",
-                red.description,
-                red.orbit_canonicalized,
-                red.ample_steps,
-                red.effective_factor(self.states),
-                red.orbit_states,
-                self.states
-            )?;
+            writeln!(f, "reduction: {}", red.description)?;
+            // The arrangement line also prints for a byte-trivial group
+            // when the data engine's value-blind joint permutations
+            // rewrote arrangements (|G| then reads 1; the description
+            // carries the joint-perm count).
+            if red.group_order > 1 || red.orbit_canonicalized > 0 {
+                writeln!(
+                    f,
+                    "  symmetry:      {} orbit-canonicalized (|G| = {}); effective factor \
+                     {:.2}x ({} orbit states / {} stored)",
+                    red.orbit_canonicalized,
+                    red.group_order,
+                    red.effective_factor(self.states),
+                    red.orbit_states,
+                    self.states
+                )?;
+            }
+            if red.data_symmetry {
+                writeln!(
+                    f,
+                    "  data-symmetry: {} value-renumbered",
+                    red.value_canonicalized
+                )?;
+            }
+            if red.por != cxl_reduce::PorMode::Off {
+                writeln!(
+                    f,
+                    "  por:           {} ample steps ({} local, {} diamond)",
+                    red.ample_steps(),
+                    red.ample_local,
+                    red.ample_diamond
+                )?;
+            }
         }
         for v in &self.violations {
             write!(f, "  {v}")?;
@@ -257,6 +300,54 @@ mod tests {
             trace: Trace { initial: SystemState::initial(vec![], vec![]), steps: vec![] },
         });
         assert!(!r.clean());
+    }
+
+    #[test]
+    fn reduction_summary_display_prints_per_engine_lines() {
+        // Snapshot of the per-engine report block: one line per armed
+        // engine, none for the idle ones. Pinned exactly so a format
+        // regression (e.g. re-merging the counts) fails loudly.
+        let mut r = Report {
+            states: 200,
+            reduction: Some(ReductionSummary {
+                description:
+                    "symmetry(|G| = 6, 1 classes) + data-symmetry(2 pinned) + por(wide)".into(),
+                group_order: 6,
+                orbit_canonicalized: 12,
+                value_canonicalized: 34,
+                data_symmetry: true,
+                ample_local: 40,
+                ample_diamond: 16,
+                por: cxl_reduce::PorMode::Wide,
+                orbit_states: 1186,
+            }),
+            ..Report::default()
+        };
+        let text = r.to_string();
+        let expected = "\
+reduction: symmetry(|G| = 6, 1 classes) + data-symmetry(2 pinned) + por(wide)
+  symmetry:      12 orbit-canonicalized (|G| = 6); effective factor 5.93x (1186 orbit states / 200 stored)
+  data-symmetry: 34 value-renumbered
+  por:           56 ample steps (40 local, 16 diamond)
+";
+        assert!(
+            text.contains(expected),
+            "per-engine reduction block drifted from the pinned format:\n{text}"
+        );
+
+        // Engines that did not run print no line.
+        let only_sym = ReductionSummary {
+            description: "symmetry(|G| = 2, 1 classes)".into(),
+            group_order: 2,
+            orbit_canonicalized: 5,
+            orbit_states: 300,
+            ..ReductionSummary::default()
+        };
+        r.reduction = Some(only_sym);
+        let text = r.to_string();
+        assert!(text.contains("symmetry:      5 orbit-canonicalized"));
+        assert!(!text.contains("data-symmetry:"), "{text}");
+        assert!(!text.contains("por:"), "{text}");
     }
 
     #[test]

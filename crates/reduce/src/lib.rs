@@ -1,10 +1,10 @@
 //! # cxl-reduce — state-space reduction for the CXL.cache model checker
 //!
-//! Explicit-state exploration pays for every interleaving and every
-//! device labelling separately, even when neither can change a verdict.
-//! This crate shrinks the space itself, upstream of the checker's packed
-//! arena and fingerprint dedup, through a [`Reducer`] the checker calls
-//! at three points of its hot path:
+//! Explicit-state exploration pays for every interleaving, every device
+//! labelling, **and every value labelling** separately, even when none of
+//! them can change a verdict. This crate shrinks the space itself,
+//! upstream of the checker's packed arena and fingerprint dedup, through
+//! a [`Reducer`] the checker calls at three points of its hot path:
 //!
 //! - **Device-symmetry canonicalization** ([`symmetry`]) — detect the
 //!   device-permutation subgroup fixing the initial state and rewrite
@@ -12,10 +12,26 @@
 //!   *before* fingerprinting, so the visited set stores one state per
 //!   orbit. On the symmetric strict-grid sweeps the repo runs in
 //!   tests/CI/bench this removes up to an N!-fold redundancy.
+//! - **Data-symmetry canonicalization** ([`data_symmetry`]) — values are
+//!   abstract tokens the model only copies and compares for equality, so
+//!   any value bijection applied to a whole state (programs included)
+//!   that fixes the *pinned* set (initial-state live values, assertion
+//!   literals) preserves verdicts. Each successor's value assignment is
+//!   renumbered to first-occurrence order at the packed-byte level;
+//!   composed with device symmetry by taking the lexicographically-least
+//!   renumbered arrangement over the **value-blind admissible**
+//!   permutations (device swaps undone by a value bijection on the
+//!   initial state), so the two canonicalizations act as one
+//!   order-independent joint canonical form. Store-heavy grids with
+//!   *asymmetric programs over symmetric value spaces* — the spaces
+//!   device symmetry alone cannot touch — collapse multiplicatively.
 //! - **Partial-order reduction** ([`por`]) — when a device has an
 //!   enabled *safe-local* step (statically proven independent of every
 //!   other rule and invisible to the checked properties), explore only
-//!   that step: commuting interleavings around it are collapsed.
+//!   that step: commuting interleavings around it are collapsed. The
+//!   widened tier ([`PorMode::Wide`]) additionally admits
+//!   `SharedLoad`/`ModifiedLoad` in dynamically snoop-free contexts and
+//!   collapses the GO/data completion diamond via its confluence.
 //! - **Equivariant successor generation** — symmetry reduction is only
 //!   sound over a permutation-commuting transition relation, so a
 //!   symmetry-reducing checker expands frontiers with
@@ -27,53 +43,90 @@
 //! ## Soundness contract
 //!
 //! A [`Reduction`] preserves the checker's verdicts — clean vs. violating
-//! (per property name) vs. deadlocked — under three caller obligations,
+//! (per property name) vs. deadlocked — under these caller obligations,
 //! all satisfied by the stock SWMR/invariant properties and the repo's
 //! scenario builders:
 //!
 //! 1. every checked property is invariant under device permutation
 //!    (quantifies over devices/pairs rather than naming indices);
-//! 2. no pruning predicate is installed (pruning on a canonical
+//! 2. with data symmetry on, every checked property compares values only
+//!    for *equality between state components*; a property naming a value
+//!    literal must pin it via [`Reduction::with_pinned_vals`]. (The
+//!    canonical states the checker stores are then *bisimilar* to —
+//!    rather than identical with — reachable states: their programs may
+//!    carry renumbered operand tokens. Counterexample traces
+//!    de-permute back to genuine runs, and the stored root is always
+//!    the caller's own initial state.);
+//! 3. no pruning predicate is installed (pruning on a canonical
 //!    representative would prune its whole orbit by a possibly
 //!    asymmetric, order-dependent criterion — the checker enforces this
 //!    one with an assertion); and
-//! 3. with POR enabled, no checked property reads device **programs**:
+//! 4. with POR enabled, no checked property reads device **programs**:
 //!    an ample safe-local step pops a program entry and suppresses the
 //!    interleavings around the pop, so a custom property sensitive to
 //!    queued-but-unretired instructions could be violated only at a
 //!    skipped intermediate state. SWMR never reads programs, and the
 //!    invariant's program-agreement conjuncts constrain transient cache
-//!    states only, which a safe-local step never inhabits.
+//!    states only, which a safe-local step never inhabits. The widened
+//!    tier ([`PorMode::Wide`]) extends this obligation: properties must
+//!    also not distinguish the two legs of a GO/data completion diamond
+//!    nor count load *transactions* (a snoop-free local hit suppresses
+//!    interleavings in which the same load would have missed) — see
+//!    [`por`]'s module docs for the precise argument and its empirical
+//!    pinning.
 //!
 //! Counterexample traces found under symmetry live in *canonical*
-//! coordinates; `cxl-litmus`'s replay module de-permutes them back into
-//! original coordinates and replays them step by step.
+//! coordinates (device **and** value); `cxl-litmus`'s replay module
+//! de-permutes them back into original coordinates and replays them step
+//! by step.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod data_symmetry;
 pub mod por;
 pub mod symmetry;
 
 use cxl_core::codec::StateCodec;
+use cxl_core::ids::Val;
 use cxl_core::{RuleId, Ruleset, Shape, SystemState};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub use data_symmetry::DataSymmetry;
+pub use por::AmpleKind;
 pub use symmetry::{apply_permutation, SymmetryGroup};
 
-/// Counters a [`Reducer`] accumulates over one exploration.
+/// Counters a [`Reducer`] accumulates over one exploration, split per
+/// engine so reports can attribute the reduction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReductionStats {
-    /// Successor encodings rewritten to a different orbit representative
-    /// (each one a state the unreduced search would have treated as new
-    /// or looked up separately).
+    /// Successor encodings whose device arrangement was rewritten to a
+    /// different orbit representative (device-symmetry engine).
     pub orbit_canonicalized: u64,
-    /// States expanded through a singleton ample set instead of full
-    /// successor generation.
-    pub ample_steps: u64,
-    /// Order of the detected symmetry subgroup (1 = trivial).
+    /// Successor encodings whose value assignment was renumbered
+    /// (data-symmetry engine).
+    pub value_canonicalized: u64,
+    /// States expanded through a singleton ample **local** step (static
+    /// safe-local or snoop-free local hit) instead of full successor
+    /// generation.
+    pub ample_local: u64,
+    /// States expanded through a collapsed GO/data completion diamond.
+    pub ample_diamond: u64,
+    /// Order of the detected device-symmetry subgroup (1 = trivial).
     pub group_order: u64,
+    /// Is the data-symmetry engine armed (and potentially active)?
+    pub data_symmetry: bool,
+    /// The POR tier the reducer runs.
+    pub por: PorMode,
+}
+
+impl ReductionStats {
+    /// Total singleton-ample expansions across both POR tiers.
+    #[must_use]
+    pub fn ample_steps(&self) -> u64 {
+        self.ample_local + self.ample_diamond
+    }
 }
 
 /// The reduction interface the model checker drives. Implementations
@@ -82,8 +135,10 @@ pub struct ReductionStats {
 pub trait Reducer: Send + Sync + fmt::Debug {
     /// Must the checker expand frontiers over the equivariant successor
     /// relation ([`Ruleset::for_each_enabled_variants`])? True whenever
-    /// symmetry canonicalization is active — orbit-representative search
-    /// over the lowest-peer determinisation would not cover every orbit.
+    /// device-symmetry canonicalization is active — orbit-representative
+    /// search over the lowest-peer determinisation would not cover every
+    /// orbit. (Value renumbering alone does not need it: the lowest-peer
+    /// choice is value-blind.)
     fn wants_peer_variants(&self) -> bool;
 
     /// If the POR engine elects a singleton ample set for `state`, fire
@@ -96,91 +151,188 @@ pub trait Reducer: Send + Sync + fmt::Debug {
         scratch: &mut SystemState,
     ) -> Option<RuleId>;
 
-    /// Rewrite an encoded successor to its canonical orbit
-    /// representative in place (length is permutation-invariant),
-    /// returning whether the bytes changed. `scratch` is a reusable
-    /// assembly buffer.
-    fn canonicalize(&self, bytes: &mut [u8], scratch: &mut Vec<u8>) -> bool;
+    /// Rewrite an encoded successor to its canonical representative in
+    /// place, returning whether the bytes changed. Value renumbering may
+    /// change the encoding's *length*, hence the `Vec`; `scratch` is a
+    /// reusable assembly buffer.
+    fn canonicalize(&self, bytes: &mut Vec<u8>, scratch: &mut Vec<u8>) -> bool;
 
-    /// Orbit size of a (canonical) encoded state — 1 without symmetry.
-    /// Summing this over the stored arena yields the state count of the
-    /// equivalent unreduced equivariant exploration.
+    /// Device-orbit size of a (canonical) encoded state — 1 without
+    /// device symmetry. Summing this over the stored arena yields the
+    /// state count of the equivalent unreduced equivariant exploration
+    /// **of the device-symmetry engine alone**; data-symmetry and POR
+    /// savings are visible only against a measured unreduced run (a
+    /// value class's reachable-member count depends on history, not on
+    /// the representative).
     fn orbit_size(&self, bytes: &[u8]) -> u64;
 
     /// Snapshot of the accumulated counters.
     fn stats(&self) -> ReductionStats;
 
-    /// One-line description for reports, e.g. `symmetry(|G| = 6) + por`.
+    /// One-line description for reports, e.g.
+    /// `symmetry(|G| = 6) + data-symmetry + por(wide)`.
     fn describe(&self) -> String;
+}
+
+/// Which partial-order-reduction tier a [`Reduction`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PorMode {
+    /// No POR.
+    #[default]
+    Off,
+    /// The conservative tier: statically safe local steps only
+    /// (`InvalidEvict`).
+    On,
+    /// The widened tier: additionally snoop-free local hits and
+    /// collapsed GO/data completion diamonds (see [`por`]).
+    Wide,
+}
+
+impl fmt::Display for PorMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PorMode::Off => write!(f, "off"),
+            PorMode::On => write!(f, "on"),
+            PorMode::Wide => write!(f, "wide"),
+        }
+    }
 }
 
 /// Which engines a [`Reduction`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReductionConfig {
-    /// Detect the symmetry subgroup of the initial state and
+    /// Detect the device-symmetry subgroup of the initial state and
     /// canonicalize successors to orbit representatives.
     pub symmetry: bool,
-    /// Collapse interleavings around safe-local steps.
-    pub por: bool,
+    /// Canonicalize value assignments (first-occurrence renumbering over
+    /// the non-pinned `Val` domain).
+    pub data_symmetry: bool,
+    /// Collapse interleavings around device-local steps.
+    pub por: PorMode,
 }
 
 impl Default for ReductionConfig {
-    /// Symmetry on, POR off — the `explore` CLI's `--symmetry auto
-    /// --por off` default.
+    /// Both symmetry engines on, POR off — the `explore` CLI's
+    /// `--symmetry auto --data-symmetry auto --por off` default.
     fn default() -> Self {
-        ReductionConfig { symmetry: true, por: false }
+        ReductionConfig { symmetry: true, data_symmetry: true, por: PorMode::Off }
     }
 }
 
-/// The stock [`Reducer`]: symmetry canonicalization and/or safe-local
-/// POR over one exploration run.
+/// The stock [`Reducer`]: device-symmetry and/or data-symmetry
+/// canonicalization and/or local-step POR over one exploration run.
 pub struct Reduction {
     codec: StateCodec,
     group: SymmetryGroup,
-    por: bool,
+    /// The device permutations the joint device×data minimisation ranges
+    /// over: with both engines armed, every **value-blind admissible**
+    /// permutation (σ such that some value bijection undoes σ's action
+    /// on the initial state — a superset of the byte-equal subgroup that
+    /// additionally swaps devices running value-isomorphic programs);
+    /// just the identity otherwise.
+    joint_perms: Vec<Vec<usize>>,
+    data: Option<DataSymmetry>,
+    por: PorMode,
     safe_shapes: Vec<Shape>,
-    canonicalized: AtomicU64,
-    ample: AtomicU64,
+    gated_shapes: Vec<Shape>,
+    diamonds: Vec<(Shape, Shape)>,
+    orbit_canonicalized: AtomicU64,
+    value_canonicalized: AtomicU64,
+    ample_local: AtomicU64,
+    ample_diamond: AtomicU64,
 }
 
 impl Reduction {
     /// Build the reducer for exploring `initial` under `rules`. With
-    /// `config.symmetry` the subgroup is detected from the initial
-    /// state's packed encoding; with `config.por` the statically derived
-    /// safe-local table is armed.
+    /// `config.symmetry` the device subgroup is detected from the initial
+    /// state's packed encoding; with `config.data_symmetry` the value
+    /// engine pins the initial state's live values (see
+    /// [`DataSymmetry::detect`]); `config.por` arms the chosen POR tier.
     ///
     /// # Panics
     /// Panics if `initial` does not inhabit `rules`' topology.
     #[must_use]
     pub fn new(rules: &Ruleset, initial: &SystemState, config: ReductionConfig) -> Self {
+        Self::with_pinned_vals(rules, initial, config, &[])
+    }
+
+    /// [`Self::new`] with extra **pinned value literals**: values an
+    /// ad-hoc checked property compares against, which the data-symmetry
+    /// engine must then never rename. The stock SWMR/invariant
+    /// properties need none.
+    ///
+    /// # Panics
+    /// Panics if `initial` does not inhabit `rules`' topology.
+    #[must_use]
+    pub fn with_pinned_vals(
+        rules: &Ruleset,
+        initial: &SystemState,
+        config: ReductionConfig,
+        pinned_vals: &[Val],
+    ) -> Self {
         let codec = StateCodec::new(rules.topology());
         let group = if config.symmetry {
             SymmetryGroup::detect(&codec, initial)
         } else {
             SymmetryGroup::trivial(rules.device_count())
         };
+        let data = if config.data_symmetry {
+            let ds = DataSymmetry::detect(&codec, initial, pinned_vals);
+            ds.potentially_active().then_some(ds)
+        } else {
+            None
+        };
+        let joint_perms = match &data {
+            Some(ds) if config.symmetry => ds.value_blind_device_perms(initial),
+            _ => vec![(0..rules.device_count()).collect()],
+        };
+        let wide = config.por == PorMode::Wide;
         Reduction {
             codec,
             group,
+            joint_perms,
+            data,
             por: config.por,
-            safe_shapes: if config.por { por::safe_local_shapes() } else { Vec::new() },
-            canonicalized: AtomicU64::new(0),
-            ample: AtomicU64::new(0),
+            safe_shapes: if config.por == PorMode::Off {
+                Vec::new()
+            } else {
+                por::safe_local_shapes()
+            },
+            gated_shapes: if wide { por::snoop_gated_local_shapes() } else { Vec::new() },
+            diamonds: if wide { por::completion_diamonds() } else { Vec::new() },
+            orbit_canonicalized: AtomicU64::new(0),
+            value_canonicalized: AtomicU64::new(0),
+            ample_local: AtomicU64::new(0),
+            ample_diamond: AtomicU64::new(0),
         }
     }
 
     /// Will this reducer change anything at all? False when the detected
-    /// group is trivial and POR is off — callers can skip installing it
-    /// and keep the checker's unreduced fast path.
+    /// device group is trivial, the value engine is off or inert, and
+    /// POR is off — callers can skip installing it and keep the
+    /// checker's unreduced fast path.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.group.nontrivial() || self.por
+        self.group.nontrivial() || self.data.is_some() || self.por != PorMode::Off
     }
 
-    /// The detected (or trivial) symmetry subgroup.
+    /// The device permutations the joint device×data canonicalization
+    /// minimises over (identity-only unless both engines are armed).
+    #[must_use]
+    pub fn joint_perms(&self) -> &[Vec<usize>] {
+        &self.joint_perms
+    }
+
+    /// The detected (or trivial) device-symmetry subgroup.
     #[must_use]
     pub fn group(&self) -> &SymmetryGroup {
         &self.group
+    }
+
+    /// The data-symmetry engine, when armed and potentially active.
+    #[must_use]
+    pub fn data_symmetry(&self) -> Option<&DataSymmetry> {
+        self.data.as_ref()
     }
 
     /// The codec this reducer canonicalizes through.
@@ -200,7 +352,7 @@ impl Reduction {
     }
 
     /// [`Self::canonical_encoding`] into caller-owned buffers — the
-    /// allocation-free form for callers that compare many candidates
+    /// low-allocation form for callers that compare many candidates
     /// (trace de-permutation canonicalizes one encoding per enabled
     /// variant per step). `buf` receives the canonical bytes; `scratch`
     /// is the canonicalizer's assembly buffer.
@@ -212,7 +364,124 @@ impl Reduction {
     ) {
         buf.clear();
         self.codec.encode_into(state, buf);
-        self.group.canonicalize(&self.codec, &mut buf[..], scratch);
+        self.canonicalize_impl(buf, scratch, false);
+    }
+
+    /// The canonicalization kernel behind both the [`Reducer`] hook
+    /// (which counts) and [`Self::canonical_encoding_into`] (which does
+    /// not): device-only → per-class segment sort; value-only → one
+    /// renumber pass; both → the joint form, the lexicographically-least
+    /// renumbered arrangement over the subgroup (with a fast path when at
+    /// most one distinct free value occurs, where renumbering commutes
+    /// with segment permutation and the two engines literally compose).
+    fn canonicalize_impl(&self, bytes: &mut Vec<u8>, scratch: &mut Vec<u8>, count: bool) -> bool {
+        match &self.data {
+            None if self.group.nontrivial() => {
+                let changed = self.group.canonicalize(&self.codec, &mut bytes[..], scratch);
+                if changed && count {
+                    self.orbit_canonicalized.fetch_add(1, Ordering::Relaxed);
+                }
+                changed
+            }
+            None => false,
+            // The joint path runs whenever any non-identity device
+            // arrangement is admissible — which the *value-blind* list
+            // decides, not the byte-equality subgroup (devices running
+            // value-isomorphic programs have a trivial byte group but a
+            // rich joint one).
+            Some(ds) if self.joint_perms.len() > 1 => {
+                self.canonicalize_joint(ds, bytes, scratch, count)
+            }
+            Some(ds) => {
+                let (changed, _) = ds.renumber(bytes, scratch);
+                if changed {
+                    std::mem::swap(bytes, scratch);
+                    if count {
+                        self.value_canonicalized.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    /// The joint device×data canonical form: `min over σ in joint_perms
+    /// of renumber(σ · bytes)` under lexicographic byte order. Constant
+    /// on joint orbits because device permutations commute with value
+    /// bijections as group actions and `renumber` is constant on
+    /// value-equivalence classes; idempotent because the candidate set
+    /// of a canonical form equals the candidate set of its pre-image
+    /// (the admissible permutations form a group).
+    fn canonicalize_joint(
+        &self,
+        ds: &DataSymmetry,
+        bytes: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+        count: bool,
+    ) -> bool {
+        let (id_changed, distinct_free) = ds.renumber(bytes, scratch);
+        if distinct_free <= 1 && self.joint_perms.len() as u64 == self.group.order() {
+            // Fast path: when the admissible permutations are exactly
+            // the byte-equal subgroup and at most one distinct free
+            // value occurs, renumbering is independent of segment order
+            // (the single token lands everywhere regardless), so it
+            // commutes with every permutation and the joint minimum is
+            // the per-class sort of the renumbered encoding. `bytes`
+            // doubles as the sorter's assembly buffer — its pre-swap
+            // contents are dead either way.
+            let sym_changed = self.group.canonicalize(&self.codec, &mut scratch[..], bytes);
+            let changed = id_changed || sym_changed;
+            if changed {
+                std::mem::swap(bytes, scratch);
+                if count {
+                    if id_changed {
+                        self.value_canonicalized.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if sym_changed {
+                        self.orbit_canonicalized.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            return changed;
+        }
+        // General case: minimise over every admissible arrangement.
+        // `scratch` currently holds the identity candidate; take it as
+        // the seeded best instead of cloning (its buffer is reclaimed by
+        // the final swap below). The two candidate buffers are the
+        // joint path's only per-call allocations.
+        let mut best: Vec<u8> = std::mem::take(scratch);
+        let mut best_is_identity_arrangement = true;
+        let mut best_renumber_changed = id_changed;
+        let mut perm_buf: Vec<u8> = Vec::new();
+        let mut cand: Vec<u8> = Vec::new();
+        for perm in &self.joint_perms {
+            if perm.iter().enumerate().all(|(i, &p)| i == p) {
+                continue; // identity already seeded
+            }
+            SymmetryGroup::permute_encoding(&self.codec, bytes, perm, &mut perm_buf);
+            let (cand_changed, _) = ds.renumber(&perm_buf, &mut cand);
+            if cand < best {
+                std::mem::swap(&mut best, &mut cand);
+                best_is_identity_arrangement = false;
+                best_renumber_changed = cand_changed;
+            }
+        }
+        let changed = best != *bytes;
+        if changed && count {
+            if !best_is_identity_arrangement {
+                self.orbit_canonicalized.fetch_add(1, Ordering::Relaxed);
+            }
+            // The value engine contributed whenever the winning
+            // candidate's renumber pass rewrote its (permuted) input.
+            if best_renumber_changed {
+                self.value_canonicalized.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if changed {
+            std::mem::swap(bytes, &mut best);
+        }
+        *scratch = best; // return the seeded buffer to the caller
+        changed
     }
 }
 
@@ -221,6 +490,7 @@ impl fmt::Debug for Reduction {
         f.debug_struct("Reduction")
             .field("group_order", &self.group.order())
             .field("classes", &self.group.classes().len())
+            .field("data_symmetry", &self.data.is_some())
             .field("por", &self.por)
             .finish()
     }
@@ -228,7 +498,10 @@ impl fmt::Debug for Reduction {
 
 impl Reducer for Reduction {
     fn wants_peer_variants(&self) -> bool {
-        self.group.nontrivial()
+        // Any device-permuting canonicalization — the byte-equal
+        // subgroup or the value-blind joint permutations — needs the
+        // equivariant successor relation.
+        self.group.nontrivial() || self.joint_perms.len() > 1
     }
 
     fn ample_step(
@@ -237,20 +510,33 @@ impl Reducer for Reduction {
         state: &SystemState,
         scratch: &mut SystemState,
     ) -> Option<RuleId> {
-        if !self.por {
-            return None;
+        match self.por {
+            PorMode::Off => None,
+            PorMode::On => {
+                let id = por::ample_step(rules, state, &self.safe_shapes, scratch)?;
+                self.ample_local.fetch_add(1, Ordering::Relaxed);
+                Some(id)
+            }
+            PorMode::Wide => {
+                let (id, kind) = por::ample_step_wide(
+                    rules,
+                    state,
+                    &self.safe_shapes,
+                    &self.gated_shapes,
+                    &self.diamonds,
+                    scratch,
+                )?;
+                match kind {
+                    AmpleKind::Local => self.ample_local.fetch_add(1, Ordering::Relaxed),
+                    AmpleKind::Diamond => self.ample_diamond.fetch_add(1, Ordering::Relaxed),
+                };
+                Some(id)
+            }
         }
-        let id = por::ample_step(rules, state, &self.safe_shapes, scratch)?;
-        self.ample.fetch_add(1, Ordering::Relaxed);
-        Some(id)
     }
 
-    fn canonicalize(&self, bytes: &mut [u8], scratch: &mut Vec<u8>) -> bool {
-        let changed = self.group.canonicalize(&self.codec, bytes, scratch);
-        if changed {
-            self.canonicalized.fetch_add(1, Ordering::Relaxed);
-        }
-        changed
+    fn canonicalize(&self, bytes: &mut Vec<u8>, scratch: &mut Vec<u8>) -> bool {
+        self.canonicalize_impl(bytes, scratch, true)
     }
 
     fn orbit_size(&self, bytes: &[u8]) -> u64 {
@@ -259,9 +545,13 @@ impl Reducer for Reduction {
 
     fn stats(&self) -> ReductionStats {
         ReductionStats {
-            orbit_canonicalized: self.canonicalized.load(Ordering::Relaxed),
-            ample_steps: self.ample.load(Ordering::Relaxed),
+            orbit_canonicalized: self.orbit_canonicalized.load(Ordering::Relaxed),
+            value_canonicalized: self.value_canonicalized.load(Ordering::Relaxed),
+            ample_local: self.ample_local.load(Ordering::Relaxed),
+            ample_diamond: self.ample_diamond.load(Ordering::Relaxed),
             group_order: self.group.order(),
+            data_symmetry: self.data.is_some(),
+            por: self.por,
         }
     }
 
@@ -274,8 +564,19 @@ impl Reducer for Reduction {
                 self.group.classes().len()
             ));
         }
-        if self.por {
-            parts.push("por".to_string());
+        if let Some(ds) = &self.data {
+            if self.joint_perms.len() > 1 {
+                parts.push(format!(
+                    "data-symmetry({} pinned, {} joint perms)",
+                    ds.static_pinned().len(),
+                    self.joint_perms.len()
+                ));
+            } else {
+                parts.push(format!("data-symmetry({} pinned)", ds.static_pinned().len()));
+            }
+        }
+        if self.por != PorMode::Off {
+            parts.push(format!("por({})", self.por));
         }
         if parts.is_empty() {
             "inactive".to_string()
@@ -291,6 +592,10 @@ mod tests {
     use cxl_core::instr::programs;
     use cxl_core::ProtocolConfig;
 
+    fn sym_only() -> ReductionConfig {
+        ReductionConfig { symmetry: true, data_symmetry: false, por: PorMode::Off }
+    }
+
     #[test]
     fn reduction_detects_symmetry_and_counts() {
         let rules = Ruleset::with_devices(ProtocolConfig::strict(), 3);
@@ -302,6 +607,9 @@ mod tests {
         assert!(red.is_active());
         assert!(red.wants_peer_variants());
         assert_eq!(red.stats().group_order, 6);
+        // All-load workloads mint no values, so the data engine is inert
+        // and the description names only the device engine.
+        assert!(red.data_symmetry().is_none());
         assert_eq!(red.describe(), "symmetry(|G| = 6, 1 classes)");
 
         // Canonicalizing a permuted state counts once and lands on the
@@ -318,24 +626,76 @@ mod tests {
     fn inactive_reduction_reports_itself() {
         let rules = Ruleset::new(ProtocolConfig::strict());
         let init = SystemState::initial(programs::store(1), programs::load());
-        let red = Reduction::new(&rules, &init, ReductionConfig { symmetry: true, por: false });
-        assert!(!red.is_active(), "asymmetric two-device workload has no symmetry");
+        let red = Reduction::new(&rules, &init, sym_only());
+        assert!(!red.is_active(), "asymmetric two-device workload has no device symmetry");
         assert!(!red.wants_peer_variants());
         assert_eq!(red.describe(), "inactive");
 
-        let por_only = Reduction::new(&rules, &init, ReductionConfig { symmetry: false, por: true });
+        let por_only = Reduction::new(
+            &rules,
+            &init,
+            ReductionConfig { symmetry: false, data_symmetry: false, por: PorMode::On },
+        );
         assert!(por_only.is_active());
-        assert_eq!(por_only.describe(), "por");
+        assert_eq!(por_only.describe(), "por(on)");
         assert_eq!(por_only.orbit_size(&por_only.codec().encode(&init)), 1);
+
+        // The same workload *is* data-symmetric (the operand 1 outlives
+        // its pinning once stored), and the default config arms it.
+        let data = Reduction::new(&rules, &init, ReductionConfig::default());
+        assert!(data.is_active());
+        assert_eq!(data.describe(), "data-symmetry(2 pinned)"); // {-1, 0}
     }
 
     #[test]
     fn ample_counting_tracks_uses() {
         let rules = Ruleset::new(ProtocolConfig::strict());
         let init = SystemState::initial(programs::evicts(1), vec![]);
-        let red = Reduction::new(&rules, &init, ReductionConfig { symmetry: false, por: true });
+        let red = Reduction::new(
+            &rules,
+            &init,
+            ReductionConfig { symmetry: false, data_symmetry: false, por: PorMode::On },
+        );
         let mut scratch = SystemState::initial_n(2, vec![]);
         assert!(red.ample_step(&rules, &init, &mut scratch).is_some());
-        assert_eq!(red.stats().ample_steps, 1);
+        assert_eq!(red.stats().ample_local, 1);
+        assert_eq!(red.stats().ample_steps(), 1);
+    }
+
+    #[test]
+    fn joint_canonicalization_is_idempotent_and_orbit_invariant() {
+        // Two symmetric devices, both storing 5 then 6: after both
+        // programs drain the free values {5, 6} and the arrangement are
+        // jointly canonicalized. Every combination of subgroup element ×
+        // value swap must land on the same canonical bytes.
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let init = SystemState::initial(programs::stores(5, 2), programs::stores(5, 2));
+        let red = Reduction::new(&rules, &init, ReductionConfig::default());
+        assert!(red.group().nontrivial());
+        assert!(red.data_symmetry().is_some());
+
+        let mut s = init.clone();
+        s.devs[0].prog.clear();
+        s.devs[1].prog.clear();
+        s.devs[0].cache.val = 5;
+        s.devs[1].cache.val = 6;
+        s.host.val = 6;
+
+        let canon = red.canonical_encoding(&s);
+        // Idempotence.
+        let mut twice = canon.clone();
+        let mut scratch = Vec::new();
+        assert!(!red.canonicalize_impl(&mut twice, &mut scratch, false));
+        assert_eq!(twice, canon);
+        // Invariance under the device swap, a value swap, and both.
+        let swapped = apply_permutation(&s, &[1, 0]);
+        let vswap = |v: Val| if v == 5 { 6 } else if v == 6 { 5 } else { v };
+        for t in [
+            swapped.clone(),
+            DataSymmetry::apply_value_map(&s, vswap),
+            DataSymmetry::apply_value_map(&swapped, vswap),
+        ] {
+            assert_eq!(red.canonical_encoding(&t), canon, "joint orbit member diverged");
+        }
     }
 }

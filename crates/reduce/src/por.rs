@@ -1,7 +1,8 @@
-//! Conservative partial-order reduction: singleton ample sets of
-//! *safe-local* device steps.
+//! Partial-order reduction: singleton ample sets of device-local steps,
+//! in a conservative (statically safe) and a widened (context-checked)
+//! form.
 //!
-//! ## The ample-set argument, specialised
+//! ## The conservative tier: static safe-local steps
 //!
 //! At a state `s` where some device `d` has an enabled
 //! [`Shape::safe_local`] step `t`, exploring **only** `t` from `s` is
@@ -18,7 +19,7 @@
 //!   becoming enabled before `t` fires (e.g. a snoop arriving); the
 //!   static table rules it out: `safe_local` requires that **no shape in
 //!   `t`'s cache-state bucket consumes messages**, and only `d`'s own
-//!   rules can move `d` out of that bucket. Today that admits exactly
+//!   rules can move `d` out of that bucket. That admits exactly
 //!   `InvalidEvict` (eviction of an already-invalid line — the paper's
 //!   "subsequent Evicts have no effect" retirement).
 //! - **C2 (invisibility).** SWMR reads cache lines; the invariant's
@@ -29,8 +30,58 @@
 //!   is finite and ends in a fully-expanded state: nothing is postponed
 //!   forever, and deadlocks (non-quiescent terminal states) remain
 //!   reachable.
+//!
+//! ## The widened tier: snoop-free contexts and completion diamonds
+//!
+//! [`ample_step_wide`] adds two context-dependent families, both gated on
+//! the acting device's **snoop channel being empty** (`H2DReq = []`):
+//!
+//! - **Snoop-free local hits** ([`Shape::snoop_gated_local`]:
+//!   `SharedLoad`/`ModifiedLoad`). Their buckets' only message consumers
+//!   are snoop shapes, so with no snoop in flight no same-device rule can
+//!   fire before the pure program pop, and every other-device/host step
+//!   commutes with it exactly as in the conservative tier. What the gate
+//!   does *not* exclude is the host minting a fresh snoop at `d` in a
+//!   skipped interleaving and the load then *missing*: those futures
+//!   re-run the same load-transaction machinery from a state the reduced
+//!   search reaches with the load already (locally) retired. The stock
+//!   property family is insensitive to the difference — pinned
+//!   empirically, not statically, by the reduction battery's
+//!   reduced-vs-unreduced verdict differentials and the
+//!   counterexample-replay corpus; `wide` is accordingly opt-in and a
+//!   custom property that counts *transactions* (rather than states)
+//!   should not be combined with it.
+//! - **GO/data completion diamonds** ([`Shape::completion_diamond`]).
+//!   From `ISAD`/`IMAD`/`SMAD` with *both* the GO and the data in
+//!   flight, the two consumption orders commute with each other and with
+//!   every other device's steps, and converge to the **identical** state
+//!   once both messages land (pinned by `cxl-core`'s
+//!   `completion_diamonds_converge_to_identical_states`); with the snoop
+//!   channel empty (which also disarms the relaxed `IsadSnpInvBuggy`
+//!   consumer) the GO leg alone is explored. The skipped data-first
+//!   intermediate differs from the explored GO-first one only in which
+//!   A/D-split state the line transits (`ISA` vs `ISD` etc.); the
+//!   host-side `tracked_sharer`/`tracked_owner` predicates are built to
+//!   valuate identically across the split, and the stock properties
+//!   never distinguish the two legs.
+//!
+//! Every widened step still consumes a message or retires an
+//! instruction, so the C3 termination measure (messages + instructions)
+//! strictly decreases and forced-ample chains stay finite.
 
 use cxl_core::{RuleId, Ruleset, Shape, SystemState};
+
+/// Which tier of the POR engine elected an ample step — per-engine
+/// accounting for [`crate::ReductionStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmpleKind {
+    /// A statically safe or snoop-free **local retirement** (program
+    /// pop: `InvalidEvict`, or `SharedLoad`/`ModifiedLoad` with an empty
+    /// snoop channel).
+    Local,
+    /// A **GO/data completion diamond** collapsed onto its GO leg.
+    Diamond,
+}
 
 /// The statically-derived safe-local shapes (see [`Shape::safe_local`]).
 #[must_use]
@@ -38,10 +89,24 @@ pub fn safe_local_shapes() -> Vec<Shape> {
     Shape::ALL.iter().copied().filter(|s| s.safe_local()).collect()
 }
 
+/// The snoop-gated local shapes of the widened tier (see
+/// [`Shape::snoop_gated_local`]).
+#[must_use]
+pub fn snoop_gated_local_shapes() -> Vec<Shape> {
+    Shape::ALL.iter().copied().filter(|s| s.snoop_gated_local()).collect()
+}
+
+/// The `(GO leg, data leg)` completion diamonds of the widened tier (see
+/// [`Shape::completion_diamond`]).
+#[must_use]
+pub fn completion_diamonds() -> Vec<(Shape, Shape)> {
+    Shape::ALL.iter().filter_map(|&s| s.completion_diamond().map(|d| (s, d))).collect()
+}
+
 /// If some device has an enabled safe-local step in `state`, fire it into
-/// `scratch` and return its rule id — the singleton ample set. Devices
-/// and shapes are scanned in canonical order, so the choice is
-/// deterministic.
+/// `scratch` and return its rule id — the singleton ample set of the
+/// conservative tier. Devices and shapes are scanned in canonical order,
+/// so the choice is deterministic.
 #[must_use]
 pub fn ample_step(
     rules: &Ruleset,
@@ -63,11 +128,86 @@ pub fn ample_step(
     None
 }
 
+/// The widened ample election: statically safe local steps first, then —
+/// for devices whose snoop channel is empty — snoop-gated local hits and
+/// collapsed completion diamonds. Deterministic scan order (devices
+/// ascending; tiers in the order above). `scratch` holds the successor
+/// on `Some`.
+#[must_use]
+pub fn ample_step_wide(
+    rules: &Ruleset,
+    state: &SystemState,
+    safe_shapes: &[Shape],
+    gated_shapes: &[Shape],
+    diamonds: &[(Shape, Shape)],
+    scratch: &mut SystemState,
+) -> Option<(RuleId, AmpleKind)> {
+    // The widened tiers' commutation argument leans on two restrictions
+    // of the *strict* protocol, and withdraws itself when either is
+    // relaxed (only the statically safe steps remain):
+    //
+    // - **Snoop-pushes-GO**: snoops wait behind pending GOs. Relaxed,
+    //   the buggy `IsadSnpInvBuggy` consumer lets a snoop minted *after*
+    //   the election overtake a diamond's remaining GO — precisely the
+    //   interleaving that reaches the paper's Table 3 violation.
+    // - **Precise transient tracking**: the host's sharer/owner view
+    //   valuates in-flight grants like landed ones, which is what makes
+    //   host guards insensitive to which diamond leg has been consumed
+    //   (`ISAD`-with-GO vs `ISD`). The naive-tracking relaxation breaks
+    //   exactly that equality, so host steps no longer commute across a
+    //   collapsed leg and its violations live in suppressed
+    //   interleavings.
+    let snoops_wait =
+        rules.config().snoop_pushes_go && rules.config().precise_transient_tracking;
+    for d in state.device_ids() {
+        let dev = state.dev(d);
+        let cs = dev.cache.state;
+        for &shape in safe_shapes {
+            if shape.device_state_key() == Some(cs) && shape.quick_enabled(state, d) {
+                let id = RuleId::new(shape, d);
+                if rules.try_fire_into(id, state, scratch) {
+                    return Some((id, AmpleKind::Local));
+                }
+            }
+        }
+        if !snoops_wait || !dev.h2d_req.is_empty() {
+            continue;
+        }
+        for &shape in gated_shapes {
+            if shape.device_state_key() == Some(cs) && shape.quick_enabled(state, d) {
+                let id = RuleId::new(shape, d);
+                if rules.try_fire_into(id, state, scratch) {
+                    return Some((id, AmpleKind::Local));
+                }
+            }
+        }
+        if dev.h2d_rsp.is_empty() || dev.h2d_data.is_empty() {
+            continue;
+        }
+        for &(go, data) in diamonds {
+            // Both legs must be genuinely enabled: the GO leg's full
+            // guard is checked by the firing itself, the data leg's by
+            // its quick check (a data head is all consume_data needs).
+            if go.device_state_key() == Some(cs)
+                && go.quick_enabled(state, d)
+                && data.quick_enabled(state, d)
+            {
+                let id = RuleId::new(go, d);
+                if rules.try_fire_into(id, state, scratch) {
+                    return Some((id, AmpleKind::Diamond));
+                }
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cxl_core::instr::programs;
-    use cxl_core::{DeviceId, ProtocolConfig};
+    use cxl_core::msg::{DataMsg, H2DReq, H2DReqType, H2DRsp, H2DRspType};
+    use cxl_core::{DState, DeviceId, ProtocolConfig};
 
     #[test]
     fn ample_step_picks_the_invalid_evict() {
@@ -84,5 +224,53 @@ mod tests {
         // No safe-local step → no ample set.
         let s = SystemState::initial(programs::load(), programs::store(1));
         assert!(ample_step(&rules, &s, &shapes, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn wide_ample_admits_snoop_free_local_hits() {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let (safe, gated, dia) =
+            (safe_local_shapes(), snoop_gated_local_shapes(), completion_diamonds());
+        assert_eq!(gated, vec![Shape::SharedLoad, Shape::ModifiedLoad]);
+
+        let mut s = SystemState::initial(programs::load(), programs::store(1));
+        s.dev_mut(DeviceId::D1).cache.state = DState::M;
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        let (id, kind) = ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch)
+            .expect("snoop-free modified load is ample");
+        assert_eq!(id, RuleId::new(Shape::ModifiedLoad, DeviceId::D1));
+        assert_eq!(kind, AmpleKind::Local);
+        assert!(scratch.dev(DeviceId::D1).prog.is_empty());
+
+        // An in-flight snoop at the device withdraws the election.
+        s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn wide_ample_collapses_the_go_data_diamond() {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let (safe, gated, dia) =
+            (safe_local_shapes(), snoop_gated_local_shapes(), completion_diamonds());
+
+        let mut s = SystemState::initial(programs::load(), vec![]);
+        let d = DeviceId::D1;
+        s.dev_mut(d).cache.state = DState::ISAD;
+        s.dev_mut(d).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 0));
+        s.dev_mut(d).h2d_data.push(DataMsg::new(0, 42));
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        let (id, kind) = ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch)
+            .expect("full diamond is ample");
+        assert_eq!(id, RuleId::new(Shape::IsadGo, d), "the GO leg is the elected one");
+        assert_eq!(kind, AmpleKind::Diamond);
+        assert_eq!(scratch.dev(d).cache.state, DState::ISD);
+
+        // With only one message in flight there is no diamond to collapse.
+        s.dev_mut(d).h2d_data.pop();
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch).is_none());
+        // And a pending snoop also withdraws it.
+        s.dev_mut(d).h2d_data.push(DataMsg::new(0, 42));
+        s.dev_mut(d).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 1));
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch).is_none());
     }
 }

@@ -207,6 +207,32 @@ impl SymmetryGroup {
         true
     }
 
+    /// Write the `perm`-arranged form of an encoded state into `out`
+    /// (cleared first): the global header verbatim, then device segments
+    /// with slot `i` taking original device `perm[i]`'s segment — the
+    /// byte-level action of [`apply_permutation`]. Used by the joint
+    /// device×data canonicalization, which minimises the renumbered
+    /// encoding over every subgroup arrangement.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not a valid encoding for `codec` or `perm`
+    /// is not device-count sized.
+    pub fn permute_encoding(
+        codec: &StateCodec,
+        bytes: &[u8],
+        perm: &[usize],
+        out: &mut Vec<u8>,
+    ) {
+        let mut bounds = [0usize; Topology::MAX_DEVICES + 1];
+        codec.device_segment_bounds(bytes, &mut bounds).expect("permute over codec output");
+        assert_eq!(perm.len(), codec.topology().device_count(), "permutation arity");
+        out.clear();
+        out.extend_from_slice(&bytes[..bounds[0]]);
+        for &src in perm {
+            out.extend_from_slice(&bytes[bounds[src]..bounds[src + 1]]);
+        }
+    }
+
     /// The orbit size of an encoded state under this subgroup:
     /// ∏ over classes of `k! / ∏ m_j!`, where the `m_j` are the byte-equal
     /// multiplicities of the class's segments. Summed over a canonical
@@ -248,6 +274,13 @@ impl SymmetryGroup {
         }
         size
     }
+}
+
+/// Every permutation of `0..n` (as `perm[new_slot] = old_slot` maps) —
+/// the candidate space the data-symmetry engine filters for value-blind
+/// admissibility. `n ≤ 8` by the topology bound.
+pub(crate) fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    heap_permutations(&(0..n).collect::<Vec<usize>>())
 }
 
 /// All arrangements of `items` (Heap's algorithm; |items| ≤ 8).

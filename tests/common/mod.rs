@@ -1,0 +1,29 @@
+//! Helpers shared by the reduction-focused integration suites
+//! (`tests/reduction.rs`, `tests/replay_corpus.rs`).
+
+use cxl_repro::mc::{PorMode, ReductionConfig};
+
+/// Shorthand [`ReductionConfig`] constructor.
+#[must_use]
+pub fn rc(symmetry: bool, data_symmetry: bool, por: PorMode) -> ReductionConfig {
+    ReductionConfig { symmetry, data_symmetry, por }
+}
+
+/// Every non-inert engine combination: {symmetry} × {data-symmetry} ×
+/// {off, on, wide} minus the all-off identity. Both suites iterate this
+/// one list, so adding an engine or POR tier widens every matrix at
+/// once.
+#[must_use]
+pub fn all_engine_combos() -> Vec<ReductionConfig> {
+    let mut out = Vec::new();
+    for symmetry in [false, true] {
+        for data_symmetry in [false, true] {
+            for por in [PorMode::Off, PorMode::On, PorMode::Wide] {
+                if symmetry || data_symmetry || por != PorMode::Off {
+                    out.push(rc(symmetry, data_symmetry, por));
+                }
+            }
+        }
+    }
+    out
+}
