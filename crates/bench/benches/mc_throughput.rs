@@ -103,6 +103,21 @@ fn sym_only() -> ReductionConfig {
     ReductionConfig { symmetry: true, data_symmetry: false, por: cxl_mc::PorMode::Off }
 }
 
+/// The resilience row's checker: the N = 3 pipeline with checkpointing
+/// armed at the default interval, writing into a temp scratch dir. Runs
+/// shorter than the interval pay exactly one (final) checkpoint write —
+/// the overhead the ≤ 5% acceptance bar is about.
+fn checkpointed_checker_n3() -> ModelChecker {
+    let dir = std::env::temp_dir().join("cxl-bench-checkpoint-n3");
+    ModelChecker::with_options(
+        Ruleset::with_devices(ProtocolConfig::strict(), 3),
+        CheckOptions {
+            checkpoint: Some(cxl_mc::CheckpointPolicy::new(dir)),
+            ..CheckOptions::default()
+        },
+    )
+}
+
 fn par_threads() -> usize {
     std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8)
 }
@@ -204,6 +219,10 @@ fn bench(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("optimized_n4", WORKLOAD_N4), &init4, |b, init| {
         b.iter(|| black_box(opt4.check(init, &[])));
     });
+    g.bench_with_input(BenchmarkId::new("checkpoint_n3", WORKLOAD_N3), &init3, |b, init| {
+        let ckpt3 = checkpointed_checker_n3();
+        b.iter(|| black_box(ckpt3.check(init, &[])));
+    });
     let sym3 = workload_sym(3);
     g.bench_with_input(BenchmarkId::new("reduced_n3", WORKLOAD_SYM), &sym3, |b, init| {
         let red3 = reduced_checker(3, init, sym_only());
@@ -257,6 +276,16 @@ fn bench(c: &mut Criterion) {
         let r = opt4.check(&init4, &[]);
         (r.states, r.transitions)
     });
+    let ckpt3 = checkpointed_checker_n3();
+    let (c_states, c_trans, c_best) = best_of(iters, || {
+        let r = ckpt3.check(&init3, &[]);
+        (r.states, r.transitions)
+    });
+    assert_eq!(
+        (t_states, t_trans),
+        (c_states, c_trans),
+        "checkpointing must not perturb the search"
+    );
     // The dedicated threads > 1 row (see mt_threads), measured only when
     // optimized_par would otherwise run single-threaded — on multi-core
     // hosts it would duplicate that row exactly.
@@ -442,6 +471,18 @@ fn bench(c: &mut Criterion) {
             "none",
             q_states,
         ),
+        snapshot_row(
+            "checkpoint_n3",
+            WORKLOAD_N3,
+            3,
+            1,
+            c_states,
+            c_trans,
+            c_best,
+            mem3,
+            "none",
+            c_states,
+        ),
     ];
     rows.extend(mt_row);
     rows.extend(reduced_rows);
@@ -461,7 +502,10 @@ fn bench(c: &mut Criterion) {
              joint permutations ride on the device-permutation machinery), and \
              widepor_n3 stacks the widened POR tier on device symmetry, each \
              with states_explored_unreduced the measured \
-             unreduced count of the same workload; bytes_per_state is the packed \
+             unreduced count of the same workload; checkpoint_n3 re-runs the \
+             optimized_n3 workload with checkpointing armed at the default \
+             interval (one final checkpoint write per run) — its gap to \
+             optimized_n3 is the resilience layer's overhead; bytes_per_state is the packed \
              StateArena payload, baseline_bytes_per_state the heap \
              Arc<SystemState> estimate it replaced; peak_rss_mb is process VmHWM \
              at row-record time (monotone within a run)",
@@ -477,6 +521,10 @@ fn bench(c: &mut Criterion) {
     for (pipeline, ratio) in &snapshot.speedup_vs_baseline {
         println!("speedup vs naive [{pipeline}]: {ratio:.2}x");
     }
+    println!(
+        "checkpoint overhead [N=3, default interval]: {:+.2}%",
+        (c_best.as_secs_f64() / t_best.as_secs_f64() - 1.0) * 100.0
+    );
     for row in &snapshot.rows {
         println!(
             "memory [{} N={}]: {:.1} B/state packed vs {:.1} B/state heap baseline ({:.1}x)",

@@ -11,12 +11,34 @@
 //!     [--devices N] [--p3 … --p8 …] \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
 //!     [--full] [--trace] [--threads N] [--firings] [--expect-clean] \
-//!     [--mem-budget-mb N] [--symmetry auto|off] \
-//!     [--data-symmetry auto|off] [--por on|wide|off]
+//!     [--mem-budget-mb N] [--time-budget-ms N] \
+//!     [--checkpoint-dir DIR] [--checkpoint-every-ms N] [--resume] \
+//!     [--symmetry auto|off] [--data-symmetry auto|off] [--por on|wide|off]
 //! ```
 //!
-//! `--expect-clean` exits non-zero when the exploration finds a violation,
-//! a deadlock, or truncates — the CI smoke-check mode.
+//! `--expect-clean` is the CI smoke-check mode, with distinct exit codes
+//! for distinct failure classes: **1** when the exploration finds a
+//! violation or deadlock (a real coherence finding), **2** when coverage
+//! was incomplete — truncated by a state/memory/time budget or holding
+//! quarantined poison states — and **64** for usage errors. Exit 0 means
+//! the full space was explored and is clean.
+//!
+//! `--checkpoint-dir` enables the resilience layer: the search state is
+//! serialized atomically to `DIR/checkpoint.cxlckpt` at BFS level
+//! boundaries (at most once per `--checkpoint-every-ms`, default one
+//! minute; 0 checkpoints every level) and when the run ends truncated
+//! or with findings — a clean completed run skips that final write (its
+//! result needs no crash insurance).
+//! `--resume` picks the campaign back up from that file — verdict, state
+//! count, and counterexample traces come out exactly as an uninterrupted
+//! run's, and budgets (`--mem-budget-mb`, `--time-budget-ms`) may be
+//! raised across the boundary. The same program/config/reduction flags
+//! must be passed again; a mismatched or corrupted checkpoint is refused.
+//!
+//! `--time-budget-ms` arms a wall-clock watchdog checked at level
+//! boundaries: on expiry the run stops with a valid partial report
+//! (marked "time budget exhausted") and, with `--checkpoint-dir`, a
+//! resumable final checkpoint.
 //!
 //! `--symmetry auto` (the default) detects the device-permutation
 //! subgroup fixing the initial state and explores one representative per
@@ -85,9 +107,29 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Why the run failed, mapped to distinct exit codes so CI can tell a
+/// genuine coherence finding from incomplete coverage from a bad
+/// invocation.
+enum Failure {
+    /// Bad flags or an unusable checkpoint — exit 64.
+    Usage(String),
+    /// `--expect-clean` and the model produced a violation or deadlock —
+    /// exit 1.
+    Violation(String),
+    /// `--expect-clean` and coverage was incomplete (truncated by a
+    /// budget, or quarantined poison states) — exit 2.
+    Incomplete(String),
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure::Usage(msg)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let run = || -> Result<(), String> {
+    let run = || -> Result<(), Failure> {
         // One program per device: --p1 … --p8.
         let mut programs: Vec<Vec<Instruction>> = Vec::new();
         let mut highest_prog = 0usize;
@@ -106,10 +148,11 @@ fn main() {
             return Err(format!(
                 "--devices {devices} outside supported range 2..={}",
                 Topology::MAX_DEVICES
-            ));
+            )
+            .into());
         }
         if highest_prog > devices {
-            return Err(format!("--p{highest_prog} given but only {devices} devices"));
+            return Err(format!("--p{highest_prog} given but only {devices} devices").into());
         }
         programs.truncate(devices);
 
@@ -141,22 +184,44 @@ fn main() {
             .transpose()?
             .map(|mb| mb * 1024 * 1024)
             .or(cxl_mc::CheckOptions::default().mem_budget);
+        let time_budget = arg_value(&args, "--time-budget-ms")
+            .map(|v| v.parse::<u64>().map_err(|e| format!("bad --time-budget-ms: {e}")))
+            .transpose()?
+            .map(std::time::Duration::from_millis);
+        let checkpoint_every = arg_value(&args, "--checkpoint-every-ms")
+            .map(|v| v.parse::<u64>().map_err(|e| format!("bad --checkpoint-every-ms: {e}")))
+            .transpose()?
+            .map(std::time::Duration::from_millis);
+        let checkpoint = arg_value(&args, "--checkpoint-dir").map(|dir| {
+            let mut policy = cxl_mc::CheckpointPolicy::new(dir);
+            if let Some(every) = checkpoint_every {
+                policy.every = every;
+            }
+            policy
+        });
+        if checkpoint_every.is_some() && checkpoint.is_none() {
+            return Err("--checkpoint-every-ms requires --checkpoint-dir".to_string().into());
+        }
+        let resume = args.iter().any(|a| a == "--resume");
+        if resume && checkpoint.is_none() {
+            return Err("--resume requires --checkpoint-dir".to_string().into());
+        }
 
         let symmetry = match arg_value(&args, "--symmetry").as_deref() {
             None | Some("auto") => true,
             Some("off") => false,
-            Some(other) => return Err(format!("bad --symmetry {other:?} (auto, off)")),
+            Some(other) => return Err(format!("bad --symmetry {other:?} (auto, off)").into()),
         };
         let data_symmetry = match arg_value(&args, "--data-symmetry").as_deref() {
             None | Some("auto") => true,
             Some("off") => false,
-            Some(other) => return Err(format!("bad --data-symmetry {other:?} (auto, off)")),
+            Some(other) => return Err(format!("bad --data-symmetry {other:?} (auto, off)").into()),
         };
         let por = match arg_value(&args, "--por").as_deref() {
             None | Some("off") => cxl_mc::PorMode::Off,
             Some("on") => cxl_mc::PorMode::On,
             Some("wide") => cxl_mc::PorMode::Wide,
-            Some(other) => return Err(format!("bad --por {other:?} (on, wide, off)")),
+            Some(other) => return Err(format!("bad --por {other:?} (on, wide, off)").into()),
         };
         // Both stock properties quantify over devices symmetrically and
         // compare values only between components, so the reduction's
@@ -175,12 +240,21 @@ fn main() {
         let opts = cxl_mc::CheckOptions {
             threads,
             mem_budget,
+            time_budget,
+            checkpoint,
             reduction: active
                 .then(|| std::sync::Arc::clone(&reduction) as std::sync::Arc<dyn cxl_mc::Reducer>),
             ..cxl_mc::CheckOptions::default()
         };
         let mc = ModelChecker::with_options(Ruleset::with_devices(cfg, devices), opts);
-        let mut report = mc.check(&init, &[&SwmrProperty, &invariant]);
+        let props: [&dyn cxl_mc::Property; 2] = [&SwmrProperty, &invariant];
+        let exploration = if resume {
+            mc.explore_resumed(&props)
+                .map_err(|e| Failure::Usage(format!("--resume: {e}")))?
+        } else {
+            mc.explore(&init, &props)
+        };
+        let mut report = exploration.report;
         // Reduced counterexamples live in canonical coordinates:
         // de-permute them (violations and deadlock traces alike) into
         // concrete runs before any rendering, so printed device indices
@@ -206,6 +280,13 @@ fn main() {
                  states; statistics above cover the explored prefix only \
                  (raise --mem-budget-mb to go deeper)",
                 mem_budget.unwrap_or(0) as f64 / (1024.0 * 1024.0),
+                report.states
+            );
+        }
+        if report.truncated_by_time {
+            println!(
+                "NOTE: exploration stopped at the time budget after {} states; resume from \
+                 the checkpoint (--resume) with a larger --time-budget-ms to continue",
                 report.states
             );
         }
@@ -271,19 +352,41 @@ fn main() {
             );
             println!("{table}");
         }
-        if args.iter().any(|a| a == "--expect-clean") && (!report.clean() || report.truncated) {
-            return Err(format!(
-                "--expect-clean: exploration was not clean ({} violations, {} deadlocks, \
-                 truncated: {})",
-                report.violations.len(),
-                report.deadlocks.len(),
-                report.truncated
-            ));
+        if args.iter().any(|a| a == "--expect-clean") {
+            // Property violations and deadlocks are *verdicts* (exit 1);
+            // a truncated or quarantine-degraded run is merely
+            // *inconclusive* (exit 2) — CI gates on the distinction.
+            if !report.clean() {
+                return Err(Failure::Violation(format!(
+                    "--expect-clean: exploration found {} violation(s), {} deadlock(s)",
+                    report.violations.len(),
+                    report.deadlocks.len()
+                )));
+            }
+            if report.truncated || !report.quarantined.is_empty() {
+                return Err(Failure::Incomplete(format!(
+                    "--expect-clean: exploration incomplete (truncated: {}, quarantined \
+                     states: {})",
+                    report.truncated,
+                    report.quarantined.len()
+                )));
+            }
         }
         Ok(())
     };
-    if let Err(e) = run() {
-        eprintln!("error: {e}");
-        std::process::exit(2);
+    match run() {
+        Ok(()) => {}
+        Err(Failure::Usage(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(64);
+        }
+        Err(Failure::Violation(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        Err(Failure::Incomplete(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -130,6 +130,113 @@ impl<'a> Reader<'a> {
     fn finished(&self) -> bool {
         self.pos == self.bytes.len()
     }
+
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| CodecError(format!("truncated at byte {} (wanted {n})", self.pos)))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// Length-prefixed wire framing over the codec's varint primitives —
+/// the byte-level vocabulary shared by every consumer that persists
+/// codec output (today: the model checker's checkpoint files).
+///
+/// The state encoding itself stays private to [`StateCodec`]; this module
+/// only exposes the *container* primitives (LEB128 varints, raw slices),
+/// so external framing formats stay byte-compatible with the arena's own
+/// notion of a varint without re-implementing it.
+pub mod wire {
+    use super::{CodecError, Reader};
+
+    /// Append `v` as a LEB128 varint.
+    pub fn put_varint(out: &mut Vec<u8>, v: u64) {
+        super::put_varint(out, v);
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+        super::put_varint(out, bytes.len() as u64);
+        out.extend_from_slice(bytes);
+    }
+
+    /// A checked cursor over wire-framed bytes. Every read is
+    /// bounds-checked and returns [`CodecError`] on truncation or
+    /// malformed varints — untrusted input never panics.
+    pub struct WireReader<'a> {
+        inner: Reader<'a>,
+    }
+
+    impl<'a> WireReader<'a> {
+        /// A cursor over `bytes`, positioned at the start.
+        #[must_use]
+        pub fn new(bytes: &'a [u8]) -> Self {
+            WireReader { inner: Reader::new(bytes) }
+        }
+
+        /// Read one LEB128 varint.
+        pub fn varint(&mut self) -> Result<u64, CodecError> {
+            self.inner.varint()
+        }
+
+        /// Read one raw byte.
+        pub fn byte(&mut self) -> Result<u8, CodecError> {
+            self.inner.byte()
+        }
+
+        /// Read `n` raw bytes.
+        pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+            self.inner.take(n)
+        }
+
+        /// Read a length-prefixed byte slice (the inverse of
+        /// [`put_bytes`]), refusing length prefixes that overrun the
+        /// buffer before any allocation happens.
+        pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+            let len = self.inner.varint()?;
+            let len = usize::try_from(len)
+                .map_err(|_| CodecError(format!("length prefix {len} overflows usize")))?;
+            self.inner.take(len)
+        }
+
+        /// A varint validated as a collection length: it must be small
+        /// enough that `min_item_bytes`-byte items could actually follow
+        /// in the buffer — the guard that keeps a corrupted length prefix
+        /// from driving a huge allocation.
+        pub fn len_prefix(&mut self, min_item_bytes: usize) -> Result<usize, CodecError> {
+            let len = self.inner.varint()?;
+            let len = usize::try_from(len)
+                .map_err(|_| CodecError(format!("length prefix {len} overflows usize")))?;
+            if len.saturating_mul(min_item_bytes.max(1)) > self.inner.remaining() {
+                return Err(CodecError(format!(
+                    "length prefix {len} overruns the remaining {} bytes",
+                    self.inner.remaining()
+                )));
+            }
+            Ok(len)
+        }
+
+        /// Bytes left after the cursor.
+        #[must_use]
+        pub fn remaining(&self) -> usize {
+            self.inner.remaining()
+        }
+
+        /// Has the cursor consumed the whole buffer?
+        #[must_use]
+        pub fn finished(&self) -> bool {
+            self.inner.finished()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -922,6 +1029,82 @@ impl StateArena {
     /// Iterate over all states in discovery order, decoding each.
     pub fn iter_decoded(&self) -> impl Iterator<Item = SystemState> + '_ {
         (0..self.len()).map(|id| self.decode(id))
+    }
+
+    /// The packed payload — every state's encoding, concatenated in
+    /// discovery order. Together with [`Self::offsets`] this is the
+    /// arena's full serializable content (the checkpoint surface).
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The per-state start offsets into [`Self::payload`].
+    #[must_use]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Rebuild an arena from a serialized payload and offset table,
+    /// validating structure (monotone offsets inside the payload) and
+    /// content (every entry decodes under `codec`) — the deserialization
+    /// path for checkpoint restore, where the bytes are untrusted.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] when the offsets are inconsistent or any
+    /// entry fails to decode.
+    pub fn from_parts(
+        codec: StateCodec,
+        bytes: Vec<u8>,
+        offsets: Vec<usize>,
+    ) -> Result<Self, CodecError> {
+        if let Some(&first) = offsets.first() {
+            if first != 0 {
+                return Err(CodecError(format!("first arena offset is {first}, not 0")));
+            }
+        } else if !bytes.is_empty() {
+            return Err(CodecError("payload bytes without any offsets".into()));
+        }
+        for w in offsets.windows(2) {
+            if w[0] >= w[1] {
+                return Err(CodecError(format!(
+                    "arena offsets not strictly increasing ({} then {})",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if offsets.last().is_some_and(|&last| last >= bytes.len()) {
+            return Err(CodecError(format!(
+                "last arena offset {} outside payload of {} bytes",
+                offsets.last().copied().unwrap_or(0),
+                bytes.len()
+            )));
+        }
+        let arena = StateArena { codec, bytes, offsets };
+        let mut scratch = arena.codec.blank();
+        for id in 0..arena.len() {
+            arena
+                .codec
+                .decode_into(arena.bytes_of(id), &mut scratch)
+                .map_err(|e| CodecError(format!("arena entry {id}: {e}")))?;
+        }
+        Ok(arena)
+    }
+
+    /// Release capacity slack in the payload and offset table — the
+    /// model checker's degradation ladder calls this when the run
+    /// approaches its memory budget (Vec doubling leaves up to ~2× slack,
+    /// all of which [`Self::approx_heap_bytes`] counts).
+    pub fn shrink_to_fit(&mut self) {
+        self.bytes.shrink_to_fit();
+        self.offsets.shrink_to_fit();
+    }
+
+    /// Drop all states and release the backing allocations (the ladder's
+    /// treatment of transient side stores).
+    pub fn clear_and_release(&mut self) {
+        self.bytes = Vec::new();
+        self.offsets = Vec::new();
     }
 }
 

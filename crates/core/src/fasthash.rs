@@ -161,6 +161,9 @@ enum Bucket {
 #[derive(Clone, Debug, Default)]
 pub struct FpIndex {
     map: HashMap<u64, Bucket, IdentityBuildHasher>,
+    /// Total capacity (in `u32` slots) of all spilled collision vectors,
+    /// maintained incrementally so [`Self::approx_heap_bytes`] stays O(1).
+    spilled_slots: usize,
 }
 
 impl FpIndex {
@@ -173,7 +176,35 @@ impl FpIndex {
     /// An empty index with room for `cap` fingerprints.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        FpIndex { map: HashMap::with_capacity_and_hasher(cap, IdentityBuildHasher::default()) }
+        FpIndex {
+            map: HashMap::with_capacity_and_hasher(cap, IdentityBuildHasher::default()),
+            spilled_slots: 0,
+        }
+    }
+
+    /// Approximate resident footprint of the index: the hash table's
+    /// bucket array (key + bucket payload + control byte per slot of
+    /// capacity) plus every spilled collision vector. O(1) — the spill
+    /// total is maintained incrementally — so the model checker can fold
+    /// it into its per-merge memory-budget check.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>() + 1;
+        self.map.capacity() * slot + self.spilled_slots * std::mem::size_of::<u32>()
+    }
+
+    /// Release capacity slack: shrink the hash table and every spilled
+    /// collision vector to fit (the degradation ladder's shed step).
+    pub fn shrink_to_fit(&mut self) {
+        self.map.shrink_to_fit();
+        let mut spilled = 0;
+        for bucket in self.map.values_mut() {
+            if let Bucket::Many(ids) = bucket {
+                ids.shrink_to_fit();
+                spilled += ids.capacity();
+            }
+        }
+        self.spilled_slots = spilled;
     }
 
     /// Number of indexed slots.
@@ -224,14 +255,18 @@ impl FpIndex {
                             return Some(*id);
                         }
                         let existing = *id;
-                        *e.get_mut() = Bucket::Many(vec![existing, candidate]);
+                        let spilled = vec![existing, candidate];
+                        self.spilled_slots += spilled.capacity();
+                        *e.get_mut() = Bucket::Many(spilled);
                         None
                     }
                     Bucket::Many(ids) => {
                         if let Some(&hit) = ids.iter().find(|&&id| same(id)) {
                             return Some(hit);
                         }
+                        let before = ids.capacity();
                         ids.push(candidate);
+                        self.spilled_slots += ids.capacity() - before;
                         None
                     }
                 }

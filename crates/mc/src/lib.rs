@@ -14,7 +14,14 @@
 //! - deadlock (non-quiescent terminal state) detection;
 //! - optional pruning predicates, reproducing the paper's guided-search
 //!   workflow;
-//! - optional multi-threaded frontier expansion.
+//! - optional multi-threaded frontier expansion;
+//! - a resilience layer for long campaigns: periodic atomic
+//!   [`Checkpoint`]s with exact resume ([`ModelChecker::explore_resumed`]),
+//!   panic-isolated workers that quarantine poison states instead of
+//!   crashing, a wall-clock [`CheckOptions::time_budget`] watchdog, and a
+//!   graceful-degradation ladder under [`CheckOptions::mem_budget`]
+//!   pressure (shed → emergency checkpoint → truncate, every step
+//!   recorded in [`Report::sheds`]).
 //!
 //! For bounded device programs the model is finite-state, so exploration
 //! here is *exhaustive* — every reachable state is checked, which is the
@@ -45,11 +52,16 @@
 #![forbid(unsafe_code)]
 
 mod checker;
+mod checkpoint;
 mod property;
 mod report;
 
 pub use checker::{
     CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_MEM_BUDGET, NOT_EXPANDED,
+};
+pub use checkpoint::{
+    checkpoint_path, options_fingerprint, Checkpoint, CheckpointError, CheckpointPolicy,
+    CHECKPOINT_FILE,
 };
 pub use cxl_reduce::{
     DataSymmetry, PorMode, Reducer, Reduction, ReductionConfig, ReductionStats,
@@ -57,4 +69,7 @@ pub use cxl_reduce::{
 pub use property::{
     boolean_property, FnProperty, InvariantProperty, Property, PropertyOutcome, SwmrProperty,
 };
-pub use report::{Deadlock, ReductionSummary, Report, Step, Trace, Violation};
+pub use report::{
+    Deadlock, DegradationAction, DegradationStep, Quarantine, ReductionSummary, Report, Step,
+    Trace, Violation,
+};

@@ -92,6 +92,95 @@ pub struct Deadlock {
     pub trace: Trace,
 }
 
+/// A frontier state whose expansion panicked inside a supervised worker.
+///
+/// The checker catches the panic, records the poison state here (packed
+/// bytes plus a decoded dump, so the report is self-contained even if the
+/// decode path itself is what panicked), and keeps exploring: one bad
+/// successor degrades coverage accounting instead of aborting the run.
+/// A quarantined state stays [`crate::NOT_EXPANDED`], so its successors
+/// are *not* covered — [`Report::complete_coverage`] reports false.
+#[derive(Clone, Debug)]
+pub struct Quarantine {
+    /// Arena id (discovery order) of the state whose expansion panicked.
+    pub state: usize,
+    /// The state's packed encoding, as stored in the arena.
+    pub packed: Vec<u8>,
+    /// Decoded rendering of the state ("<undecodable>" if decoding is
+    /// itself the poison).
+    pub dump: String,
+    /// The panic payload, when it carried a message.
+    pub message: String,
+}
+
+impl fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state {} quarantined ({} packed bytes): {}",
+            self.state,
+            self.packed.len(),
+            self.message
+        )
+    }
+}
+
+/// One rung of the memory-pressure degradation ladder, recorded in
+/// [`Report::sheds`] in the order taken: shed capacity slack first, then
+/// emit an emergency checkpoint, and only then truncate the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradationAction {
+    /// Capacity slack was released (arena, dedup index, parent/successor
+    /// tables, scratch buffers); carries the bytes reclaimed.
+    ShedBuffers {
+        /// Footprint bytes freed by the shed.
+        reclaimed: usize,
+    },
+    /// An emergency checkpoint was written before the budget line.
+    EmergencyCheckpoint,
+    /// The hard budget was reached and the search truncated
+    /// ([`Report::truncated_by_memory`]).
+    Truncate,
+}
+
+/// A recorded degradation-ladder step: what was done, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradationStep {
+    /// The rung taken.
+    pub action: DegradationAction,
+    /// Stored states at the time.
+    pub at_states: usize,
+    /// Tracked footprint (arena + index + queues) in bytes *after* the
+    /// action.
+    pub footprint: usize,
+}
+
+impl fmt::Display for DegradationStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.action {
+            DegradationAction::ShedBuffers { reclaimed } => write!(
+                f,
+                "shed {:.1} KiB of buffer slack at {} states ({:.1} KiB resident)",
+                reclaimed as f64 / 1024.0,
+                self.at_states,
+                self.footprint as f64 / 1024.0
+            ),
+            DegradationAction::EmergencyCheckpoint => write!(
+                f,
+                "emergency checkpoint at {} states ({:.1} KiB resident)",
+                self.at_states,
+                self.footprint as f64 / 1024.0
+            ),
+            DegradationAction::Truncate => write!(
+                f,
+                "truncated at {} states ({:.1} KiB resident)",
+                self.at_states,
+                self.footprint as f64 / 1024.0
+            ),
+        }
+    }
+}
+
 /// What a state-space reduction did during one exploration (present only
 /// when [`crate::CheckOptions::reduction`] installed a reducer), with
 /// per-engine accounting: device symmetry, data symmetry, and POR each
@@ -163,6 +252,21 @@ pub struct Report {
     /// ([`crate::CheckOptions::mem_budget`]) — lets callers report "ran
     /// out of budget" distinctly from "hit `max_states`".
     pub truncated_by_memory: bool,
+    /// True if the bound that truncated the search was the wall-clock
+    /// budget ([`crate::CheckOptions::time_budget`]). Time-budget stops
+    /// land on a BFS level boundary, so when checkpointing is configured
+    /// the final checkpoint of a time-truncated run is exactly resumable.
+    pub truncated_by_time: bool,
+    /// Frontier states whose expansion panicked inside a supervised
+    /// worker, quarantined instead of aborting the run. Non-empty
+    /// quarantine means coverage is incomplete even when `truncated` is
+    /// false — see [`Self::complete_coverage`].
+    pub quarantined: Vec<Quarantine>,
+    /// Degradation-ladder steps taken under memory pressure, in order.
+    pub sheds: Vec<DegradationStep>,
+    /// When this report continues an interrupted exploration, the state
+    /// count the resumed session started from.
+    pub resumed_from: Option<usize>,
     /// Property violations (bounded by the checker's options).
     pub violations: Vec<Violation>,
     /// Non-quiescent terminal states.
@@ -196,6 +300,17 @@ impl Report {
         self.violations.is_empty() && self.deadlocks.is_empty()
     }
 
+    /// Did the exploration cover the whole reachable space? False when
+    /// the search truncated (states, depth, memory, or time bound) or
+    /// when any state was quarantined after a worker panic. A clean but
+    /// incomplete run proves nothing about the unexplored remainder —
+    /// callers gating on "verified clean" must check both
+    /// [`Self::clean`] and this.
+    #[must_use]
+    pub fn complete_coverage(&self) -> bool {
+        !self.truncated && self.quarantined.is_empty()
+    }
+
     /// Rules that never fired (given the full rule universe); useful for
     /// coverage audits.
     #[must_use]
@@ -224,13 +339,26 @@ impl fmt::Display for Report {
         )?;
         writeln!(
             f,
-            "violations: {}  deadlocks: {}  elapsed: {:?}  state store: {:.1} KiB{}",
+            "violations: {}  deadlocks: {}  elapsed: {:?}  state store: {:.1} KiB{}{}",
             self.violations.len(),
             self.deadlocks.len(),
             self.elapsed,
             self.memory_bytes as f64 / 1024.0,
-            if self.truncated_by_memory { " (memory budget exhausted)" } else { "" }
+            if self.truncated_by_memory { " (memory budget exhausted)" } else { "" },
+            if self.truncated_by_time { " (time budget exhausted)" } else { "" }
         )?;
+        if let Some(from) = self.resumed_from {
+            writeln!(f, "resumed from a checkpoint at {from} states")?;
+        }
+        if !self.quarantined.is_empty() {
+            writeln!(f, "quarantined: {} poison state(s)", self.quarantined.len())?;
+            for q in &self.quarantined {
+                writeln!(f, "  {q}")?;
+            }
+        }
+        for shed in &self.sheds {
+            writeln!(f, "degradation: {shed}")?;
+        }
         if let Some(red) = &self.reduction {
             writeln!(f, "reduction: {}", red.description)?;
             // The arrangement line also prints for a byte-trivial group

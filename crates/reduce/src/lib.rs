@@ -169,6 +169,15 @@ pub trait Reducer: Send + Sync + fmt::Debug {
     /// Snapshot of the accumulated counters.
     fn stats(&self) -> ReductionStats;
 
+    /// Restore previously accumulated counters — the checkpoint/resume
+    /// path re-arms a fresh reducer with the counters of the interrupted
+    /// session so a resumed run's report accounts for the whole
+    /// exploration. Only the per-run accumulators are restored;
+    /// configuration-derived fields (`group_order`, `data_symmetry`,
+    /// `por`) stay whatever this reducer was constructed with. The
+    /// default is a no-op for stateless reducers.
+    fn restore_stats(&self, _stats: ReductionStats) {}
+
     /// One-line description for reports, e.g.
     /// `symmetry(|G| = 6) + data-symmetry + por(wide)`.
     fn describe(&self) -> String;
@@ -553,6 +562,13 @@ impl Reducer for Reduction {
             data_symmetry: self.data.is_some(),
             por: self.por,
         }
+    }
+
+    fn restore_stats(&self, stats: ReductionStats) {
+        self.orbit_canonicalized.store(stats.orbit_canonicalized, Ordering::Relaxed);
+        self.value_canonicalized.store(stats.value_canonicalized, Ordering::Relaxed);
+        self.ample_local.store(stats.ample_local, Ordering::Relaxed);
+        self.ample_diamond.store(stats.ample_diamond, Ordering::Relaxed);
     }
 
     fn describe(&self) -> String {
