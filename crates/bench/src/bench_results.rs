@@ -47,6 +47,23 @@ pub struct ThroughputRow {
     /// where the platform does not expose it. Monotone across rows of
     /// one run — read it on the *last* row for the run's true peak.
     pub peak_rss_mb: f64,
+    /// Current-RSS growth (Linux `VmRSS` delta, MiB) across this row's
+    /// timed iterations — the per-row memory figure `peak_rss_mb` is
+    /// not: each row samples RSS before and after its own measurement,
+    /// so rows are comparable instead of all echoing the whole-process
+    /// high-water mark. Near zero for rows whose working set fits in
+    /// memory already touched by earlier rows; 0.0 where `/proc` is
+    /// unavailable.
+    pub rss_delta_mb: f64,
+    /// Dedup/store shards the row ran with (1 = the sequential driver's
+    /// single visited set).
+    pub shards: usize,
+    /// Successor messages routed through `shard_of(fingerprint, shards)` (0 for
+    /// unsharded rows).
+    pub routed_messages: u64,
+    /// How far the most loaded shard sat above a perfect split,
+    /// `(max − mean) / mean` in percent (0.0 for unsharded rows).
+    pub shard_imbalance_pct: f64,
     /// Which state-space reduction the row ran with: `none`, `symmetry`,
     /// `por`, or `symmetry+por`.
     pub reduction: String,
@@ -108,13 +125,30 @@ impl BenchSnapshot {
 /// where `/proc` is unavailable. Recorded into
 /// [`ThroughputRow::peak_rss_mb`] so memory claims in `PERFORMANCE.md`
 /// are backed by a measured number, not just the arena's own accounting.
+/// Whole-process and monotone — for a per-row figure use the
+/// [`current_rss_mb`] delta around the row's measurement
+/// ([`ThroughputRow::rss_delta_mb`]).
 #[must_use]
 pub fn peak_rss_mb() -> f64 {
+    proc_status_mb("VmHWM:")
+}
+
+/// The process's *current* resident set size (Linux `VmRSS`) in MiB, or
+/// 0.0 where `/proc` is unavailable. Sampled before and after a bench
+/// row's timed iterations, the difference is that row's own resident
+/// growth — the big arena allocations are mmap-backed and return to the
+/// OS when freed, so the delta tracks what the row actually held.
+#[must_use]
+pub fn current_rss_mb() -> f64 {
+    proc_status_mb("VmRSS:")
+}
+
+fn proc_status_mb(field: &str) -> f64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0.0;
     };
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
+        if let Some(rest) = line.strip_prefix(field) {
             let kb: f64 = rest
                 .trim()
                 .trim_end_matches("kB")
@@ -159,6 +193,10 @@ mod tests {
                     bytes_per_state: 30.0,
                     baseline_bytes_per_state: 600.0,
                     peak_rss_mb: 1.0,
+                    rss_delta_mb: 0.5,
+                    shards: 1,
+                    routed_messages: 0,
+                    shard_imbalance_pct: 0.0,
                     reduction: "none".into(),
                     states_explored_unreduced: 10,
                 },
@@ -175,6 +213,10 @@ mod tests {
                     bytes_per_state: 30.0,
                     baseline_bytes_per_state: 600.0,
                     peak_rss_mb: 1.0,
+                    rss_delta_mb: 0.5,
+                    shards: 1,
+                    routed_messages: 0,
+                    shard_imbalance_pct: 0.0,
                     reduction: "none".into(),
                     states_explored_unreduced: 10,
                 },

@@ -10,8 +10,8 @@
 //! cargo run -p cxl-bench --bin explore -- --p1 S42,E --p2 L,L \
 //!     [--devices N] [--p3 … --p8 …] \
 //!     [--relax snoop-pushes-go|go-tailgate|one-snoop|naive-tracking] \
-//!     [--full] [--trace] [--threads N] [--firings] [--expect-clean] \
-//!     [--mem-budget-mb N] [--time-budget-ms N] \
+//!     [--full] [--trace] [--threads N] [--shards auto|N] [--firings] \
+//!     [--expect-clean] [--mem-budget-mb N] [--time-budget-ms N] \
 //!     [--checkpoint-dir DIR] [--checkpoint-every-ms N] [--resume] \
 //!     [--symmetry auto|off] [--data-symmetry auto|off] [--por on|wide|off]
 //! ```
@@ -62,6 +62,15 @@
 //! `--devices` defaults to 2, or to the highest `--p<i>` given; devices
 //! without a program idle (an idle third device is exactly the paper's
 //! scenarios embedded in a wider topology).
+//!
+//! `--shards auto` (the default) partitions the visited set into one
+//! fingerprint-routed, worker-owned shard per thread — dedup and
+//! insertion run lock-free inside the owning shard, with results
+//! bit-identical to a single-threaded run. `--shards N` forces a shard
+//! count (N > 1 engages the sharded driver even at `--threads 1`, which
+//! is how CI exercises the routed layout deterministically on one
+//! core). The report prints the shard count, routed message total, and
+//! load imbalance when more than one shard ran.
 
 use cxl_core::instr::Instruction;
 use cxl_core::{
@@ -171,6 +180,16 @@ fn main() {
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             });
+        // `auto` (the default) = one shard per thread, resolved inside
+        // the checker; an explicit count pins the routed layout.
+        let shards = match arg_value(&args, "--shards").as_deref() {
+            None | Some("auto") => None,
+            Some(n) => Some(
+                n.parse::<usize>()
+                    .map_err(|e| format!("bad --shards {n:?} (auto or a count): {e}"))?
+                    .max(1),
+            ),
+        };
 
         let init =
             SystemState::initial_n(devices, programs.into_iter().map(Into::into).collect());
@@ -239,6 +258,7 @@ fn main() {
         let invariant = InvariantProperty::new(Invariant::for_devices(&cfg, devices));
         let opts = cxl_mc::CheckOptions {
             threads,
+            shards,
             mem_budget,
             time_budget,
             checkpoint,

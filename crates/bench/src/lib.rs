@@ -26,7 +26,7 @@
 
 pub mod bench_results;
 
-pub use bench_results::{peak_rss_mb, BenchSnapshot, ThroughputRow};
+pub use bench_results::{current_rss_mb, peak_rss_mb, BenchSnapshot, ThroughputRow};
 
 use cxl_core::{Granularity, Invariant, ProtocolConfig, Relaxation, Ruleset, SystemState};
 use cxl_litmus::{relax, suite, tables};

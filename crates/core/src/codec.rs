@@ -978,6 +978,19 @@ impl StateArena {
         self.bytes.capacity() + self.offsets.capacity() * std::mem::size_of::<usize>()
     }
 
+    /// An empty arena with room for `states` states totalling `bytes`
+    /// packed bytes — bulk-copy paths (the sharded driver's final
+    /// merge) size the allocation exactly instead of growing through
+    /// doubling.
+    #[must_use]
+    pub fn with_capacity(codec: StateCodec, states: usize, bytes: usize) -> Self {
+        StateArena {
+            codec,
+            bytes: Vec::with_capacity(bytes),
+            offsets: Vec::with_capacity(states),
+        }
+    }
+
     /// Encode and append a state, returning its id.
     pub fn push_state(&mut self, state: &SystemState) -> usize {
         let id = self.offsets.len();

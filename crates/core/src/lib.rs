@@ -114,9 +114,9 @@ pub mod state;
 pub use builder::StateBuilder;
 pub use cacheline::{DCache, DState, HCache, HState};
 pub use channel::Channel;
-pub use codec::{CodecError, StateArena, StateCodec};
+pub use codec::{heap_state_bytes, CodecError, StateArena, StateCodec};
 pub use config::{ProtocolConfig, Relaxation};
-pub use fasthash::{FpIndex, FxBuildHasher, FxHasher};
+pub use fasthash::{shard_of, FpIndex, FxBuildHasher, FxHasher};
 pub use ids::{DeviceId, Tid, Topology, Val};
 pub use instr::{Instruction, Program};
 pub use invariant::{swmr, Conjunct, Family, Granularity, Invariant};

@@ -14,7 +14,14 @@
 //! - deadlock (non-quiescent terminal state) detection;
 //! - optional pruning predicates, reproducing the paper's guided-search
 //!   workflow;
-//! - optional multi-threaded frontier expansion;
+//! - shard-owned parallel exploration ([`CheckOptions::shards`]): the
+//!   fingerprint space is partitioned across workers, each owning a
+//!   private dedup index and arena segment, with successors routed as
+//!   packed-bytes messages by [`cxl_core::shard_of`] — no shared
+//!   visited set, bit-identical results to the sequential driver;
+//! - a decoded-frontier ring ([`CheckOptions::frontier_ring`]) that
+//!   keeps the current BFS level decoded, trading bounded memory for
+//!   skipped per-expansion decodes;
 //! - a resilience layer for long campaigns: periodic atomic
 //!   [`Checkpoint`]s with exact resume ([`ModelChecker::explore_resumed`]),
 //!   panic-isolated workers that quarantine poison states instead of
@@ -57,7 +64,8 @@ mod property;
 mod report;
 
 pub use checker::{
-    CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_MEM_BUDGET, NOT_EXPANDED,
+    CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_FRONTIER_RING, DEFAULT_MEM_BUDGET,
+    NOT_EXPANDED,
 };
 pub use checkpoint::{
     checkpoint_path, options_fingerprint, Checkpoint, CheckpointError, CheckpointPolicy,

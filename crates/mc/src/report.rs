@@ -290,6 +290,17 @@ pub struct Report {
     /// not raw states, and violation traces are in canonical coordinates
     /// (de-permute via `cxl-litmus`'s replay module).
     pub reduction: Option<ReductionSummary>,
+    /// Number of dedup/store shards the driver ran with: 1 for the
+    /// sequential driver, the effective shard count for the sharded
+    /// driver ([`crate::CheckOptions::shards`]).
+    pub shards: usize,
+    /// Successor messages routed to owner shards by fingerprint — one
+    /// per examined transition under the sharded driver, 0 otherwise.
+    pub routed_messages: u64,
+    /// Shard load imbalance: `(max − mean) / mean × 100` over per-shard
+    /// stored-state counts. 0 means perfectly even ownership; the routing
+    /// hash keeps this low for any non-adversarial state space.
+    pub shard_imbalance_pct: f64,
 }
 
 impl Report {
@@ -347,6 +358,13 @@ impl fmt::Display for Report {
             if self.truncated_by_memory { " (memory budget exhausted)" } else { "" },
             if self.truncated_by_time { " (time budget exhausted)" } else { "" }
         )?;
+        if self.shards > 1 {
+            writeln!(
+                f,
+                "shards: {}  routed messages: {}  imbalance: {:.1}%",
+                self.shards, self.routed_messages, self.shard_imbalance_pct
+            )?;
+        }
         if let Some(from) = self.resumed_from {
             writeln!(f, "resumed from a checkpoint at {from} states")?;
         }
