@@ -34,6 +34,18 @@
 //! `rss_delta_mb` (current-RSS growth sampled around each row's own
 //! timed iterations, so per-row memory is comparable) — so the
 //! throughput *and* memory trajectories can be tracked across PRs.
+//!
+//! The beyond-RAM store rows: `delta_n4` re-runs the N = 4 workload with
+//! parent-delta encoding armed (keyframe every 16 ancestors) and records
+//! `delta_ratio` — stored payload over the full-encoding payload a plain
+//! arena would hold; `spill_n4` adds cold-extent spill at a zero
+//! resident watermark and records `spilled_extents` / `faulted_extents`.
+//! Both must reproduce `optimized_n4`'s states and transitions exactly.
+//! The bench also opens with a footprint sanity check: the
+//! self-accounted `Report::memory_bytes` of the first large exploration
+//! must sit within generous factors of the measured current-RSS growth,
+//! so the accounting behind the degradation ladder can't silently drift
+//! from what the OS bills.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cxl_bench::{baseline_state_bytes, current_rss_mb, peak_rss_mb, BenchSnapshot, ThroughputRow};
@@ -148,6 +160,37 @@ fn noring_checker_n3() -> ModelChecker {
     )
 }
 
+/// The `delta_n4` row's checker: the N = 4 workload with parent-delta
+/// encoding armed (keyframe every 16 ancestors), spill off — what delta
+/// compression alone does to `bytes_per_state` and to wall time.
+fn delta_checker_n4() -> ModelChecker {
+    ModelChecker::with_options(
+        Ruleset::with_devices(ProtocolConfig::strict(), 4),
+        CheckOptions { delta_keyframe: 16, ..CheckOptions::default() },
+    )
+}
+
+/// The `spill_n4` row's checker: delta encoding plus cold-extent spill
+/// into `dir` with a zero resident-payload watermark, so every completed
+/// level below the frontier's decode floor is sealed to disk — the
+/// beyond-RAM configuration at its most aggressive.
+fn spill_checker_n4(dir: &std::path::Path) -> ModelChecker {
+    ModelChecker::with_options(
+        Ruleset::with_devices(ProtocolConfig::strict(), 4),
+        CheckOptions {
+            delta_keyframe: 16,
+            spill_dir: Some(dir.to_path_buf()),
+            spill_budget: Some(0),
+            ..CheckOptions::default()
+        },
+    )
+}
+
+/// A per-process scratch directory for the spill rows' extent files.
+fn spill_scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cxl-bench-spill-{}", std::process::id()))
+}
+
 fn par_threads() -> usize {
     std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8)
 }
@@ -207,6 +250,18 @@ fn interleaved_best(
 /// The shard columns of a row that ran the unsharded driver.
 const UNSHARDED: (usize, u64, f64) = (1, 0, 0.0);
 
+/// The store columns (`delta_ratio`, `spilled_extents`, `faulted_extents`)
+/// of a row that ran with the plain full-encoding arena.
+const PLAIN_STORE: (f64, u64, u64) = (1.0, 0, 0);
+
+/// The store columns of one delta/spill exploration: payload compression
+/// ratio (resident + sealed bytes over the full-encoding payload), plus
+/// the extent seal and fault-in counters from the report.
+fn store_columns(exp: &Exploration) -> (f64, u64, u64) {
+    let ratio = exp.arena.byte_len() as f64 / exp.arena.full_payload_bytes().max(1) as f64;
+    (ratio, exp.report.spilled_extents, exp.report.faulted_extents)
+}
+
 /// The memory columns of one workload: packed bytes/state from the
 /// exploration arena, and the mean heap-representation baseline over the
 /// same (decoded) states.
@@ -230,6 +285,7 @@ fn snapshot_row(
     shard: (usize, u64, f64),
     reduction: &str,
     states_explored_unreduced: usize,
+    store: (f64, u64, u64),
 ) -> ThroughputRow {
     let secs = best.as_secs_f64();
     let states_per_sec = if secs > 0.0 { states as f64 / secs } else { 0.0 };
@@ -252,6 +308,9 @@ fn snapshot_row(
         shard_imbalance_pct: shard.2,
         reduction: reduction.to_string(),
         states_explored_unreduced,
+        delta_ratio: store.0,
+        spilled_extents: store.1,
+        faulted_extents: store.2,
     }
 }
 
@@ -267,6 +326,36 @@ fn bench(c: &mut Criterion) {
     );
     let opt3 = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 3));
     let opt4 = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 4));
+
+    // Footprint sanity: the self-accounting behind `Report::memory_bytes`
+    // (arena payload + offset/base tables + dedup index + parent and
+    // successor-count columns) must be corroborated by the OS. Measured
+    // on the process's *first* large exploration, where current-RSS
+    // growth still tracks the allocation — later runs reuse allocator
+    // pages and read near zero, which is why this lives up here and not
+    // in the snapshot loop. The factors are generous (allocator slack,
+    // transient scratch), but a return to the old under-accounting —
+    // offset-table and parents/succ_counts capacity uncounted — trips
+    // the floor.
+    {
+        let rss_before = current_rss_mb();
+        let first = opt4.explore(&init4, &[]);
+        let rss_growth = current_rss_mb() - rss_before;
+        let footprint_mb = first.report.memory_bytes as f64 / (1024.0 * 1024.0);
+        assert!(footprint_mb > 0.0, "self-accounted search footprint must be positive");
+        if rss_growth > 4.0 {
+            assert!(
+                footprint_mb >= rss_growth / 8.0,
+                "search footprint ({footprint_mb:.1} MiB) under-accounts measured \
+                 RSS growth ({rss_growth:.1} MiB)"
+            );
+            assert!(
+                footprint_mb <= rss_growth * 4.0 + 32.0,
+                "search footprint ({footprint_mb:.1} MiB) wildly exceeds measured \
+                 RSS growth ({rss_growth:.1} MiB)"
+            );
+        }
+    }
 
     // Pre-measure the space so Criterion throughput is per-state.
     let states = opt.check(&init, &[]).states as u64;
@@ -288,6 +377,16 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_with_input(BenchmarkId::new("optimized_n4", WORKLOAD_N4), &init4, |b, init| {
         b.iter(|| black_box(opt4.check(init, &[])));
+    });
+    g.bench_with_input(BenchmarkId::new("delta_n4", WORKLOAD_N4), &init4, |b, init| {
+        let delta4 = delta_checker_n4();
+        b.iter(|| black_box(delta4.check(init, &[])));
+    });
+    g.bench_with_input(BenchmarkId::new("spill_n4", WORKLOAD_N4), &init4, |b, init| {
+        let dir = spill_scratch_dir();
+        let spill4 = spill_checker_n4(&dir);
+        b.iter(|| black_box(spill4.check(init, &[])));
+        let _ = std::fs::remove_dir_all(&dir);
     });
     g.bench_with_input(BenchmarkId::new("checkpoint_n3", WORKLOAD_N3), &init3, |b, init| {
         let ckpt3 = checkpointed_checker_n3();
@@ -354,6 +453,31 @@ fn bench(c: &mut Criterion) {
         let r = opt4.check(&init4, &[]);
         (r.states, r.transitions)
     });
+    // The beyond-RAM store rows. `delta_n4` arms parent-delta encoding
+    // alone; `spill_n4` adds cold-extent spill at a zero watermark (every
+    // completed level below the frontier's decode floor goes to disk).
+    // Memory and store columns come from one explore each — they are
+    // deterministic properties of the space and options, not of timing.
+    let delta4 = delta_checker_n4();
+    let (mem_delta4, delta_store) = {
+        let exp = delta4.explore(&init4, &[]);
+        (memory_columns(&exp), store_columns(&exp))
+    };
+    let (e_states, e_trans, e_best, e_rss) = best_of(iters, || {
+        let r = delta4.check(&init4, &[]);
+        (r.states, r.transitions)
+    });
+    let spill_scratch = spill_scratch_dir();
+    let spill4 = spill_checker_n4(&spill_scratch);
+    let (mem_spill4, spill_store) = {
+        let exp = spill4.explore(&init4, &[]);
+        (memory_columns(&exp), store_columns(&exp))
+    };
+    let (z_states, z_trans, z_best, z_rss) = best_of(iters, || {
+        let r = spill4.check(&init4, &[]);
+        (r.states, r.transitions)
+    });
+    let _ = std::fs::remove_dir_all(&spill_scratch);
     let ckpt3 = checkpointed_checker_n3();
     let (c_states, c_trans, c_best, c_rss) = best_of(iters, || {
         let r = ckpt3.check(&init3, &[]);
@@ -390,6 +514,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             m_states,
+            PLAIN_STORE,
         )
     });
     // The shard-owned driver's row (see sharded_checker): routed-message
@@ -420,6 +545,32 @@ fn bench(c: &mut Criterion) {
     );
     assert!(t_states > n_states, "the 3-device space must dwarf the 2-device one");
     assert!(q_states > t_states, "the 4-device space must dwarf the 3-device one");
+    assert_eq!(
+        (q_states, q_trans),
+        (e_states, e_trans),
+        "delta encoding must not perturb the search"
+    );
+    assert_eq!(
+        (q_states, q_trans),
+        (z_states, z_trans),
+        "cold-extent spill must not perturb the search"
+    );
+    assert!(
+        delta_store.0 < 0.75 && mem_delta4.0 < mem4.0,
+        "parent-delta must compress the stored N=4 payload \
+         (ratio {:.3}, delta {:.1} B/state vs plain {:.1})",
+        delta_store.0,
+        mem_delta4.0,
+        mem4.0,
+    );
+    assert!(spill_store.1 > 0, "the zero-watermark spill row must seal extents");
+    assert!(
+        mem_spill4.0 * 2.0 <= mem4.0,
+        "delta + spill must at least halve the resident N=4 bytes/state \
+         (spill {:.1} vs plain {:.1})",
+        mem_spill4.0,
+        mem4.0,
+    );
 
     // Reduced-mode rows: symmetric strict grids at N = 2..4, symmetry
     // canonicalization on, verdictwise identical to the unreduced sweep.
@@ -453,6 +604,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "symmetry",
             unreduced.report.states,
+            PLAIN_STORE,
         ));
     }
 
@@ -495,6 +647,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "data-symmetry",
             unreduced.report.states,
+            PLAIN_STORE,
         ));
 
         let sym3 = workload_sym(3);
@@ -528,11 +681,12 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "symmetry+por(wide)",
             unreduced_sym.report.states,
+            PLAIN_STORE,
         ));
     }
 
     let mut rows = vec![
-        snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best, mem2, n_rss, UNSHARDED, "none", n_states),
+        snapshot_row("naive", WORKLOAD, 2, 1, n_states, n_trans, n_best, mem2, n_rss, UNSHARDED, "none", n_states, PLAIN_STORE),
         snapshot_row(
             "optimized",
             WORKLOAD,
@@ -546,6 +700,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             o_states,
+            PLAIN_STORE,
         ),
         snapshot_row(
             "optimized_par",
@@ -560,6 +715,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             p_states,
+            PLAIN_STORE,
         ),
         snapshot_row(
             "optimized_n3",
@@ -574,6 +730,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             t_states,
+            PLAIN_STORE,
         ),
         snapshot_row(
             "optimized_n4",
@@ -588,6 +745,37 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             q_states,
+            PLAIN_STORE,
+        ),
+        snapshot_row(
+            "delta_n4",
+            WORKLOAD_N4,
+            4,
+            1,
+            e_states,
+            e_trans,
+            e_best,
+            mem_delta4,
+            e_rss,
+            UNSHARDED,
+            "none",
+            e_states,
+            delta_store,
+        ),
+        snapshot_row(
+            "spill_n4",
+            WORKLOAD_N4,
+            4,
+            1,
+            z_states,
+            z_trans,
+            z_best,
+            mem_spill4,
+            z_rss,
+            UNSHARDED,
+            "none",
+            z_states,
+            spill_store,
         ),
         snapshot_row(
             "checkpoint_n3",
@@ -602,6 +790,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             c_states,
+            PLAIN_STORE,
         ),
         snapshot_row(
             "sharded_mt",
@@ -616,6 +805,7 @@ fn bench(c: &mut Criterion) {
             shard_cols,
             "none",
             s_states,
+            PLAIN_STORE,
         ),
         snapshot_row(
             "noring_n3",
@@ -630,6 +820,7 @@ fn bench(c: &mut Criterion) {
             UNSHARDED,
             "none",
             x_states,
+            PLAIN_STORE,
         ),
     ];
     rows.extend(mt_row);
@@ -663,7 +854,12 @@ fn bench(c: &mut Criterion) {
              StateArena payload, baseline_bytes_per_state the heap \
              Arc<SystemState> estimate it replaced; peak_rss_mb is process VmHWM \
              at row-record time (monotone within a run), rss_delta_mb the \
-             per-row VmRSS growth across that row's own timed iterations",
+             per-row VmRSS growth across that row's own timed iterations; \
+             delta_n4 re-runs the optimized_n4 workload with parent-delta \
+             encoding (keyframe 16) — delta_ratio is its stored payload over \
+             the full-encoding payload — and spill_n4 adds cold-extent spill \
+             at a zero resident watermark, recording spilled_extents and \
+             faulted_extents (plain rows carry 1.0 / 0 / 0)",
             par_threads(),
             mt_threads()
         ),
@@ -752,6 +948,16 @@ fn bench(c: &mut Criterion) {
                 row.states_explored_unreduced,
                 row.states_explored_unreduced as f64 / row.states.max(1) as f64,
                 row.reduction,
+            );
+        }
+        if row.delta_ratio < 1.0 || row.spilled_extents > 0 {
+            println!(
+                "store [{} N={}]: delta ratio {:.3}, {} extents sealed, {} faulted",
+                row.pipeline,
+                row.devices,
+                row.delta_ratio,
+                row.spilled_extents,
+                row.faulted_extents,
             );
         }
     }

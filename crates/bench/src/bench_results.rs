@@ -71,6 +71,18 @@ pub struct ThroughputRow {
     /// `states` on unreduced rows) — `states / states_explored_unreduced`
     /// is the measured reduction ratio the ROADMAP tracks.
     pub states_explored_unreduced: usize,
+    /// Stored payload bytes (resident plus sealed extents) divided by
+    /// the full-encoding payload a plain arena would hold for the same
+    /// states — the parent-delta store's compression ratio. 1.0 on rows
+    /// that ran without delta encoding.
+    pub delta_ratio: f64,
+    /// Cold extents sealed to the spill directory during the measured
+    /// exploration (0 on rows that ran without `--spill-dir`).
+    pub spilled_extents: u64,
+    /// Extent fault-ins served while decoding spilled states — cache
+    /// misses, not total cold accesses (0 on rows without spill; 0 on
+    /// spill rows too when the decode floor kept every fault away).
+    pub faulted_extents: u64,
 }
 
 /// A named collection of measurements plus derived ratios.
@@ -199,6 +211,9 @@ mod tests {
                     shard_imbalance_pct: 0.0,
                     reduction: "none".into(),
                     states_explored_unreduced: 10,
+                    delta_ratio: 1.0,
+                    spilled_extents: 0,
+                    faulted_extents: 0,
                 },
                 ThroughputRow {
                     pipeline: "optimized".into(),
@@ -219,6 +234,9 @@ mod tests {
                     shard_imbalance_pct: 0.0,
                     reduction: "none".into(),
                     states_explored_unreduced: 10,
+                    delta_ratio: 1.0,
+                    spilled_extents: 0,
+                    faulted_extents: 0,
                 },
             ],
         );

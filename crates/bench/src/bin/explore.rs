@@ -13,6 +13,7 @@
 //!     [--full] [--trace] [--threads N] [--shards auto|N] [--firings] \
 //!     [--expect-clean] [--mem-budget-mb N] [--time-budget-ms N] \
 //!     [--checkpoint-dir DIR] [--checkpoint-every-ms N] [--resume] \
+//!     [--delta-keyframe K] [--spill-dir DIR] [--spill-budget-mb N] \
 //!     [--symmetry auto|off] [--data-symmetry auto|off] [--por on|wide|off]
 //! ```
 //!
@@ -58,6 +59,18 @@
 //! N = 4 sweep with long programs, say) outgrows the budget, exploration
 //! stops with a clean truncation report — partial coverage statistics and
 //! an explicit "memory budget exhausted" note — instead of OOMing.
+//!
+//! `--delta-keyframe K` stores most states as parent-deltas (only the
+//! device segments that changed), with a full keyframe at least every K
+//! ancestors to bound decode chains; K = 16 is a good default, 0 (the
+//! default) disables delta encoding. `--spill-dir DIR` lets completed
+//! BFS levels be sealed into checksummed extent files under DIR and
+//! dropped from RAM, faulting back in only when an old state is decoded
+//! (traces, dumps, checkpoints); `--spill-budget-mb N` sets the resident
+//! payload watermark that triggers a proactive spill (default 32 MiB,
+//! 0 spills every completed level). Together they let a grid that would
+//! truncate under `--mem-budget-mb` run to completion with the same
+//! verdict, states, and traces, bit for bit.
 //!
 //! `--devices` defaults to 2, or to the highest `--p<i>` given; devices
 //! without a program idle (an idle third device is exactly the paper's
@@ -225,6 +238,18 @@ fn main() {
         if resume && checkpoint.is_none() {
             return Err("--resume requires --checkpoint-dir".to_string().into());
         }
+        let delta_keyframe = arg_value(&args, "--delta-keyframe")
+            .map(|v| v.parse::<u32>().map_err(|e| format!("bad --delta-keyframe: {e}")))
+            .transpose()?
+            .unwrap_or(0);
+        let spill_dir = arg_value(&args, "--spill-dir").map(std::path::PathBuf::from);
+        let spill_budget = arg_value(&args, "--spill-budget-mb")
+            .map(|v| v.parse::<usize>().map_err(|e| format!("bad --spill-budget-mb: {e}")))
+            .transpose()?
+            .map(|mb| mb * 1024 * 1024);
+        if spill_budget.is_some() && spill_dir.is_none() {
+            return Err("--spill-budget-mb requires --spill-dir".to_string().into());
+        }
 
         let symmetry = match arg_value(&args, "--symmetry").as_deref() {
             None | Some("auto") => true,
@@ -262,6 +287,9 @@ fn main() {
             mem_budget,
             time_budget,
             checkpoint,
+            delta_keyframe,
+            spill_dir,
+            spill_budget,
             reduction: active
                 .then(|| std::sync::Arc::clone(&reduction) as std::sync::Arc<dyn cxl_mc::Reducer>),
             ..cxl_mc::CheckOptions::default()

@@ -633,6 +633,141 @@ impl StateCodec {
         h.write_usize(bytes.len());
         h.finish()
     }
+
+    /// Parse one encoded state into its delta-relevant spans: the counter
+    /// value, the start of the host-cache span (whose end is `bounds[0]`),
+    /// and the per-device segment bounds — the shared parsing half of
+    /// [`Self::encode_delta`] / [`Self::decode_delta`].
+    fn delta_segments(
+        &self,
+        bytes: &[u8],
+        bounds: &mut [usize; Topology::MAX_DEVICES + 1],
+    ) -> DecodeResult<(u64, usize)> {
+        let mut r = Reader::new(bytes);
+        let counter = r.varint()?;
+        let host_start = r.pos;
+        hstate_from(r.byte()?)?;
+        r.signed()?;
+        bounds[0] = r.pos;
+        for i in 0..self.topology.device_count() {
+            skip_device(&mut r)?;
+            bounds[i + 1] = r.pos;
+        }
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete state",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok((counter, host_start))
+    }
+
+    /// Append a **parent-delta encoding** of `child` against `parent`
+    /// (both full encodings under this codec) to `out`.
+    ///
+    /// A BFS successor differs from its parent in the global counter and
+    /// a handful of device segments, so the delta form stores only what
+    /// changed: a varint segment bitmap (bit 0 the host-cache span, bit
+    /// `i + 1` device `i`'s segment, per [`Self::device_segment_bounds`]),
+    /// the zigzag-varint counter difference, then each changed segment as
+    /// a length-prefixed raw byte range. Unchanged segments are never
+    /// written — [`Self::decode_delta`] copies them from the parent, so
+    /// the round trip `decode_delta(parent, encode_delta(parent, child))`
+    /// reproduces `child` **byte for byte** (varints are canonical, and
+    /// every emitted span is raw child bytes). The delta is *not*
+    /// guaranteed smaller than `child`; callers compare lengths and fall
+    /// back to the full encoding when it isn't.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] when either input is malformed.
+    pub fn encode_delta(
+        &self,
+        parent: &[u8],
+        child: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let n = self.topology.device_count();
+        let mut pb = [0usize; Topology::MAX_DEVICES + 1];
+        let mut cb = [0usize; Topology::MAX_DEVICES + 1];
+        let (p_counter, p_host) = self.delta_segments(parent, &mut pb)?;
+        let (c_counter, c_host) = self.delta_segments(child, &mut cb)?;
+        let mut bitmap = 0u64;
+        if parent[p_host..pb[0]] != child[c_host..cb[0]] {
+            bitmap |= 1;
+        }
+        for i in 0..n {
+            if parent[pb[i]..pb[i + 1]] != child[cb[i]..cb[i + 1]] {
+                bitmap |= 1 << (i + 1);
+            }
+        }
+        put_varint(out, bitmap);
+        put_signed(out, c_counter.wrapping_sub(p_counter) as i64);
+        if bitmap & 1 != 0 {
+            put_varint(out, (cb[0] - c_host) as u64);
+            out.extend_from_slice(&child[c_host..cb[0]]);
+        }
+        for i in 0..n {
+            if bitmap & (1 << (i + 1)) != 0 {
+                put_varint(out, (cb[i + 1] - cb[i]) as u64);
+                out.extend_from_slice(&child[cb[i]..cb[i + 1]]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstruct the full child encoding from its parent's full
+    /// encoding and a delta produced by [`Self::encode_delta`], appending
+    /// it to `out`. Exact and deterministic: unchanged segments are
+    /// copied from `parent`, changed ones from the delta, and the counter
+    /// is re-encoded through the same canonical varint writer the full
+    /// encoder uses — so the output is byte-identical to the original
+    /// child encoding (the property the dedup index and fingerprints
+    /// depend on).
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] when `parent` is malformed or `delta` is
+    /// truncated, has trailing bytes, or names segments beyond the
+    /// topology.
+    pub fn decode_delta(
+        &self,
+        parent: &[u8],
+        delta: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let n = self.topology.device_count();
+        let mut pb = [0usize; Topology::MAX_DEVICES + 1];
+        let (p_counter, p_host) = self.delta_segments(parent, &mut pb)?;
+        let mut r = Reader::new(delta);
+        let bitmap = r.varint()?;
+        if n < 63 && bitmap >> (n + 1) != 0 {
+            return Err(CodecError(format!(
+                "delta bitmap {bitmap:#x} names segments beyond {n} devices"
+            )));
+        }
+        let diff = r.signed()?;
+        put_varint(out, p_counter.wrapping_add(diff as u64));
+        if bitmap & 1 != 0 {
+            let len = r.varint()? as usize;
+            out.extend_from_slice(r.take(len)?);
+        } else {
+            out.extend_from_slice(&parent[p_host..pb[0]]);
+        }
+        for i in 0..n {
+            if bitmap & (1 << (i + 1)) != 0 {
+                let len = r.varint()? as usize;
+                out.extend_from_slice(r.take(len)?);
+            } else {
+                out.extend_from_slice(&parent[pb[i]..pb[i + 1]]);
+            }
+        }
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete delta",
+                delta.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
 }
 
 fn encode_device(dev: &DeviceState, out: &mut Vec<u8>) {
@@ -921,6 +1056,62 @@ fn decode_device(r: &mut Reader<'_>, dev: &mut DeviceState) -> DecodeResult<()> 
 // The packed arena.
 // ---------------------------------------------------------------------
 
+/// Base-slot sentinel: the entry is stored as a full encoding (a
+/// keyframe), not a delta against another entry.
+const NO_BASE: u32 = u32::MAX;
+
+/// How many sealed cold extents a spilling arena keeps faulted-in at
+/// once (most recently used first). Traces, quarantine dumps, and stale
+/// dedup probes touch old ids rarely and with locality; expansion never
+/// does — a handful of pinned extents absorbs the traffic.
+const EXTENT_CACHE_CAP: usize = 4;
+
+/// Magic prefix of a spill extent file.
+const EXTENT_MAGIC: &[u8; 8] = b"CXLEXT01";
+
+/// One sealed, immutable extent of a spilling arena: a prefix-contiguous
+/// run of entries whose payload bytes now live in a checksummed file
+/// instead of RAM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Extent {
+    start_entry: usize,
+    end_entry: usize,
+    /// Logical payload range the file covers (offsets are logical: they
+    /// keep counting across spills).
+    start_byte: usize,
+    end_byte: usize,
+    path: std::path::PathBuf,
+}
+
+/// The disk half of a spilling arena: where extents go and which ones
+/// exist. `spilled_bytes`/`spilled_entries` mark the logical prefix no
+/// longer resident — the resident buffer holds logical bytes
+/// `spilled_bytes..`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SpillState {
+    dir: std::path::PathBuf,
+    tag: String,
+    extents: Vec<Extent>,
+    spilled_bytes: usize,
+    spilled_entries: usize,
+}
+
+/// Reusable decode-side buffers of one arena: the ping-pong pair and
+/// chain list for delta materialization, one buffer for cold delta
+/// bytes, the encode-side delta attempt buffer, and the pinned-extent
+/// fault-in cache (MRU first). Interior-mutable so `&self` decode paths
+/// can materialize; never shared across threads (the arena moves
+/// wholesale between owners, it is not `Sync`).
+#[derive(Clone, Debug, Default)]
+struct ArenaScratch {
+    bufs: [Vec<u8>; 2],
+    chain: Vec<u32>,
+    cold: Vec<u8>,
+    delta: Vec<u8>,
+    cache: Vec<(usize, Vec<u8>)>,
+    faults: u64,
+}
+
 /// The canonical state store of an exploration: encoded states laid
 /// end-to-end in one contiguous byte buffer, with an offset table mapping
 /// a discovery-order id to its byte range. Append-only; decode on demand.
@@ -929,20 +1120,107 @@ fn decode_device(r: &mut Reader<'_>, dev: &mut DeviceState) -> DecodeResult<()> 
 /// stores a reached state in tens of *bytes* instead of hundreds (plus
 /// heap blocks and an `Arc` header) — the decomposition that lets N ≥ 3
 /// sweeps be bounded by time rather than memory.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Two opt-in layers push the store further below RAM (both off by
+/// default, leaving the plain arena byte-identical to its historical
+/// behaviour):
+///
+/// - **Parent-delta encoding** ([`Self::enable_delta`]): entries may be
+///   stored as [`StateCodec::encode_delta`] forms against an earlier
+///   entry of the *same* arena, with full-encoding keyframes every K
+///   ancestors bounding every decode chain. Materialization is exact —
+///   [`Self::append_full_bytes`] reproduces the original full encoding
+///   byte for byte — so fingerprint dedup, trace replay, checkpointing,
+///   and byte-level canonicalization (which always runs on full bytes
+///   *before* storage) are unaffected.
+/// - **Cold-extent spill** ([`Self::enable_spill`]): a cold prefix of
+///   entries can be sealed into an immutable, checksummed extent file
+///   (write-then-rename, like the checkpoint writer) and dropped from
+///   RAM; decodes of sealed ids fault the extent back in through a small
+///   pinned-extent cache.
 pub struct StateArena {
     codec: StateCodec,
+    /// Resident payload: logical bytes `spilled()..`.
     bytes: Vec<u8>,
-    /// Start offset of each state; state `i` spans
-    /// `offsets[i]..offsets[i + 1]` (or `..bytes.len()` for the last).
+    /// Logical start offset of each state; state `i` spans
+    /// `offsets[i]..offsets[i + 1]` (or `..byte_len()` for the last).
     offsets: Vec<usize>,
+    /// Per-entry delta base slot (`NO_BASE` = full encoding). Allocated
+    /// only in delta mode; always `offsets.len()` long there.
+    bases: Vec<u32>,
+    /// Keyframe interval K (0 = delta disabled): a delta chain never
+    /// exceeds K entries before a full-encoding keyframe.
+    keyframe_every: u32,
+    /// Σ full-encoding lengths of every stored state — what the payload
+    /// would occupy without delta compression (the delta-ratio
+    /// denominator).
+    full_payload_bytes: usize,
+    /// Entries stored in delta form.
+    delta_entries: usize,
+    spill: Option<SpillState>,
+    scratch: std::cell::RefCell<ArenaScratch>,
 }
+
+impl Clone for StateArena {
+    fn clone(&self) -> Self {
+        StateArena {
+            codec: self.codec,
+            bytes: self.bytes.clone(),
+            offsets: self.offsets.clone(),
+            bases: self.bases.clone(),
+            keyframe_every: self.keyframe_every,
+            full_payload_bytes: self.full_payload_bytes,
+            delta_entries: self.delta_entries,
+            spill: self.spill.clone(),
+            scratch: std::cell::RefCell::new(ArenaScratch::default()),
+        }
+    }
+}
+
+impl fmt::Debug for StateArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateArena")
+            .field("codec", &self.codec)
+            .field("bytes", &self.bytes)
+            .field("offsets", &self.offsets)
+            .field("bases", &self.bases)
+            .field("keyframe_every", &self.keyframe_every)
+            .field("spill", &self.spill)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Equality is over stored content (codec, payload, offsets, delta
+/// layout, spill layout) — the decode-side scratch and fault-in cache
+/// are excluded, so a faulted arena still equals its untouched clone.
+impl PartialEq for StateArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.codec == other.codec
+            && self.bytes == other.bytes
+            && self.offsets == other.offsets
+            && self.bases == other.bases
+            && self.keyframe_every == other.keyframe_every
+            && self.spill == other.spill
+    }
+}
+
+impl Eq for StateArena {}
 
 impl StateArena {
     /// An empty arena encoding with `codec`.
     #[must_use]
     pub fn new(codec: StateCodec) -> Self {
-        StateArena { codec, bytes: Vec::new(), offsets: Vec::new() }
+        StateArena {
+            codec,
+            bytes: Vec::new(),
+            offsets: Vec::new(),
+            bases: Vec::new(),
+            keyframe_every: 0,
+            full_payload_bytes: 0,
+            delta_entries: 0,
+            spill: None,
+            scratch: std::cell::RefCell::new(ArenaScratch::default()),
+        }
     }
 
     /// The codec states are packed with.
@@ -964,18 +1242,41 @@ impl StateArena {
         self.offsets.is_empty()
     }
 
-    /// Total packed payload size in bytes (excluding the offset table).
+    /// Total stored payload size in bytes — resident *plus* spilled,
+    /// delta entries at their compressed size; excludes the offset and
+    /// base tables.
     #[must_use]
     pub fn byte_len(&self) -> usize {
-        self.bytes.len()
+        self.spilled() + self.bytes.len()
     }
 
-    /// Approximate resident footprint: packed payload capacity plus the
-    /// offset table — the figure the memory-budget truncation check and
-    /// the bench snapshot's `bytes_per_state` column read.
+    /// Logical payload bytes no longer resident (sealed into extents).
+    fn spilled(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.spilled_bytes)
+    }
+
+    /// Approximate resident footprint: resident payload capacity, the
+    /// offset and delta-base tables, extent bookkeeping, and the
+    /// fault-in cache — the figure the memory-budget truncation check
+    /// reads. Spilled payload does not count: it is exactly the part the
+    /// budget no longer has to cover.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
-        self.bytes.capacity() + self.offsets.capacity() * std::mem::size_of::<usize>()
+        let spill = self.spill.as_ref().map_or(0, |s| {
+            s.extents.capacity() * std::mem::size_of::<Extent>()
+        });
+        let cache: usize = self
+            .scratch
+            .borrow()
+            .cache
+            .iter()
+            .map(|(_, payload)| payload.capacity())
+            .sum();
+        self.bytes.capacity()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.bases.capacity() * std::mem::size_of::<u32>()
+            + spill
+            + cache
     }
 
     /// An empty arena with room for `states` states totalling `bytes`
@@ -984,41 +1285,439 @@ impl StateArena {
     /// doubling.
     #[must_use]
     pub fn with_capacity(codec: StateCodec, states: usize, bytes: usize) -> Self {
-        StateArena {
-            codec,
-            bytes: Vec::with_capacity(bytes),
-            offsets: Vec::with_capacity(states),
+        let mut arena = StateArena::new(codec);
+        arena.bytes = Vec::with_capacity(bytes);
+        arena.offsets = Vec::with_capacity(states);
+        arena
+    }
+
+    /// Arm parent-delta storage with a full-snapshot keyframe at least
+    /// every `keyframe_every` chain entries (0 disables; new pushes then
+    /// store full encodings). Entries already stored stay as they are —
+    /// existing full entries simply become eligible keyframe bases —
+    /// so a checkpoint-restored arena can arm delta mode and carry on.
+    ///
+    /// # Panics
+    /// Panics when disabling while delta entries exist (they would
+    /// become undecodable).
+    pub fn enable_delta(&mut self, keyframe_every: u32) {
+        if keyframe_every == self.keyframe_every {
+            return;
+        }
+        assert!(
+            keyframe_every > 0 || self.delta_entries == 0,
+            "cannot disable delta storage: {} delta entries exist",
+            self.delta_entries
+        );
+        self.keyframe_every = keyframe_every;
+        if keyframe_every > 0 {
+            self.bases = vec![NO_BASE; self.offsets.len()];
+        } else {
+            self.bases = Vec::new();
         }
     }
 
-    /// Encode and append a state, returning its id.
+    /// The configured keyframe interval (0 = delta storage off).
+    #[must_use]
+    pub fn keyframe_interval(&self) -> u32 {
+        self.keyframe_every
+    }
+
+    /// The smallest entry id touched when materializing `id`: `id`'s
+    /// keyframe-chain root (bases strictly decrease along a chain, so
+    /// the root is the minimum). Spill callers take the min of this
+    /// over every live (still-decoded) entry as the seal boundary, so
+    /// hot decodes never fault a sealed extent back in.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn decode_floor(&self, id: usize) -> usize {
+        let mut cur = id;
+        while !self.is_full_entry(cur) {
+            cur = self.bases[cur] as usize;
+        }
+        cur
+    }
+
+    /// Arm cold-extent spilling: sealed extents go to `dir` (created if
+    /// missing) as `{tag}-NNNNNN.cxlspill` files. Spilling itself
+    /// happens through [`Self::spill_cold`].
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    ///
+    /// # Panics
+    /// Panics if spilling is already armed.
+    pub fn enable_spill(&mut self, dir: &std::path::Path, tag: &str) -> std::io::Result<()> {
+        assert!(self.spill.is_none(), "spill already armed");
+        std::fs::create_dir_all(dir)?;
+        self.spill = Some(SpillState {
+            dir: dir.to_path_buf(),
+            tag: tag.to_string(),
+            extents: Vec::new(),
+            spilled_bytes: 0,
+            spilled_entries: 0,
+        });
+        Ok(())
+    }
+
+    /// Is cold-extent spilling armed?
+    #[must_use]
+    pub fn spill_armed(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Seal every not-yet-spilled entry below `upto_entry` into one
+    /// immutable extent file (write-then-rename, checksummed) and drop
+    /// its payload from RAM, returning the bytes freed. A no-op (Ok(0))
+    /// when spilling is not armed or nothing new is below the mark.
+    /// Callers pass the start of the current BFS frontier: everything
+    /// before it has been fully expanded and is only ever touched again
+    /// by traces, quarantine dumps, or stale dedup probes — all of which
+    /// fault extents back in transparently.
+    ///
+    /// # Errors
+    /// Propagates extent-file write failures (the caller degrades
+    /// gracefully; the arena is unchanged on error).
+    pub fn spill_cold(&mut self, upto_entry: usize) -> std::io::Result<usize> {
+        let Some(spill) = &mut self.spill else { return Ok(0) };
+        let upto = upto_entry.min(self.offsets.len());
+        if upto <= spill.spilled_entries {
+            return Ok(0);
+        }
+        let start_entry = spill.spilled_entries;
+        let start_byte = spill.spilled_bytes;
+        let end_byte = if upto == self.offsets.len() {
+            start_byte + self.bytes.len()
+        } else {
+            self.offsets[upto]
+        };
+        let span = end_byte - start_byte;
+        if span == 0 {
+            return Ok(0);
+        }
+        let path = spill
+            .dir
+            .join(format!("{}-{:06}.cxlspill", spill.tag, spill.extents.len()));
+        let extent = Extent { start_entry, end_entry: upto, start_byte, end_byte, path };
+        write_extent(&extent, &self.bytes[..span])?;
+        spill.extents.push(extent);
+        spill.spilled_entries = upto;
+        spill.spilled_bytes = end_byte;
+        self.bytes.drain(..span);
+        Ok(span)
+    }
+
+    /// Sealed extents written so far.
+    #[must_use]
+    pub fn spilled_extents(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.extents.len() as u64)
+    }
+
+    /// Extent fault-ins served so far (cache misses, not total cold
+    /// accesses).
+    #[must_use]
+    pub fn faulted_extents(&self) -> u64 {
+        self.scratch.borrow().faults
+    }
+
+    /// Resident payload bytes (the spill watermark's input).
+    #[must_use]
+    pub fn resident_payload_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Entries stored in delta form.
+    #[must_use]
+    pub fn delta_entries(&self) -> usize {
+        self.delta_entries
+    }
+
+    /// Σ full-encoding lengths of every stored state — the payload size
+    /// a plain arena would hold. `byte_len() / full_payload_bytes()` is
+    /// the store's delta compression ratio.
+    #[must_use]
+    pub fn full_payload_bytes(&self) -> usize {
+        self.full_payload_bytes
+    }
+
+    /// Per-state bytes of the entry tables (offsets + delta bases) by
+    /// length, not capacity — the overhead the store's `bytes_per_state`
+    /// metric adds on top of the payload.
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.bases.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Encode and append a state (always stored full), returning its id.
     pub fn push_state(&mut self, state: &SystemState) -> usize {
         let id = self.offsets.len();
-        self.offsets.push(self.bytes.len());
+        self.offsets.push(self.byte_len());
+        let before = self.bytes.len();
         self.codec.encode_into(state, &mut self.bytes);
+        self.full_payload_bytes += self.bytes.len() - before;
+        if self.keyframe_every > 0 {
+            self.bases.push(NO_BASE);
+        }
         id
     }
 
     /// Append an already-encoded state (the merge path: successors are
     /// encoded once into a scratch buffer, deduped by byte equality, and
-    /// only survivors are copied in here).
+    /// only survivors are copied in here). Always stored full.
     pub fn push_encoded(&mut self, encoded: &[u8]) -> usize {
         let id = self.offsets.len();
-        self.offsets.push(self.bytes.len());
+        self.offsets.push(self.byte_len());
         self.bytes.extend_from_slice(encoded);
+        self.full_payload_bytes += encoded.len();
+        if self.keyframe_every > 0 {
+            self.bases.push(NO_BASE);
+        }
         id
     }
 
-    /// The packed bytes of state `id`.
+    /// Append a full encoding, stored as a parent-delta against `base`
+    /// when delta mode is armed, the chain stays under the keyframe
+    /// interval, and the delta is actually smaller — otherwise stored
+    /// full. `base` is typically the successor's BFS parent in this same
+    /// arena (the sharded driver passes it only when the parent landed in
+    /// the same shard segment). Returns the new id.
     ///
     /// # Panics
-    /// Panics if `id` is out of range.
+    /// Panics (debug) if `base` is not an existing entry.
+    pub fn push_encoded_delta(&mut self, full: &[u8], base: Option<u32>) -> usize {
+        let Some(b) = base.filter(|_| self.keyframe_every > 0).map(|b| b as usize) else {
+            return self.push_encoded(full);
+        };
+        debug_assert!(b < self.offsets.len(), "delta base {b} out of range");
+        // Chain length to the nearest keyframe: cap it at K so decode
+        // never walks more than K links.
+        let mut depth = 1usize;
+        let mut cur = b;
+        while self.bases[cur] != NO_BASE {
+            depth += 1;
+            cur = self.bases[cur] as usize;
+        }
+        if depth >= self.keyframe_every as usize {
+            return self.push_encoded(full);
+        }
+        let mut scratch = self.scratch.take();
+        let mut delta = std::mem::take(&mut scratch.delta);
+        delta.clear();
+        let encoded_ok = {
+            let base_full = self.materialize_entry(&mut scratch, b);
+            self.codec.encode_delta(base_full, full, &mut delta).is_ok()
+        };
+        let use_delta = encoded_ok && delta.len() < full.len();
+        let id = self.offsets.len();
+        self.offsets.push(self.byte_len());
+        if use_delta {
+            self.bytes.extend_from_slice(&delta);
+            self.bases.push(b as u32);
+            self.delta_entries += 1;
+        } else {
+            self.bytes.extend_from_slice(full);
+            self.bases.push(NO_BASE);
+        }
+        self.full_payload_bytes += full.len();
+        scratch.delta = delta;
+        self.scratch.replace(scratch);
+        id
+    }
+
+    /// Logical end offset of entry `id`.
+    fn entry_end(&self, id: usize) -> usize {
+        self.offsets.get(id + 1).copied().unwrap_or_else(|| self.byte_len())
+    }
+
+    /// Is entry `id` stored as a full encoding (not a delta)?
+    #[inline]
+    fn is_full_entry(&self, id: usize) -> bool {
+        self.bases.is_empty() || self.bases[id] == NO_BASE
+    }
+
+    /// Is entry `id`'s payload resident in RAM?
+    #[inline]
+    fn is_resident(&self, id: usize) -> bool {
+        self.offsets[id] >= self.spilled()
+    }
+
+    /// The first entry whose payload is resident — everything below it
+    /// has been sealed into extents.
+    #[inline]
+    fn first_resident_entry(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.spilled_entries)
+    }
+
+    /// The resident stored bytes of entry `id` — its full encoding for a
+    /// keyframe, its delta form for a delta entry.
+    #[inline]
+    fn stored(&self, id: usize) -> &[u8] {
+        let base = self.spilled();
+        &self.bytes[self.offsets[id] - base..self.entry_end(id) - base]
+    }
+
+    /// The packed full-encoding bytes of state `id` — valid only for
+    /// resident, full-stored entries (always true in a plain arena;
+    /// delta/spill callers use [`Self::append_full_bytes`] or
+    /// [`Self::entry_matches`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range, delta-stored, or spilled.
     #[must_use]
     #[inline]
     pub fn bytes_of(&self, id: usize) -> &[u8] {
-        let start = self.offsets[id];
-        let end = self.offsets.get(id + 1).copied().unwrap_or(self.bytes.len());
-        &self.bytes[start..end]
+        assert!(
+            self.is_full_entry(id) && self.is_resident(id),
+            "bytes_of on a delta/spilled entry {id} — use append_full_bytes"
+        );
+        self.stored(id)
+    }
+
+    /// Copy the stored bytes of entry `id` (delta or full) to `out`,
+    /// faulting its extent in when spilled.
+    fn copy_stored(
+        &self,
+        id: usize,
+        out: &mut Vec<u8>,
+        cache: &mut Vec<(usize, Vec<u8>)>,
+        faults: &mut u64,
+    ) {
+        if self.is_resident(id) {
+            out.extend_from_slice(self.stored(id));
+            return;
+        }
+        let spill = self.spill.as_ref().expect("non-resident entry without spill state");
+        let e = spill
+            .extents
+            .partition_point(|ext| ext.end_entry <= id);
+        let ext = &spill.extents[e];
+        debug_assert!(ext.start_entry <= id && id < ext.end_entry);
+        let slot = cache.iter().position(|(idx, _)| *idx == e);
+        let payload: &Vec<u8> = match slot {
+            Some(0) => &cache[0].1,
+            Some(i) => {
+                let hit = cache.remove(i);
+                cache.insert(0, hit);
+                &cache[0].1
+            }
+            None => {
+                let payload = read_extent(ext).unwrap_or_else(|err| {
+                    panic!("spill extent {} unreadable: {err}", ext.path.display())
+                });
+                *faults += 1;
+                cache.insert(0, (e, payload));
+                cache.truncate(EXTENT_CACHE_CAP);
+                &cache[0].1
+            }
+        };
+        let start = self.offsets[id] - ext.start_byte;
+        let end = self.entry_end(id) - ext.start_byte;
+        out.extend_from_slice(&payload[start..end]);
+    }
+
+    /// Materialize the full encoding of entry `id` into the scratch
+    /// buffers, returning a slice of it. Walks the delta chain to the
+    /// nearest keyframe (≤ K links by construction) and replays the
+    /// deltas forward; faults in spilled stored bytes along the way.
+    fn materialize_entry<'a>(
+        &'a self,
+        scratch: &'a mut ArenaScratch,
+        id: usize,
+    ) -> &'a [u8] {
+        if self.is_full_entry(id) && self.is_resident(id) {
+            return self.stored(id);
+        }
+        let ArenaScratch { bufs, chain, cold, cache, faults, .. } = scratch;
+        chain.clear();
+        let mut cur = id;
+        while !self.is_full_entry(cur) {
+            chain.push(cur as u32);
+            cur = self.bases[cur] as usize;
+        }
+        let [a, b] = bufs;
+        let (mut src, mut dst) = (a, b);
+        src.clear();
+        self.copy_stored(cur, src, cache, faults);
+        for &e in chain.iter().rev() {
+            let e = e as usize;
+            dst.clear();
+            if self.is_resident(e) {
+                self.codec
+                    .decode_delta(src, self.stored(e), dst)
+                    .expect("arena holds only codec output");
+            } else {
+                cold.clear();
+                self.copy_stored(e, cold, cache, faults);
+                self.codec
+                    .decode_delta(src, cold, dst)
+                    .expect("arena holds only codec output");
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+
+    /// Append the **full encoding** of state `id` to `out`, whatever its
+    /// storage form — byte-identical to what was originally pushed. The
+    /// delta/spill-safe replacement for [`Self::bytes_of`] on paths that
+    /// may touch compressed or cold entries (checkpointing, quarantine
+    /// records, the pool's chunk protocol, shard merges).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or a spilled extent is unreadable.
+    pub fn append_full_bytes(&self, id: usize, out: &mut Vec<u8>) {
+        if self.is_full_entry(id) && self.is_resident(id) {
+            out.extend_from_slice(self.stored(id));
+            return;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let bytes = self.materialize_entry(&mut scratch, id);
+        out.extend_from_slice(bytes);
+    }
+
+    /// Does entry `id`'s full encoding equal `full`? The dedup probe for
+    /// delta/spill arenas: byte equality against the materialized full
+    /// encoding (fast-pathed to a direct slice compare on plain entries).
+    ///
+    /// Entries whose materialization would fault a **sealed extent**
+    /// back in are *not* byte-verified: the caller's fingerprint index
+    /// has already matched a 64-bit fingerprint, and re-reading a cold
+    /// extent once per back-edge transition would turn dedup — the
+    /// hottest loop in the search — into an I/O storm. This is classic
+    /// hash compaction, applied only to the cold tier: resident entries
+    /// keep exact comparison, so a run without spilling is byte-exact
+    /// everywhere, and a spilled run accepts a ~2⁻⁶⁴ per-pair collision
+    /// risk on its coldest states only.
+    #[must_use]
+    pub fn entry_matches(&self, id: usize, full: &[u8]) -> bool {
+        if self.is_full_entry(id) {
+            if self.is_resident(id) {
+                return self.stored(id) == full;
+            }
+            return true;
+        }
+        if self.decode_floor(id) < self.first_resident_entry() {
+            return true;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        self.materialize_entry(&mut scratch, id) == full
+    }
+
+    /// Append the full encoding of `other`'s entry `slot` to this arena
+    /// (stored full) — the shard-merge primitive.
+    pub fn push_full_from(&mut self, other: &StateArena, slot: usize) -> usize {
+        if other.is_full_entry(slot) && other.is_resident(slot) {
+            return self.push_encoded(other.stored(slot));
+        }
+        let mut tmp = std::mem::take(&mut self.scratch.get_mut().cold);
+        tmp.clear();
+        other.append_full_bytes(slot, &mut tmp);
+        let id = self.push_encoded(&tmp);
+        self.scratch.get_mut().cold = tmp;
+        id
     }
 
     /// Decode state `id` into a fresh value.
@@ -1027,16 +1726,25 @@ impl StateArena {
     /// Panics if `id` is out of range (arena contents always decode).
     #[must_use]
     pub fn decode(&self, id: usize) -> SystemState {
-        self.codec.decode(self.bytes_of(id)).expect("arena holds only codec output")
+        let mut out = self.codec.blank();
+        self.decode_into(id, &mut out);
+        out
     }
 
     /// Decode state `id` into `out`, reusing its allocations — the hot
-    /// path for frontier expansion.
+    /// path for frontier expansion. Delta chains are replayed and cold
+    /// extents faulted in transparently.
     ///
     /// # Panics
     /// Panics if `id` is out of range.
     pub fn decode_into(&self, id: usize, out: &mut SystemState) {
-        self.codec.decode_into(self.bytes_of(id), out).expect("arena holds only codec output");
+        if self.is_full_entry(id) && self.is_resident(id) {
+            self.codec.decode_into(self.stored(id), out).expect("arena holds only codec output");
+            return;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let bytes = self.materialize_entry(&mut scratch, id);
+        self.codec.decode_into(bytes, out).expect("arena holds only codec output");
     }
 
     /// Iterate over all states in discovery order, decoding each.
@@ -1044,15 +1752,17 @@ impl StateArena {
         (0..self.len()).map(|id| self.decode(id))
     }
 
-    /// The packed payload — every state's encoding, concatenated in
-    /// discovery order. Together with [`Self::offsets`] this is the
-    /// arena's full serializable content (the checkpoint surface).
+    /// The resident packed payload. For a plain arena (no delta, no
+    /// spill) this is every state's full encoding concatenated in
+    /// discovery order — together with [`Self::offsets`] the arena's
+    /// full serializable content. Compressed or spilling arenas
+    /// serialize through [`Self::append_full_bytes`] instead.
     #[must_use]
     pub fn payload(&self) -> &[u8] {
         &self.bytes
     }
 
-    /// The per-state start offsets into [`Self::payload`].
+    /// The per-state logical start offsets into the payload stream.
     #[must_use]
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
@@ -1093,7 +1803,11 @@ impl StateArena {
                 bytes.len()
             )));
         }
-        let arena = StateArena { codec, bytes, offsets };
+        let full_payload_bytes = bytes.len();
+        let mut arena = StateArena::new(codec);
+        arena.bytes = bytes;
+        arena.offsets = offsets;
+        arena.full_payload_bytes = full_payload_bytes;
         let mut scratch = arena.codec.blank();
         for id in 0..arena.len() {
             arena
@@ -1104,21 +1818,113 @@ impl StateArena {
         Ok(arena)
     }
 
-    /// Release capacity slack in the payload and offset table — the
-    /// model checker's degradation ladder calls this when the run
-    /// approaches its memory budget (Vec doubling leaves up to ~2× slack,
-    /// all of which [`Self::approx_heap_bytes`] counts).
+    /// Release capacity slack in the payload and entry tables, and drop
+    /// decode-side scratch buffers and the fault-in cache — the model
+    /// checker's degradation ladder calls this when the run approaches
+    /// its memory budget (Vec doubling leaves up to ~2× slack, all of
+    /// which [`Self::approx_heap_bytes`] counts).
     pub fn shrink_to_fit(&mut self) {
         self.bytes.shrink_to_fit();
         self.offsets.shrink_to_fit();
+        self.bases.shrink_to_fit();
+        if let Some(spill) = &mut self.spill {
+            spill.extents.shrink_to_fit();
+        }
+        let scratch = self.scratch.get_mut();
+        let faults = scratch.faults;
+        *scratch = ArenaScratch::default();
+        scratch.faults = faults;
     }
 
     /// Drop all states and release the backing allocations (the ladder's
-    /// treatment of transient side stores).
+    /// treatment of transient side stores). Keeps the delta/spill
+    /// configuration but forgets written extents — only used on stores
+    /// whose contents are disposable.
     pub fn clear_and_release(&mut self) {
         self.bytes = Vec::new();
         self.offsets = Vec::new();
+        self.bases = Vec::new();
+        self.full_payload_bytes = 0;
+        self.delta_entries = 0;
+        if let Some(spill) = &mut self.spill {
+            spill.extents = Vec::new();
+            spill.spilled_bytes = 0;
+            spill.spilled_entries = 0;
+        }
+        *self.scratch.get_mut() = ArenaScratch::default();
     }
+}
+
+/// Write `payload` as extent `ext` — `MAGIC`, the entry/byte range as
+/// varints, the raw payload, then an `FxHasher` checksum of everything
+/// preceding it, via a temp file renamed into place so a crash never
+/// leaves a half-written extent under the final name.
+fn write_extent(ext: &Extent, payload: &[u8]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(EXTENT_MAGIC);
+    put_varint(&mut out, ext.start_entry as u64);
+    put_varint(&mut out, ext.end_entry as u64);
+    put_varint(&mut out, ext.start_byte as u64);
+    put_varint(&mut out, ext.end_byte as u64);
+    out.extend_from_slice(payload);
+    let mut hasher = crate::fasthash::FxHasher::default();
+    std::hash::Hasher::write(&mut hasher, &out);
+    let sum = std::hash::Hasher::finish(&hasher);
+    out.extend_from_slice(&sum.to_le_bytes());
+    let tmp = ext.path.with_extension("cxlspill.tmp");
+    std::fs::write(&tmp, &out)?;
+    std::fs::rename(&tmp, &ext.path)
+}
+
+/// Read extent `ext` back, verifying magic, checksum, and that the
+/// header ranges match the in-memory bookkeeping. Returns the payload.
+fn read_extent(ext: &Extent) -> std::io::Result<Vec<u8>> {
+    let corrupt = |why: String| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, why)
+    };
+    let raw = std::fs::read(&ext.path)?;
+    if raw.len() < EXTENT_MAGIC.len() + 8 {
+        return Err(corrupt(format!("extent file too short ({} bytes)", raw.len())));
+    }
+    let (body, sum_bytes) = raw.split_at(raw.len() - 8);
+    let mut hasher = crate::fasthash::FxHasher::default();
+    std::hash::Hasher::write(&mut hasher, body);
+    let expect = std::hash::Hasher::finish(&hasher);
+    let got = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte split"));
+    if expect != got {
+        return Err(corrupt(format!("extent checksum mismatch ({got:#x} != {expect:#x})")));
+    }
+    if &body[..EXTENT_MAGIC.len()] != EXTENT_MAGIC {
+        return Err(corrupt("bad extent magic".into()));
+    }
+    let mut r = Reader::new(&body[EXTENT_MAGIC.len()..]);
+    let header = |r: &mut Reader<'_>| -> std::io::Result<usize> {
+        r.varint()
+            .map_err(|e| corrupt(format!("bad extent header: {e}")))
+            .map(|v| v as usize)
+    };
+    let (start_entry, end_entry) = (header(&mut r)?, header(&mut r)?);
+    let (start_byte, end_byte) = (header(&mut r)?, header(&mut r)?);
+    if (start_entry, end_entry, start_byte, end_byte)
+        != (ext.start_entry, ext.end_entry, ext.start_byte, ext.end_byte)
+    {
+        return Err(corrupt(format!(
+            "extent header mismatch: file covers entries {start_entry}..{end_entry} \
+             bytes {start_byte}..{end_byte}, expected entries {}..{} bytes {}..{}",
+            ext.start_entry, ext.end_entry, ext.start_byte, ext.end_byte
+        )));
+    }
+    let payload = r
+        .take(r.remaining())
+        .map_err(|e| corrupt(format!("bad extent payload: {e}")))?;
+    if payload.len() != end_byte - start_byte {
+        return Err(corrupt(format!(
+            "extent payload is {} bytes, header claims {}",
+            payload.len(),
+            end_byte - start_byte
+        )));
+    }
+    Ok(payload.to_vec())
 }
 
 /// An estimate of a heap `SystemState`'s resident bytes — the *baseline*
@@ -1382,5 +2188,283 @@ mod tests {
             bytes.len(),
             baseline
         );
+    }
+
+    /// BFS-walk a small N-device grid, returning `(parent_index,
+    /// full_encoding)` pairs in discovery order (entry 0, the initial
+    /// state, has parent `usize::MAX`), deduped by encoding — the
+    /// parent/child structure the delta store compresses.
+    fn walk_encoded(n: usize, limit: usize) -> (StateCodec, Vec<(usize, Vec<u8>)>) {
+        let mut progs = vec![programs::stores(0, 2), programs::loads(2)];
+        progs.truncate(n);
+        let initial = SystemState::initial_n(n, progs);
+        let rules = Ruleset::with_topology(ProtocolConfig::full(), initial.topology());
+        let codec = StateCodec::new(initial.topology());
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
+        let enc = codec.encode(&initial);
+        seen.insert(enc.clone());
+        out.push((usize::MAX, enc));
+        let mut cursor = 0;
+        while cursor < out.len() && out.len() < limit {
+            let parent = codec.decode(&out[cursor].1).unwrap();
+            for (_, succ) in rules.successors(&parent) {
+                if out.len() >= limit {
+                    break;
+                }
+                let enc = codec.encode(&succ);
+                if seen.insert(enc.clone()) {
+                    out.push((cursor, enc));
+                }
+            }
+            cursor += 1;
+        }
+        (codec, out)
+    }
+
+    #[test]
+    fn delta_roundtrip_is_byte_exact() {
+        for n in 2..=4 {
+            let (codec, states) = walk_encoded(n, 400);
+            let mut delta = Vec::new();
+            let mut back = Vec::new();
+            let mut smaller = 0usize;
+            for (parent, child) in &states[1..] {
+                let parent_bytes = &states[*parent].1;
+                delta.clear();
+                codec.encode_delta(parent_bytes, child, &mut delta).unwrap();
+                back.clear();
+                codec.decode_delta(parent_bytes, &delta, &mut back).unwrap();
+                assert_eq!(&back, child, "delta round-trip must be byte-exact (N={n})");
+                if delta.len() < child.len() {
+                    smaller += 1;
+                }
+            }
+            // The premise of the whole optimisation: a BFS child usually
+            // touches a minority of segments.
+            assert!(
+                smaller * 2 > (states.len() - 1),
+                "N={n}: only {smaller}/{} deltas beat the full encoding",
+                states.len() - 1
+            );
+        }
+    }
+
+    #[test]
+    fn delta_against_self_is_tiny() {
+        let codec = codec2();
+        let s = codec.encode(&SystemState::initial(programs::store(7), programs::load()));
+        let mut delta = Vec::new();
+        codec.encode_delta(&s, &s, &mut delta).unwrap();
+        // Empty bitmap + zero counter diff.
+        assert_eq!(delta, vec![0, 0]);
+        let mut back = Vec::new();
+        codec.decode_delta(&s, &delta, &mut back).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected() {
+        let codec = codec2();
+        let p = codec.encode(&SystemState::initial(programs::store(7), programs::load()));
+        let c = codec.encode(&SystemState::initial(programs::store(8), programs::load()));
+        let mut delta = Vec::new();
+        codec.encode_delta(&p, &c, &mut delta).unwrap();
+        let mut out = Vec::new();
+        assert!(codec.decode_delta(&p, &delta[..delta.len() - 1], &mut out).is_err(), "truncated");
+        let mut trailing = delta.clone();
+        trailing.push(0);
+        out.clear();
+        assert!(codec.decode_delta(&p, &trailing, &mut out).is_err(), "trailing bytes");
+        // A bitmap naming a segment past the device count.
+        out.clear();
+        assert!(codec.decode_delta(&p, &[0x40, 0], &mut out).is_err(), "bad bitmap");
+    }
+
+    /// A delta-armed arena fed BFS parents stays byte-identical to a
+    /// plain arena on every read path.
+    #[test]
+    fn arena_delta_chains_materialize_exactly() {
+        for keyframe in [1u32, 2, 3, 16] {
+            let (codec, states) = walk_encoded(3, 300);
+            let mut plain = StateArena::new(codec);
+            let mut compressed = StateArena::new(codec);
+            compressed.enable_delta(keyframe);
+            for (parent, enc) in &states {
+                plain.push_encoded(enc);
+                let base = (*parent != usize::MAX).then_some(*parent as u32);
+                compressed.push_encoded_delta(enc, base);
+            }
+            assert_eq!(plain.len(), compressed.len());
+            assert_eq!(plain.full_payload_bytes(), compressed.full_payload_bytes());
+            let mut buf = Vec::new();
+            for id in 0..plain.len() {
+                assert_eq!(compressed.decode(id), plain.decode(id), "K={keyframe} id={id}");
+                buf.clear();
+                compressed.append_full_bytes(id, &mut buf);
+                assert_eq!(buf, plain.bytes_of(id), "K={keyframe} id={id}");
+                assert!(compressed.entry_matches(id, plain.bytes_of(id)));
+                assert!(!compressed.entry_matches(id, &buf[..buf.len() - 1]));
+            }
+            if keyframe > 1 {
+                assert!(compressed.delta_entries() > 0, "K={keyframe}: no deltas stored");
+                assert!(
+                    compressed.byte_len() < plain.byte_len(),
+                    "K={keyframe}: delta store not smaller ({} vs {})",
+                    compressed.byte_len(),
+                    plain.byte_len()
+                );
+            } else {
+                // K=1 means every entry is a keyframe.
+                assert_eq!(compressed.delta_entries(), 0);
+            }
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The satellite property: for N in 2..=4 and a random keyframe
+        /// interval, every materialized entry of a delta arena equals
+        /// the full encoding that was pushed, byte for byte.
+        #[test]
+        fn prop_delta_arena_is_byte_exact(
+            n in 2usize..5,
+            keyframe in 1u32..9,
+            limit in 32usize..160,
+        ) {
+            let (codec, states) = walk_encoded(n, limit);
+            let mut arena = StateArena::new(codec);
+            arena.enable_delta(keyframe);
+            for (parent, enc) in &states {
+                let base = (*parent != usize::MAX).then_some(*parent as u32);
+                arena.push_encoded_delta(enc, base);
+            }
+            let mut buf = Vec::new();
+            for (id, (_, enc)) in states.iter().enumerate() {
+                buf.clear();
+                arena.append_full_bytes(id, &mut buf);
+                prop_assert_eq!(&buf, enc);
+            }
+        }
+    }
+
+    fn scratch_spill_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("cxl-codec-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn arena_spill_faults_back_in() {
+        let (codec, states) = walk_encoded(3, 300);
+        let mut plain = StateArena::new(codec);
+        let mut spilling = StateArena::new(codec);
+        let dir = scratch_spill_dir("plainspill");
+        spilling.enable_spill(&dir, "shard0").unwrap();
+        for (_, enc) in &states {
+            plain.push_encoded(enc);
+            spilling.push_encoded(enc);
+        }
+        let resident_before = spilling.resident_payload_bytes();
+        // Seal two extents: a cold prefix, then everything but the tail.
+        let freed = spilling.spill_cold(states.len() / 3).unwrap();
+        assert!(freed > 0);
+        let freed2 = spilling.spill_cold(states.len() - 8).unwrap();
+        assert!(freed2 > 0);
+        assert_eq!(spilling.spilled_extents(), 2);
+        assert_eq!(
+            resident_before - freed - freed2,
+            spilling.resident_payload_bytes(),
+            "freed bytes must leave RAM"
+        );
+        assert_eq!(spilling.byte_len(), plain.byte_len(), "logical size unchanged");
+        let mut buf = Vec::new();
+        for id in 0..plain.len() {
+            assert_eq!(spilling.decode(id), plain.decode(id), "id={id}");
+            buf.clear();
+            spilling.append_full_bytes(id, &mut buf);
+            assert_eq!(buf, plain.bytes_of(id), "id={id}");
+            assert!(spilling.entry_matches(id, plain.bytes_of(id)));
+        }
+        assert!(spilling.faulted_extents() >= 1, "cold reads must fault extents in");
+        // Replays are deterministic: a second full sweep agrees.
+        for id in 0..plain.len() {
+            assert_eq!(spilling.decode(id), plain.decode(id), "replay id={id}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spilled_delta_arena_equals_plain() {
+        let (codec, states) = walk_encoded(3, 300);
+        let mut plain = StateArena::new(codec);
+        let mut arena = StateArena::new(codec);
+        arena.enable_delta(4);
+        let dir = scratch_spill_dir("deltaspill");
+        arena.enable_spill(&dir, "shard0").unwrap();
+        for (i, (parent, enc)) in states.iter().enumerate() {
+            plain.push_encoded(enc);
+            let base = (*parent != usize::MAX).then_some(*parent as u32);
+            arena.push_encoded_delta(enc, base);
+            // Spill in mid-run waves, as the level barrier does.
+            if i == 100 || i == 200 {
+                arena.spill_cold(i - 20).unwrap();
+            }
+        }
+        assert!(arena.spilled_extents() >= 2);
+        assert!(arena.delta_entries() > 0);
+        let mut buf = Vec::new();
+        for id in 0..plain.len() {
+            buf.clear();
+            arena.append_full_bytes(id, &mut buf);
+            assert_eq!(buf, plain.bytes_of(id), "id={id}");
+        }
+        // Cross-extent delta chains survive a shrink (which drops the
+        // fault-in cache).
+        arena.shrink_to_fit();
+        assert_eq!(arena.decode(150), plain.decode(150));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_extents_are_detected() {
+        let (codec, states) = walk_encoded(2, 60);
+        let mut arena = StateArena::new(codec);
+        let dir = scratch_spill_dir("corrupt");
+        arena.enable_spill(&dir, "shard0").unwrap();
+        for (_, enc) in &states {
+            arena.push_encoded(enc);
+        }
+        arena.spill_cold(states.len() / 2).unwrap();
+        let extent_path = dir.join("shard0-000000.cxlspill");
+        let mut raw = std::fs::read(&extent_path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xff;
+        std::fs::write(&extent_path, &raw).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| arena.decode(0)));
+        assert!(result.is_err(), "corrupted extent must not decode silently");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn push_full_from_materializes_across_arenas() {
+        let (codec, states) = walk_encoded(2, 80);
+        let mut src = StateArena::new(codec);
+        src.enable_delta(4);
+        for (parent, enc) in &states {
+            let base = (*parent != usize::MAX).then_some(*parent as u32);
+            src.push_encoded_delta(enc, base);
+        }
+        let mut dst = StateArena::new(codec);
+        for id in 0..src.len() {
+            dst.push_full_from(&src, id);
+        }
+        for (id, (_, enc)) in states.iter().enumerate() {
+            assert_eq!(dst.bytes_of(id), &enc[..], "id={id}");
+        }
     }
 }

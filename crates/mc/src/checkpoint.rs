@@ -198,14 +198,31 @@ impl CheckpointSource<'_> {
         // The packed store: payload, then per-state lengths (offset
         // deltas), then the dedup fingerprints — which are a pure
         // function of the payload but are stored anyway as an inner
-        // integrity layer the reader cross-checks.
+        // integrity layer the reader cross-checks. States are
+        // *materialized* to full encodings here: a delta-compressed or
+        // partially spilled arena checkpoints as plain full bytes, so
+        // resume never needs the writer's extent files or keyframe
+        // layout (and plain arenas serialize byte-identically to before
+        // delta/spill existed).
         put_varint(&mut out, n as u64);
-        put_bytes(&mut out, arena.payload());
+        let mut payload = Vec::with_capacity(arena.byte_len());
+        let mut ends = Vec::with_capacity(n);
         for id in 0..n {
-            put_varint(&mut out, arena.bytes_of(id).len() as u64);
+            arena.append_full_bytes(id, &mut payload);
+            ends.push(payload.len());
         }
-        for id in 0..n {
-            out.extend_from_slice(&StateCodec::fingerprint(arena.bytes_of(id)).to_le_bytes());
+        put_bytes(&mut out, &payload);
+        let mut at = 0usize;
+        for &end in &ends {
+            put_varint(&mut out, (end - at) as u64);
+            at = end;
+        }
+        at = 0;
+        for &end in &ends {
+            out.extend_from_slice(
+                &StateCodec::fingerprint(&payload[at..end]).to_le_bytes(),
+            );
+            at = end;
         }
 
         // Parent links (0 = root, else parent id + 1) and rules as dense

@@ -65,7 +65,7 @@ mod report;
 
 pub use checker::{
     CheckOptions, Exploration, ModelChecker, Prune, DEFAULT_FRONTIER_RING, DEFAULT_MEM_BUDGET,
-    NOT_EXPANDED,
+    DEFAULT_SPILL_BUDGET, NOT_EXPANDED,
 };
 pub use checkpoint::{
     checkpoint_path, options_fingerprint, Checkpoint, CheckpointError, CheckpointPolicy,

@@ -301,6 +301,17 @@ pub struct Report {
     /// stored-state counts. 0 means perfectly even ownership; the routing
     /// hash keeps this low for any non-adversarial state space.
     pub shard_imbalance_pct: f64,
+    /// States stored as parent-deltas rather than full encodings
+    /// ([`crate::CheckOptions::delta_keyframe`]); 0 when delta encoding
+    /// is off or never beat the full encoding.
+    pub delta_entries: u64,
+    /// Sealed cold extents written to [`crate::CheckOptions::spill_dir`]
+    /// over the whole run; 0 when spilling is off or never triggered.
+    pub spilled_extents: u64,
+    /// Spilled extents faulted back from disk for decode (traces,
+    /// property dumps, checkpoint materialization); expansion itself
+    /// never faults, so this stays tiny on clean runs.
+    pub faulted_extents: u64,
 }
 
 impl Report {
@@ -363,6 +374,13 @@ impl fmt::Display for Report {
                 f,
                 "shards: {}  routed messages: {}  imbalance: {:.1}%",
                 self.shards, self.routed_messages, self.shard_imbalance_pct
+            )?;
+        }
+        if self.delta_entries > 0 || self.spilled_extents > 0 {
+            writeln!(
+                f,
+                "delta entries: {}  spilled extents: {}  faulted extents: {}",
+                self.delta_entries, self.spilled_extents, self.faulted_extents
             )?;
         }
         if let Some(from) = self.resumed_from {
