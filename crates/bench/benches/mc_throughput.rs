@@ -19,7 +19,10 @@
 //! row exists because the packed arena is what makes 4-device sweeps
 //! routinely affordable. `noring_n3` re-runs the N = 3 workload with the
 //! decoded-frontier ring disabled (`frontier_ring: 0`), so its gap to
-//! `optimized_n3` is the ring's measured win. `sharded_mt` runs the
+//! `optimized_n3` is the ring's measured win. `telemetry_n3` re-runs it
+//! with the metrics recorder attached (JSONL sink, heartbeat off); its
+//! interleaved gap to `optimized_n3` is the recorder's overhead,
+//! recorded in the row's `telemetry_overhead_pct`. `sharded_mt` runs the
 //! two-device workload through the shard-owned parallel driver
 //! (`--threads 2 --shards 2` equivalent) and records the routing
 //! columns: `shards`, `routed_messages`, `shard_imbalance_pct`.
@@ -160,6 +163,27 @@ fn noring_checker_n3() -> ModelChecker {
     )
 }
 
+/// The `telemetry_n3` row's checker: the sequential N = 3 pipeline with
+/// the metrics recorder attached (JSONL sink, heartbeat off) — its gap
+/// to `optimized_n3`, measured interleaved, is the recorder's overhead
+/// (the ISSUE bar: ≤ 2%).
+fn telemetry_checker_n3(metrics_path: &std::path::Path) -> ModelChecker {
+    let rec = cxl_mc::MetricsRecorder::new(cxl_mc::ProgressMode::Off, Some(metrics_path))
+        .expect("create metrics sink");
+    ModelChecker::with_options(
+        Ruleset::with_devices(ProtocolConfig::strict(), 3),
+        CheckOptions {
+            telemetry: Some(Arc::new(rec) as Arc<dyn cxl_mc::Recorder>),
+            ..CheckOptions::default()
+        },
+    )
+}
+
+/// A per-process scratch file for the telemetry row's JSONL stream.
+fn telemetry_scratch_file() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cxl-bench-telemetry-{}.jsonl", std::process::id()))
+}
+
 /// The `delta_n4` row's checker: the N = 4 workload with parent-delta
 /// encoding armed (keyframe every 16 ancestors), spill off — what delta
 /// compression alone does to `bytes_per_state` and to wall time.
@@ -247,6 +271,35 @@ fn interleaved_best(
     (best_a, best_b)
 }
 
+/// Median of per-iteration `b/a` wall-time ratios, each iteration timing
+/// the pair in position-balanced order (`a,b,b,a`) — the estimator for
+/// ratios *smaller* than this host's noise floor. `interleaved_best`
+/// cancels slow drift but keeps two biases that swamp a ≤ 2% quantity:
+/// the best-of floor is a race that one lucky scheduling quantum can
+/// hand to either side, and the second closure in a fixed-order pair
+/// systematically absorbs more deferred host work (measured at +1–3% on
+/// a busy 1-core runner with an identical-pipeline control pair). The
+/// balanced order cancels the slot bias within each sample and the
+/// median discards load-spike outliers. Returns the ratio as a percent
+/// (`+1.5` = `b` is 1.5% slower than `a`).
+fn interleaved_overhead_pct(iters: u32, mut a: impl FnMut(), mut b: impl FnMut()) -> f64 {
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_secs_f64()
+    };
+    let mut ratios = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let ta1 = time(&mut a);
+        let tb1 = time(&mut b);
+        let tb2 = time(&mut b);
+        let ta2 = time(&mut a);
+        ratios.push((tb1 + tb2) / (ta1 + ta2));
+    }
+    ratios.sort_by(f64::total_cmp);
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
 /// The shard columns of a row that ran the unsharded driver.
 const UNSHARDED: (usize, u64, f64) = (1, 0, 0.0);
 
@@ -311,6 +364,15 @@ fn snapshot_row(
         delta_ratio: store.0,
         spilled_extents: store.1,
         faulted_extents: store.2,
+        // Duplicates over transitions, matching the telemetry stream's
+        // per-level figure (the initial state is committed by no
+        // transition, hence the −1).
+        dedup_hit_rate: if transitions > 0 {
+            (1.0 - states.saturating_sub(1) as f64 / transitions as f64).max(0.0)
+        } else {
+            0.0
+        },
+        telemetry_overhead_pct: 0.0,
     }
 }
 
@@ -399,6 +461,10 @@ fn bench(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("noring_n3", WORKLOAD_N3), &init3, |b, init| {
         let noring3 = noring_checker_n3();
         b.iter(|| black_box(noring3.check(init, &[])));
+    });
+    g.bench_with_input(BenchmarkId::new("telemetry_n3", WORKLOAD_N3), &init3, |b, init| {
+        let tel3 = telemetry_checker_n3(&telemetry_scratch_file());
+        b.iter(|| black_box(tel3.check(init, &[])));
     });
     let sym3 = workload_sym(3);
     g.bench_with_input(BenchmarkId::new("reduced_n3", WORKLOAD_SYM), &sym3, |b, init| {
@@ -535,6 +601,35 @@ fn bench(c: &mut Criterion) {
         let r = noring3.check(&init3, &[]);
         (r.states, r.transitions)
     });
+    // The recorder-attached N = 3 row (see telemetry_checker_n3). Its
+    // overhead figure comes from an interleaved pairing against the
+    // recorder-off pipeline, not from two rows timed apart.
+    let telemetry_file = telemetry_scratch_file();
+    let tel3 = telemetry_checker_n3(&telemetry_file);
+    let (y_states, y_trans, y_best, y_rss) = best_of(iters, || {
+        let r = tel3.check(&init3, &[]);
+        (r.states, r.transitions)
+    });
+    assert_eq!(
+        (t_states, t_trans),
+        (y_states, y_trans),
+        "the telemetry recorder must not perturb the search"
+    );
+    // The position-balanced median estimator, not `interleaved_best`:
+    // the quantity under test is a ≤ 2% bar, below this host's best-of
+    // jitter (see `interleaved_overhead_pct`). A deep iteration floor
+    // is affordable — each sample is four ~15 ms runs.
+    let telemetry_overhead_pct = interleaved_overhead_pct(
+        iters.max(96),
+        || {
+            black_box(opt3.check(&init3, &[]).states);
+        },
+        || {
+            black_box(tel3.check(&init3, &[]).states);
+        },
+    );
+    println!("telemetry overhead [N=3, recorder on vs off]: {telemetry_overhead_pct:+.2}%");
+    let _ = std::fs::remove_file(&telemetry_file);
     assert_eq!((n_states, n_trans), (o_states, o_trans), "pipelines must agree");
     assert_eq!((n_states, n_trans), (p_states, p_trans), "pipelines must agree");
     assert_eq!((n_states, n_trans), (s_states, s_trans), "pipelines must agree");
@@ -822,6 +917,25 @@ fn bench(c: &mut Criterion) {
             x_states,
             PLAIN_STORE,
         ),
+        {
+            let mut row = snapshot_row(
+                "telemetry_n3",
+                WORKLOAD_N3,
+                3,
+                1,
+                y_states,
+                y_trans,
+                y_best,
+                mem3,
+                y_rss,
+                UNSHARDED,
+                "none",
+                y_states,
+                PLAIN_STORE,
+            );
+            row.telemetry_overhead_pct = telemetry_overhead_pct;
+            row
+        },
     ];
     rows.extend(mt_row);
     rows.extend(reduced_rows);
@@ -849,8 +963,12 @@ fn bench(c: &mut Criterion) {
              routed_messages and shard_imbalance_pct columns record the \
              fingerprint routing; noring_n3 re-runs the optimized_n3 workload \
              with the decoded-frontier ring disabled (frontier_ring: 0), so \
-             its gap to optimized_n3 is the ring's measured win; \
-             bytes_per_state is the packed \
+             its gap to optimized_n3 is the ring's measured win; telemetry_n3 \
+             re-runs it with the metrics recorder attached (JSONL sink, \
+             heartbeat off) and carries telemetry_overhead_pct, the \
+             interleaved on-vs-off wall-time cost (0.0 on rows that made no \
+             such measurement); every row carries dedup_hit_rate, duplicates \
+             over transitions; bytes_per_state is the packed \
              StateArena payload, baseline_bytes_per_state the heap \
              Arc<SystemState> estimate it replaced; peak_rss_mb is process VmHWM \
              at row-record time (monotone within a run), rss_delta_mb the \

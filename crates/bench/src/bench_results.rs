@@ -83,6 +83,15 @@ pub struct ThroughputRow {
     /// misses, not total cold accesses (0 on rows without spill; 0 on
     /// spill rows too when the decode floor kept every fault away).
     pub faulted_extents: u64,
+    /// Fraction of examined transitions that hit an already-stored state,
+    /// `1 − states/transitions` (0.0 when no transitions fired) — the
+    /// dedup pressure this row's workload puts on the visited set.
+    pub dedup_hit_rate: f64,
+    /// Wall-time cost of running with the telemetry recorder attached,
+    /// `(elapsed_with − elapsed_without) / elapsed_without × 100`,
+    /// measured interleaved on the same workload. 0.0 on rows that made
+    /// no such measurement; the ISSUE bar is ≤ 2% on the rows that do.
+    pub telemetry_overhead_pct: f64,
 }
 
 /// A named collection of measurements plus derived ratios.
@@ -214,6 +223,8 @@ mod tests {
                     delta_ratio: 1.0,
                     spilled_extents: 0,
                     faulted_extents: 0,
+                    dedup_hit_rate: 0.5,
+                    telemetry_overhead_pct: 0.0,
                 },
                 ThroughputRow {
                     pipeline: "optimized".into(),
@@ -237,6 +248,8 @@ mod tests {
                     delta_ratio: 1.0,
                     spilled_extents: 0,
                     faulted_extents: 0,
+                    dedup_hit_rate: 0.5,
+                    telemetry_overhead_pct: 0.0,
                 },
             ],
         );

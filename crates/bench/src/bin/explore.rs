@@ -14,8 +14,31 @@
 //!     [--expect-clean] [--mem-budget-mb N] [--time-budget-ms N] \
 //!     [--checkpoint-dir DIR] [--checkpoint-every-ms N] [--resume] \
 //!     [--delta-keyframe K] [--spill-dir DIR] [--spill-budget-mb N] \
-//!     [--symmetry auto|off] [--data-symmetry auto|off] [--por on|wide|off]
+//!     [--symmetry auto|off] [--data-symmetry auto|off] [--por on|wide|off] \
+//!     [--progress auto|off|plain] [--metrics-out FILE] [--help]
 //! ```
+//!
+//! Output is stream-split: the machine-consumable *result* — the report,
+//! rule firings, and any counterexample/trace tables — goes to
+//! **stdout**; everything diagnostic — the startup banner, truncation
+//! NOTEs, the throughput line, the live progress heartbeat, and the
+//! flight-recorder dump — goes to **stderr**. `explore … 2>/dev/null`
+//! yields exactly the report.
+//!
+//! `--progress` controls the stderr heartbeat (one line of states/sec,
+//! frontier size, dedup rate, and footprint per BFS level): `auto` (the
+//! default) draws in place only when stderr is a terminal, `plain`
+//! prints a newline-terminated line per level regardless (the CI/log
+//! mode), `off` silences it. `--metrics-out FILE` additionally streams
+//! schema-versioned JSONL — one `level` record per BFS level, `event`
+//! records for flight-recorder events, and a final `summary` record
+//! whose totals equal the printed report. Either flag attaches the
+//! telemetry recorder; without both, the checker runs its zero-overhead
+//! path and results are bit-identical. When a run ends with violations
+//! or quarantined states, the last flight-recorder events (level
+//! commits, checkpoint writes, degradations, spill seals/faults,
+//! quarantines, violations) are replayed to stderr for post-mortem
+//! context.
 //!
 //! `--expect-clean` is the CI smoke-check mode, with distinct exit codes
 //! for distinct failure classes: **1** when the exploration finds a
@@ -129,6 +152,55 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// `--help` text. Kept in sync with the module docs above; the one-line
+/// summaries here are the authoritative quick reference.
+const USAGE: &str = "\
+explore — exhaustive interleaving explorer for the CXL.cache model
+
+USAGE:
+    explore --p1 PROG [--p2 PROG … --p8 PROG] [OPTIONS]
+
+PROGRAMS (compact syntax, comma-separated):
+    L        load        S<val>   store <val>        E        evict
+
+MODEL:
+    --devices N            device count (default 2, or highest --p<i>)
+    --full                 full protocol configuration (default strict)
+    --relax NAME           snoop-pushes-go | go-tailgate | one-snoop |
+                           naive-tracking
+
+EXPLORATION:
+    --threads N            worker threads (default: all cores)
+    --shards auto|N        fingerprint-routed shards (default auto)
+    --symmetry auto|off    device-permutation symmetry reduction
+    --data-symmetry auto|off  value-symmetry reduction
+    --por on|wide|off      partial-order reduction (default off)
+    --mem-budget-mb N      cap the packed state store
+    --time-budget-ms N     wall-clock watchdog, checked at level bounds
+
+RESILIENCE:
+    --checkpoint-dir DIR   atomic checkpoints at level boundaries
+    --checkpoint-every-ms N  min interval between periodic checkpoints
+    --resume               continue from DIR's checkpoint
+    --delta-keyframe K     parent-delta state encoding, keyframe every K
+    --spill-dir DIR        seal cold levels into extent files under DIR
+    --spill-budget-mb N    resident watermark for proactive spill
+
+OBSERVABILITY (stderr; report stays on stdout):
+    --progress auto|off|plain  live per-level heartbeat (default auto:
+                           only when stderr is a terminal)
+    --metrics-out FILE     stream schema-versioned JSONL metrics: one
+                           'level' record per BFS level, 'event' records
+                           from the flight recorder, one final 'summary'
+
+OUTPUT & CI:
+    --trace                print a sample execution table
+    --firings              print per-rule firing counts
+    --expect-clean         exit 1 on violation/deadlock, 2 on incomplete
+                           coverage, 64 on usage error
+    --help                 this text
+";
+
 /// Why the run failed, mapped to distinct exit codes so CI can tell a
 /// genuine coherence finding from incomplete coverage from a bad
 /// invocation.
@@ -151,6 +223,10 @@ impl From<String> for Failure {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
     let run = || -> Result<(), Failure> {
         // One program per device: --p1 … --p8.
         let mut programs: Vec<Vec<Instruction>> = Vec::new();
@@ -206,7 +282,8 @@ fn main() {
 
         let init =
             SystemState::initial_n(devices, programs.into_iter().map(Into::into).collect());
-        println!(
+        // Banner is diagnostic context, not part of the result: stderr.
+        eprintln!(
             "topology: {} (1 host, single location)\nconfiguration: {cfg:?}\ninitial state:\n{init}",
             Topology::new(devices)
         );
@@ -251,6 +328,20 @@ fn main() {
             return Err("--spill-budget-mb requires --spill-dir".to_string().into());
         }
 
+        let progress = arg_value(&args, "--progress")
+            .map(|v| v.parse::<cxl_mc::ProgressMode>())
+            .transpose()
+            .map_err(|e| format!("bad --progress: {e}"))?
+            .unwrap_or_default();
+        let metrics_out = arg_value(&args, "--metrics-out").map(std::path::PathBuf::from);
+        let recorder = {
+            let rec = cxl_mc::MetricsRecorder::new(progress, metrics_out.as_deref())
+                .map_err(|e| format!("--metrics-out: {e}"))?;
+            // An all-off recorder would still pay the level bookkeeping;
+            // install nothing and keep the checker on its zero-cost path.
+            rec.is_active().then(|| std::sync::Arc::new(rec))
+        };
+
         let symmetry = match arg_value(&args, "--symmetry").as_deref() {
             None | Some("auto") => true,
             Some("off") => false,
@@ -292,6 +383,8 @@ fn main() {
             spill_budget,
             reduction: active
                 .then(|| std::sync::Arc::clone(&reduction) as std::sync::Arc<dyn cxl_mc::Reducer>),
+            telemetry: recorder
+                .map(|rec| rec as std::sync::Arc<dyn cxl_mc::Recorder>),
             ..cxl_mc::CheckOptions::default()
         };
         let mc = ModelChecker::with_options(Ruleset::with_devices(cfg, devices), opts);
@@ -323,7 +416,7 @@ fn main() {
         }
         println!("{report}");
         if report.truncated_by_memory {
-            println!(
+            eprintln!(
                 "NOTE: exploration truncated at the {:.0} MiB state-store budget after {} \
                  states; statistics above cover the explored prefix only \
                  (raise --mem-budget-mb to go deeper)",
@@ -332,7 +425,7 @@ fn main() {
             );
         }
         if report.truncated_by_time {
-            println!(
+            eprintln!(
                 "NOTE: exploration stopped at the time budget after {} states; resume from \
                  the checkpoint (--resume) with a larger --time-budget-ms to continue",
                 report.states
@@ -340,10 +433,21 @@ fn main() {
         }
         let secs = report.elapsed.as_secs_f64();
         if secs > 0.0 {
-            println!(
+            eprintln!(
                 "throughput: {:.0} states/sec over {threads} thread(s)",
                 report.states as f64 / secs
             );
+        }
+        // Post-mortem context on a bad ending: replay the flight
+        // recorder — the last bounded window of notable events — to
+        // stderr so the result stream on stdout stays clean.
+        if (!report.violations.is_empty() || !report.quarantined.is_empty())
+            && !report.flight.is_empty()
+        {
+            eprintln!("--- flight recorder (last {} events) ---", report.flight.len());
+            for event in &report.flight {
+                eprintln!("{event}");
+            }
         }
         if args.iter().any(|a| a == "--firings") {
             println!("--- rule firings ---");

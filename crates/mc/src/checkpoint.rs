@@ -41,6 +41,7 @@ use crate::report::{
 use cxl_core::codec::wire::{put_bytes, put_varint, WireReader};
 use cxl_core::{CodecError, RuleId, Ruleset, StateArena, StateCodec};
 use cxl_reduce::ReductionStats;
+use cxl_telemetry::{FlightEvent, FlightKind};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -54,7 +55,13 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.cxlckpt";
 const MAGIC: &[u8; 8] = b"CXLCKPT1";
 
 /// Format version written after the magic; readers refuse anything newer.
-const FORMAT_VERSION: u64 = 1;
+/// Version 2 (PR 9) appended the flight-recorder event ring after the
+/// degradation-ladder section; version-1 files are still read (their
+/// ring is simply empty — pre-telemetry campaigns resume untouched).
+const FORMAT_VERSION: u64 = 2;
+
+/// Oldest format version this build still reads.
+const MIN_FORMAT_VERSION: u64 = 1;
 
 /// The rolling checkpoint path inside `dir`.
 #[must_use]
@@ -172,6 +179,7 @@ pub(crate) struct CheckpointSource<'a> {
     pub quarantined: &'a [Quarantine],
     pub sheds: &'a [DegradationStep],
     pub reduction_stats: Option<ReductionStats>,
+    pub flight: &'a [FlightEvent],
 }
 
 impl CheckpointSource<'_> {
@@ -295,6 +303,18 @@ impl CheckpointSource<'_> {
             put_varint(&mut out, shed.footprint as u64);
         }
 
+        // The flight-recorder ring (format version 2): a resumed session
+        // inherits the events of the one that died, pre-kill checkpoint
+        // writes included (the write event is pushed before encoding).
+        put_varint(&mut out, self.flight.len() as u64);
+        for event in self.flight {
+            put_varint(&mut out, event.seq);
+            out.push(event.kind.tag());
+            put_varint(&mut out, event.a);
+            put_varint(&mut out, event.b);
+            put_bytes(&mut out, event.detail.as_bytes());
+        }
+
         let checksum = StateCodec::fingerprint(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
         out
@@ -380,6 +400,10 @@ pub struct Checkpoint {
     /// Reduction-engine counters to restore via
     /// [`cxl_reduce::Reducer::restore_stats`].
     pub reduction_stats: Option<ReductionStats>,
+    /// Flight-recorder events retained when the checkpoint was written
+    /// (empty for version-1 files). Restored into the resuming run's
+    /// ring so the campaign's event history survives the crash.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl Checkpoint {
@@ -407,9 +431,10 @@ impl Checkpoint {
             return Err(corrupt("bad magic (not a checkpoint file)".into()));
         }
         let version = r.varint()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(corrupt(format!(
-                "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported format version {version} (this build reads \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let fingerprint = u64::from_le_bytes(r.take(8)?.try_into().expect("8-byte take"));
@@ -575,6 +600,21 @@ impl Checkpoint {
                 footprint: usize_of(r.varint()?)?,
             });
         }
+        let mut flight = Vec::new();
+        if version >= 2 {
+            let flight_len = r.len_prefix(4)?;
+            flight.reserve(flight_len);
+            for _ in 0..flight_len {
+                let seq = r.varint()?;
+                let tag = r.byte()?;
+                let kind = FlightKind::from_tag(tag)
+                    .ok_or_else(|| corrupt(format!("bad flight-event tag {tag}")))?;
+                let a = r.varint()?;
+                let b = r.varint()?;
+                let detail = string_of(r.bytes()?)?;
+                flight.push(FlightEvent { seq, kind, a, b, detail });
+            }
+        }
         if !r.finished() {
             return Err(corrupt(format!("{} trailing bytes after checkpoint", r.remaining())));
         }
@@ -600,6 +640,7 @@ impl Checkpoint {
             quarantined,
             sheds,
             reduction_stats,
+            flight,
         })
     }
 
@@ -643,6 +684,7 @@ impl Checkpoint {
             quarantined: &self.quarantined,
             sheds: &self.sheds,
             reduction_stats: self.reduction_stats,
+            flight: &self.flight,
         }
         .encode(rules)
     }

@@ -28,7 +28,12 @@
 //!   crashing, a wall-clock [`CheckOptions::time_budget`] watchdog, and a
 //!   graceful-degradation ladder under [`CheckOptions::mem_budget`]
 //!   pressure (shed → emergency checkpoint → truncate, every step
-//!   recorded in [`Report::sheds`]).
+//!   recorded in [`Report::sheds`]);
+//! - a telemetry tap ([`CheckOptions::telemetry`]): per-BFS-level metrics
+//!   and a bounded flight recorder ([`FlightRing`]) computed only at
+//!   level-commit barriers — zero cost and bit-identical results when no
+//!   [`Recorder`] is attached. The flight ring rides inside checkpoints,
+//!   so resumed runs carry their pre-kill event history.
 //!
 //! For bounded device programs the model is finite-state, so exploration
 //! here is *exhaustive* — every reachable state is checked, which is the
@@ -73,6 +78,11 @@ pub use checkpoint::{
 };
 pub use cxl_reduce::{
     DataSymmetry, PorMode, Reducer, Reduction, ReductionConfig, ReductionStats,
+};
+pub use cxl_telemetry::{
+    FlightEvent, FlightKind, FlightRing, LevelRecord, MetricsRecorder, NoopRecorder, PhaseNanos,
+    ProgressMode, Recorder, ReductionDelta, RunSummary, ShardLevelStats,
+    DEFAULT_FLIGHT_CAPACITY, METRICS_SCHEMA_VERSION,
 };
 pub use property::{
     boolean_property, FnProperty, InvariantProperty, Property, PropertyOutcome, SwmrProperty,

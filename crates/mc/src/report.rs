@@ -2,6 +2,7 @@
 //! and deadlock reports.
 
 use cxl_core::{RuleId, SystemState};
+use cxl_telemetry::{FlightEvent, PhaseNanos};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -312,6 +313,16 @@ pub struct Report {
     /// property dumps, checkpoint materialization); expansion itself
     /// never faults, so this stays tiny on clean runs.
     pub faulted_extents: u64,
+    /// Where this run's wall time went, by coarse phase — present only
+    /// when a telemetry recorder was installed (the phase clock never
+    /// reads the time otherwise). Covers this session only; a resumed
+    /// run's `elapsed` may include unprofiled predecessor time.
+    pub profile: Option<PhaseNanos>,
+    /// The flight recorder's retained events (oldest first): the last K
+    /// level commits, checkpoint writes, degradation rungs, spill
+    /// seals/faults, quarantines, violations, and resumes. Restored
+    /// rings carry events from the interrupted session(s) too.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl Report {
@@ -350,6 +361,18 @@ impl Report {
     pub fn rule_firings_by_name(&self) -> BTreeMap<String, u64> {
         self.rule_firings.iter().map(|(id, n)| (id.name(), *n)).collect()
     }
+
+    /// Mean distinct states stored per second of wall time (0.0 for a
+    /// zero-duration run).
+    #[must_use]
+    pub fn mean_states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 impl fmt::Display for Report {
@@ -361,14 +384,38 @@ impl fmt::Display for Report {
         )?;
         writeln!(
             f,
-            "violations: {}  deadlocks: {}  elapsed: {:?}  state store: {:.1} KiB{}{}",
+            "violations: {}  deadlocks: {}  elapsed: {:?}  throughput: {:.0} states/s  \
+             state store: {:.1} KiB{}{}",
             self.violations.len(),
             self.deadlocks.len(),
             self.elapsed,
+            self.mean_states_per_sec(),
             self.memory_bytes as f64 / 1024.0,
             if self.truncated_by_memory { " (memory budget exhausted)" } else { "" },
             if self.truncated_by_time { " (time budget exhausted)" } else { "" }
         )?;
+        if let Some(p) = &self.profile {
+            // Phase shares of the wall clock; "untimed" is whatever the
+            // coarse per-level blocks did not cover (driver bookkeeping,
+            // and — on resumed runs — the predecessor sessions' time).
+            let wall = self.elapsed.as_nanos().max(1) as f64;
+            let pct = |nanos: u64| nanos as f64 / wall * 100.0;
+            let untimed = self
+                .elapsed
+                .as_nanos()
+                .saturating_sub(u128::from(p.total()));
+            writeln!(
+                f,
+                "profile: expand {:.1}%  merge {:.1}%  check {:.1}%  spill {:.1}%  \
+                 checkpoint {:.1}%  untimed {:.1}%",
+                pct(p.expand),
+                pct(p.merge),
+                pct(p.check),
+                pct(p.spill),
+                pct(p.checkpoint),
+                untimed as f64 / wall * 100.0
+            )?;
+        }
         if self.shards > 1 {
             writeln!(
                 f,
@@ -512,6 +559,50 @@ reduction: symmetry(|G| = 6, 1 classes) + data-symmetry(2 pinned) + por(wide)
         assert!(text.contains("symmetry:      5 orbit-canonicalized"));
         assert!(!text.contains("data-symmetry:"), "{text}");
         assert!(!text.contains("por:"), "{text}");
+    }
+
+    #[test]
+    fn summary_block_pins_elapsed_and_throughput() {
+        // Snapshot of the second summary line: elapsed wall time and mean
+        // states/sec ride next to the verdict counts. Pinned exactly so a
+        // format regression (or a silently dropped rate) fails loudly.
+        let r = Report {
+            states: 1000,
+            transitions: 4000,
+            depth: 7,
+            terminal_states: 3,
+            elapsed: Duration::from_secs(2),
+            memory_bytes: 2048,
+            ..Report::default()
+        };
+        let text = r.to_string();
+        assert!(
+            text.contains(
+                "violations: 0  deadlocks: 0  elapsed: 2s  throughput: 500 states/s  \
+                 state store: 2.0 KiB\n"
+            ),
+            "summary line drifted from the pinned format:\n{text}"
+        );
+        assert!(!text.contains("profile:"), "no profile without a recorder:\n{text}");
+
+        // With a phase profile attached, a third line breaks the wall
+        // time down (2s wall: 1s expand, 0.5s merge, 0.5s untimed).
+        let profiled = Report {
+            profile: Some(PhaseNanos {
+                expand: 1_000_000_000,
+                merge: 500_000_000,
+                ..PhaseNanos::default()
+            }),
+            ..r
+        };
+        let text = profiled.to_string();
+        assert!(
+            text.contains(
+                "profile: expand 50.0%  merge 25.0%  check 0.0%  spill 0.0%  \
+                 checkpoint 0.0%  untimed 25.0%\n"
+            ),
+            "profile line drifted from the pinned format:\n{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! The flight recorder: a bounded ring of the last K structured events.
+//!
+//! Black-box style: the checker pushes an event at every interesting
+//! moment (level commits, degradation rungs, checkpoint writes, spill
+//! seals/faults, quarantines, violations, resumes) and the ring keeps
+//! only the most recent `capacity` of them — constant memory no matter
+//! how long the campaign runs. The ring is dumped into the final report,
+//! surfaced on violations, and serialized into checkpoints so a resumed
+//! session still sees the minutes before its predecessor died.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default ring capacity. Events arrive at a handful per BFS level, so
+/// 64 covers the recent tens of levels — enough context to see *what the
+/// run was doing* when it stopped, small enough to be noise in a
+/// checkpoint.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+/// What happened. Each kind reuses the two generic payload words `a`/`b`
+/// of [`FlightEvent`] as documented per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A BFS level committed: `a` = depth expanded, `b` = cumulative
+    /// stored states after the commit.
+    LevelCommit,
+    /// A checkpoint was written: `a` = fully expanded depth, `b` =
+    /// stored states. Pushed *before* the file is encoded, so the
+    /// checkpoint on disk contains its own write event.
+    CheckpointWrite,
+    /// A degradation-ladder rung fired: `a` = rung (0 shed, 1 emergency
+    /// checkpoint, 2 truncate), `b` = tracked footprint bytes after.
+    Degradation,
+    /// Cold extents were sealed to the spill directory: `a` = extents
+    /// sealed this event, `b` = cumulative sealed extents.
+    SpillSeal,
+    /// Spilled extents were faulted back in for decode: `a` = faults
+    /// this event, `b` = cumulative faults.
+    SpillFault,
+    /// A state's expansion panicked and was quarantined: `a` = state id;
+    /// `detail` carries the panic message.
+    Quarantine,
+    /// A property violation was recorded: `a` = stored states at the
+    /// time; `detail` names the property.
+    Violation,
+    /// A session resumed from a checkpoint: `a` = restored depth, `b` =
+    /// restored stored states.
+    Resume,
+}
+
+impl FlightKind {
+    /// Stable wire tag (checkpoint serialization).
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            FlightKind::LevelCommit => 0,
+            FlightKind::CheckpointWrite => 1,
+            FlightKind::Degradation => 2,
+            FlightKind::SpillSeal => 3,
+            FlightKind::SpillFault => 4,
+            FlightKind::Quarantine => 5,
+            FlightKind::Violation => 6,
+            FlightKind::Resume => 7,
+        }
+    }
+
+    /// Inverse of [`Self::tag`]; `None` for unknown tags (a newer
+    /// writer's event kinds are refused, not misread).
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => FlightKind::LevelCommit,
+            1 => FlightKind::CheckpointWrite,
+            2 => FlightKind::Degradation,
+            3 => FlightKind::SpillSeal,
+            4 => FlightKind::SpillFault,
+            5 => FlightKind::Quarantine,
+            6 => FlightKind::Violation,
+            7 => FlightKind::Resume,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case name (JSONL records, human dumps).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::LevelCommit => "level_commit",
+            FlightKind::CheckpointWrite => "checkpoint_write",
+            FlightKind::Degradation => "degradation",
+            FlightKind::SpillSeal => "spill_seal",
+            FlightKind::SpillFault => "spill_fault",
+            FlightKind::Quarantine => "quarantine",
+            FlightKind::Violation => "violation",
+            FlightKind::Resume => "resume",
+        }
+    }
+}
+
+/// One structured event. `seq` is assigned by the ring and strictly
+/// increases across the whole campaign — including across checkpoint
+/// resumes — so an event's position in run history survives the ring's
+/// forgetting and the process's death.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (campaign-global).
+    pub seq: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// First payload word (meaning per [`FlightKind`]).
+    pub a: u64,
+    /// Second payload word (meaning per [`FlightKind`]).
+    pub b: u64,
+    /// Free-form detail (panic message, property name); usually empty.
+    pub detail: String,
+}
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {}", self.seq, self.kind.name())?;
+        match self.kind {
+            FlightKind::LevelCommit => {
+                write!(f, ": depth {} committed, {} states", self.a, self.b)
+            }
+            FlightKind::CheckpointWrite => {
+                write!(f, ": depth {}, {} states", self.a, self.b)
+            }
+            FlightKind::Degradation => write!(
+                f,
+                ": rung {} ({:.1} KiB resident)",
+                match self.a {
+                    0 => "shed",
+                    1 => "emergency-checkpoint",
+                    _ => "truncate",
+                },
+                self.b as f64 / 1024.0
+            ),
+            FlightKind::SpillSeal => {
+                write!(f, ": {} extent(s) sealed ({} total)", self.a, self.b)
+            }
+            FlightKind::SpillFault => {
+                write!(f, ": {} fault(s) ({} total)", self.a, self.b)
+            }
+            FlightKind::Quarantine => write!(f, ": state {}: {}", self.a, self.detail),
+            FlightKind::Violation => {
+                write!(f, ": {} at {} states", self.detail, self.a)
+            }
+            FlightKind::Resume => {
+                write!(f, ": depth {}, {} states restored", self.a, self.b)
+            }
+        }
+    }
+}
+
+/// The bounded event ring. Pushing past capacity drops the oldest event;
+/// sequence numbers keep counting.
+#[derive(Clone, Debug)]
+pub struct FlightRing {
+    capacity: usize,
+    next_seq: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+impl FlightRing {
+    /// A ring keeping the last `capacity` events (0 disables recording).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRing { capacity, next_seq: 0, events: VecDeque::new() }
+    }
+
+    /// Rebuild a ring from checkpointed events: the restored events seed
+    /// the ring and `next_seq` continues past the highest restored one.
+    #[must_use]
+    pub fn restore(capacity: usize, mut events: Vec<FlightEvent>) -> Self {
+        let next_seq = events.iter().map(|e| e.seq + 1).max().unwrap_or(0);
+        if events.len() > capacity {
+            events.drain(..events.len() - capacity);
+        }
+        FlightRing { capacity, next_seq, events: events.into() }
+    }
+
+    /// Record an event, returning a reference to it (so sinks can be fed
+    /// without re-building it). `None` when the ring is disabled.
+    pub fn push(
+        &mut self,
+        kind: FlightKind,
+        a: u64,
+        b: u64,
+        detail: impl Into<String>,
+    ) -> Option<&FlightEvent> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(FlightEvent { seq, kind, a, b, detail: detail.into() });
+        self.events.back()
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Retained event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Has nothing been retained?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_sequences() {
+        let mut ring = FlightRing::new(3);
+        for depth in 0..5u64 {
+            ring.push(FlightKind::LevelCommit, depth, depth * 10, "");
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3, "capacity bounds retention");
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest dropped, sequence monotone"
+        );
+    }
+
+    #[test]
+    fn restore_continues_the_sequence() {
+        let mut ring = FlightRing::new(4);
+        ring.push(FlightKind::CheckpointWrite, 2, 100, "");
+        ring.push(FlightKind::LevelCommit, 3, 150, "");
+        let restored = FlightRing::restore(4, ring.events());
+        let mut restored = restored;
+        restored.push(FlightKind::Resume, 3, 150, "");
+        let events = restored.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].seq, 2, "sequence continues past restored history");
+        assert_eq!(events[0].kind, FlightKind::CheckpointWrite);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut ring = FlightRing::new(0);
+        assert!(ring.push(FlightKind::LevelCommit, 0, 0, "").is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for kind in [
+            FlightKind::LevelCommit,
+            FlightKind::CheckpointWrite,
+            FlightKind::Degradation,
+            FlightKind::SpillSeal,
+            FlightKind::SpillFault,
+            FlightKind::Quarantine,
+            FlightKind::Violation,
+            FlightKind::Resume,
+        ] {
+            assert_eq!(FlightKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(FlightKind::from_tag(200), None);
+    }
+}

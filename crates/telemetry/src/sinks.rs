@@ -1,0 +1,419 @@
+//! Sinks: where telemetry goes.
+//!
+//! [`MetricsRecorder`] is the standard [`Recorder`](crate::Recorder)
+//! implementation behind `explore --progress`/`--metrics-out`: a live
+//! single-line heartbeat on **stderr** (never stdout — the report stream
+//! stays machine-clean) and/or a schema-versioned JSONL file. JSON is
+//! rendered by hand: every field is a number, boolean, or
+//! escaped string this module controls, and keeping the crate
+//! dependency-free lets it sit below `cxl-mc` in the workspace graph.
+
+use crate::{FlightEvent, FlightKind, LevelRecord, Recorder, RunSummary, METRICS_SCHEMA_VERSION};
+use std::fs::File;
+use std::io::{self, BufWriter, IsTerminal, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// How the stderr heartbeat behaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Heartbeat only when stderr is a terminal, redrawn in place with
+    /// `\r` (the default for interactive runs; silent under redirection).
+    #[default]
+    Auto,
+    /// No heartbeat.
+    Off,
+    /// One newline-terminated line per level, TTY or not — the mode CI
+    /// and log captures use.
+    Plain,
+}
+
+impl std::str::FromStr for ProgressMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ProgressMode::Auto),
+            "off" => Ok(ProgressMode::Off),
+            "plain" => Ok(ProgressMode::Plain),
+            other => Err(format!("bad progress mode {other:?} (auto, off, plain)")),
+        }
+    }
+}
+
+struct MetricsInner {
+    jsonl: Option<BufWriter<File>>,
+    /// Is an unterminated `\r` heartbeat currently on screen?
+    heartbeat_live: bool,
+}
+
+/// The standard recorder: heartbeat + JSONL. All IO happens at level
+/// boundaries on the driver thread; the mutex is never contended.
+pub struct MetricsRecorder {
+    progress: ProgressMode,
+    stderr_tty: bool,
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsRecorder {
+    /// Build a recorder with the given heartbeat mode and optional JSONL
+    /// output path (truncated if it exists).
+    ///
+    /// # Errors
+    /// Propagates failure to create `metrics_out`.
+    pub fn new(progress: ProgressMode, metrics_out: Option<&Path>) -> io::Result<Self> {
+        // A roomy buffer: level records are ~400 bytes, so the default
+        // 8 KiB buffer would cost a write syscall every ~20 levels; this
+        // one drains only at irregular events and at `finish`.
+        let jsonl = metrics_out
+            .map(|p| File::create(p).map(|f| BufWriter::with_capacity(1 << 16, f)))
+            .transpose()?;
+        Ok(MetricsRecorder {
+            progress,
+            stderr_tty: io::stderr().is_terminal(),
+            inner: Mutex::new(MetricsInner { jsonl, heartbeat_live: false }),
+        })
+    }
+
+    /// Does any sink actually emit anything? (An all-off recorder is
+    /// legal but pointless; callers can skip installing it.)
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        if self.progress == ProgressMode::Plain || (self.progress == ProgressMode::Auto && self.stderr_tty) {
+            return true;
+        }
+        self.inner.lock().is_ok_and(|i| i.jsonl.is_some())
+    }
+
+    fn heartbeat(&self, inner: &mut MetricsInner, record: &LevelRecord) {
+        // Decide before formatting: rendering the line costs a handful of
+        // allocations per level, which is pure waste when no heartbeat
+        // will be printed (the JSONL-only configuration benches run in).
+        let live = match self.progress {
+            ProgressMode::Off => false,
+            ProgressMode::Plain => true,
+            ProgressMode::Auto => self.stderr_tty,
+        };
+        if !live {
+            return;
+        }
+        let line = format!(
+            "[depth {}] {} states ({}/s)  frontier {}  dedup {:.1}%  footprint {}",
+            record.depth,
+            human_count(record.states_total as u64),
+            human_count(record.states_per_sec() as u64),
+            human_count(record.frontier as u64),
+            record.dedup_hit_rate() * 100.0,
+            human_bytes(record.footprint),
+        );
+        match self.progress {
+            ProgressMode::Off => {}
+            ProgressMode::Plain => {
+                eprintln!("{line}");
+            }
+            ProgressMode::Auto if self.stderr_tty => {
+                // Redraw in place; pad the tail so a shrinking line
+                // leaves no stale characters behind.
+                eprint!("\r{line:<78}");
+                let _ = io::stderr().flush();
+                inner.heartbeat_live = true;
+            }
+            ProgressMode::Auto => {}
+        }
+    }
+
+    fn write_jsonl(&self, inner: &mut MetricsInner, line: &str) {
+        if let Some(out) = &mut inner.jsonl {
+            // A failed metrics write degrades to a dropped record, not a
+            // failed exploration: telemetry must never kill the run. No
+            // per-line flush either — a syscall per BFS level is the
+            // recorder's single biggest cost; the stream is flushed on
+            // every (rare) flight event and at `finish`, and a run killed
+            // hard enough to lose the tail of its JSONL still has the
+            // flight ring inside its checkpoint.
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn record_level(&self, record: &LevelRecord) {
+        let Ok(mut inner) = self.inner.lock() else { return };
+        self.heartbeat(&mut inner, record);
+        if inner.jsonl.is_some() {
+            let line = level_json(record);
+            self.write_jsonl(&mut inner, &line);
+        }
+    }
+
+    fn record_event(&self, event: &FlightEvent) {
+        // LevelCommit is the steady once-per-level pulse; its JSONL line
+        // would only duplicate the level record emitted at the same
+        // barrier, so the stream carries irregular events only (the
+        // flight *ring* still holds every kind). Each one is rare and is
+        // the postmortem signal — worth rendering and flushing eagerly.
+        if event.kind == FlightKind::LevelCommit {
+            return;
+        }
+        let Ok(mut inner) = self.inner.lock() else { return };
+        if inner.jsonl.is_some() {
+            let line = event_json(event);
+            self.write_jsonl(&mut inner, &line);
+            if let Some(out) = &mut inner.jsonl {
+                let _ = out.flush();
+            }
+        }
+    }
+
+    fn finish(&self, summary: &RunSummary) {
+        let Ok(mut inner) = self.inner.lock() else { return };
+        if inner.heartbeat_live {
+            // Terminate the in-place heartbeat so the next stderr line
+            // starts clean.
+            eprintln!();
+            inner.heartbeat_live = false;
+        }
+        if inner.jsonl.is_some() {
+            let line = summary_json(summary);
+            self.write_jsonl(&mut inner, &line);
+            // End of run: push every buffered level record to disk.
+            if let Some(out) = &mut inner.jsonl {
+                let _ = out.flush();
+            }
+        }
+    }
+}
+
+/// `1234567` → `"1.2M"`, `4321` → `"4.3k"`, `99` → `"99"`.
+fn human_count(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1_000_000.0)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1_000.0)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Bytes with a binary unit suffix.
+fn human_bytes(n: usize) -> String {
+    let n = n as f64;
+    if n >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} GiB", n / (1024.0 * 1024.0 * 1024.0))
+    } else if n >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", n / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} KiB", n / 1024.0)
+    }
+}
+
+/// Escape a string for a JSON literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number (NaN/inf degrade to 0 — JSON has no spelling for
+/// them and a telemetry stream must stay parseable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn phases_json(p: &crate::PhaseNanos) -> String {
+    format!(
+        "{{\"expand\":{},\"merge\":{},\"check\":{},\"spill\":{},\"checkpoint\":{}}}",
+        p.expand, p.merge, p.check, p.spill, p.checkpoint
+    )
+}
+
+fn level_json(r: &LevelRecord) -> String {
+    let mut out = format!(
+        "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"kind\":\"level\",\
+         \"depth\":{},\"stored\":{},\"states\":{},\"transitions\":{},\
+         \"duplicates\":{},\"dedup_hit_rate\":{},\"frontier\":{},\
+         \"footprint_bytes\":{},\"elapsed_secs\":{},\"states_per_sec\":{},\
+         \"phase_nanos\":{},\"sheds\":{},\"spill_seals\":{},\"spill_faults\":{},\
+         \"quarantines\":{}",
+        r.depth,
+        r.stored,
+        r.states_total,
+        r.transitions,
+        r.duplicates,
+        json_f64(r.dedup_hit_rate()),
+        r.frontier,
+        r.footprint,
+        json_f64(r.elapsed.as_secs_f64()),
+        json_f64(r.states_per_sec()),
+        phases_json(&r.phases),
+        r.sheds,
+        r.spill_seals,
+        r.spill_faults,
+        r.quarantines,
+    );
+    if let Some(red) = &r.reduction {
+        out.push_str(&format!(
+            ",\"reduction\":{{\"orbit_canonicalized\":{},\"value_canonicalized\":{},\
+             \"ample_steps\":{}}}",
+            red.orbit_canonicalized, red.value_canonicalized, red.ample_steps
+        ));
+    }
+    if let Some(sh) = &r.shards {
+        let depths: Vec<String> = sh.queue_depths.iter().map(ToString::to_string).collect();
+        out.push_str(&format!(
+            ",\"shards\":{{\"queue_depths\":[{}],\"imbalance_pct\":{}}}",
+            depths.join(","),
+            json_f64(sh.imbalance_pct)
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn event_json(e: &FlightEvent) -> String {
+    format!(
+        "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"kind\":\"event\",\
+         \"seq\":{},\"event\":\"{}\",\"a\":{},\"b\":{},\"detail\":\"{}\"}}",
+        e.seq,
+        e.kind.name(),
+        e.a,
+        e.b,
+        json_escape(&e.detail)
+    )
+}
+
+fn summary_json(s: &RunSummary) -> String {
+    format!(
+        "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"kind\":\"summary\",\
+         \"states\":{},\"transitions\":{},\"depth\":{},\"violations\":{},\
+         \"deadlocks\":{},\"quarantined\":{},\"truncated\":{},\"clean\":{},\
+         \"elapsed_secs\":{},\"mean_states_per_sec\":{},\"footprint_bytes\":{},\
+         \"phase_nanos\":{}}}",
+        s.states,
+        s.transitions,
+        s.depth,
+        s.violations,
+        s.deadlocks,
+        s.quarantined,
+        s.truncated,
+        s.clean,
+        json_f64(s.elapsed.as_secs_f64()),
+        json_f64(s.mean_states_per_sec()),
+        s.footprint,
+        phases_json(&s.phases),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlightKind, PhaseNanos, ReductionDelta, ShardLevelStats};
+    use std::time::Duration;
+
+    fn sample_level() -> LevelRecord {
+        LevelRecord {
+            depth: 2,
+            stored: 10,
+            states_total: 42,
+            transitions: 40,
+            duplicates: 30,
+            frontier: 10,
+            footprint: 2048,
+            elapsed: Duration::from_millis(20),
+            phases: PhaseNanos { expand: 5, merge: 4, check: 3, spill: 2, checkpoint: 1 },
+            sheds: 0,
+            spill_seals: 1,
+            spill_faults: 0,
+            quarantines: 0,
+            reduction: Some(ReductionDelta {
+                orbit_canonicalized: 7,
+                value_canonicalized: 8,
+                ample_steps: 9,
+            }),
+            shards: Some(ShardLevelStats { queue_depths: vec![3, 5], imbalance_pct: 12.5 }),
+        }
+    }
+
+    #[test]
+    fn level_json_is_selfdescribing() {
+        let json = level_json(&sample_level());
+        assert!(json.starts_with(&format!(
+            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"kind\":\"level\""
+        )));
+        for field in [
+            "\"depth\":2",
+            "\"stored\":10",
+            "\"transitions\":40",
+            "\"orbit_canonicalized\":7",
+            "\"queue_depths\":[3,5]",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn event_json_escapes_details() {
+        let e = FlightEvent {
+            seq: 3,
+            kind: FlightKind::Quarantine,
+            a: 17,
+            b: 0,
+            detail: "panic: \"bad\"\nstate".into(),
+        };
+        let json = event_json(&e);
+        assert!(json.contains("\\\"bad\\\"\\nstate"), "{json}");
+        assert!(json.contains("\"event\":\"quarantine\""));
+    }
+
+    #[test]
+    fn jsonl_stream_writes_one_record_per_level() {
+        let path = std::env::temp_dir()
+            .join(format!("cxl-telemetry-sink-{}.jsonl", std::process::id()));
+        let rec = MetricsRecorder::new(ProgressMode::Off, Some(&path)).unwrap();
+        assert!(rec.is_active());
+        rec.record_level(&sample_level());
+        rec.finish(&RunSummary {
+            states: 42,
+            transitions: 40,
+            depth: 3,
+            violations: 0,
+            deadlocks: 0,
+            quarantined: 0,
+            truncated: false,
+            clean: true,
+            elapsed: Duration::from_millis(60),
+            footprint: 2048,
+            phases: PhaseNanos::default(),
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"level\""));
+        assert!(lines[1].contains("\"kind\":\"summary\""));
+        assert!(lines[1].contains("\"clean\":true"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn progress_modes_parse() {
+        assert_eq!("auto".parse::<ProgressMode>().unwrap(), ProgressMode::Auto);
+        assert_eq!("off".parse::<ProgressMode>().unwrap(), ProgressMode::Off);
+        assert_eq!("plain".parse::<ProgressMode>().unwrap(), ProgressMode::Plain);
+        assert!("loud".parse::<ProgressMode>().is_err());
+    }
+}
