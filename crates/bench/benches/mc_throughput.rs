@@ -71,6 +71,7 @@ const WORKLOAD_SYM: &str = "[S7,L] x N (symmetric)";
 /// inert) but value-isomorphic, with three interchangeable stored
 /// values.
 const WORKLOAD_STORE_HEAVY: &str = "[S1,L] x [S2,L] x [S3,L] (store-heavy, asymmetric)";
+const WORKLOAD_HEX: &str = "[S1] x [S2] x [S3] x [S4] x [S5] x [S6] (all-distinct stores)";
 
 fn workload() -> SystemState {
     SystemState::initial(programs::stores(0, 3), programs::loads(3))
@@ -95,6 +96,24 @@ fn workload_sym(n: usize) -> SystemState {
         vec![cxl_core::Instruction::Store(7), cxl_core::Instruction::Load].into()
     };
     SystemState::initial_n(n, (0..n).map(|_| prog()).collect())
+}
+
+/// Six devices, each storing a distinct value: the byte-equality group
+/// is trivial but value-blindness detects the full S_6 joint group —
+/// the shape whose 720-arrangement brute enumeration the refine
+/// labeller retires.
+fn workload_hex() -> SystemState {
+    SystemState::initial_n(
+        6,
+        (0..6).map(|i| vec![cxl_core::Instruction::Store(i + 1)].into()).collect(),
+    )
+}
+
+/// The canonicalizer a [`Reduction`] under `rc` actually selects for
+/// `init` — recorded in the row's `canon` column.
+fn canon_of(devices: usize, init: &SystemState, rc: ReductionConfig) -> String {
+    let rules = Ruleset::with_devices(ProtocolConfig::strict(), devices);
+    Reduction::new(&rules, init, rc).canon_name().to_string()
 }
 
 fn workload_store_heavy() -> SystemState {
@@ -122,7 +141,12 @@ fn reduced_checker(devices: usize, init: &SystemState, rc: ReductionConfig) -> M
 
 /// Device symmetry alone — the PR 4 rows, kept comparable across PRs.
 fn sym_only() -> ReductionConfig {
-    ReductionConfig { symmetry: true, data_symmetry: false, por: cxl_mc::PorMode::Off }
+    ReductionConfig {
+        symmetry: true,
+        data_symmetry: false,
+        por: cxl_mc::PorMode::Off,
+        canon: cxl_mc::CanonMode::Auto,
+    }
 }
 
 /// The resilience row's checker: the N = 3 pipeline with checkpointing
@@ -360,6 +384,7 @@ fn snapshot_row(
         routed_messages: shard.1,
         shard_imbalance_pct: shard.2,
         reduction: reduction.to_string(),
+        canon: "off".to_string(),
         states_explored_unreduced,
         delta_ratio: store.0,
         spilled_extents: store.1,
@@ -483,6 +508,7 @@ fn bench(c: &mut Criterion) {
                     symmetry: true,
                     data_symmetry: true,
                     por: cxl_mc::PorMode::Off,
+                    canon: cxl_mc::CanonMode::Auto,
                 },
             );
             b.iter(|| black_box(red.check(init, &[])));
@@ -718,6 +744,7 @@ fn bench(c: &mut Criterion) {
             symmetry: true,
             data_symmetry: true,
             por: cxl_mc::PorMode::Off,
+            canon: cxl_mc::CanonMode::Auto,
         };
         let red_mc = reduced_checker(3, &heavy, cfg);
         let mem_red = memory_columns(&red_mc.explore(&heavy, &[]));
@@ -729,7 +756,7 @@ fn bench(c: &mut Criterion) {
             r_states * 2 <= unreduced.report.states,
             "data symmetry must at least halve the store-heavy grid"
         );
-        reduced_rows.push(snapshot_row(
+        let mut row = snapshot_row(
             "datasym_n3",
             WORKLOAD_STORE_HEAVY,
             3,
@@ -743,7 +770,9 @@ fn bench(c: &mut Criterion) {
             "data-symmetry",
             unreduced.report.states,
             PLAIN_STORE,
-        ));
+        );
+        row.canon = canon_of(3, &heavy, cfg);
+        reduced_rows.push(row);
 
         let sym3 = workload_sym(3);
         let unreduced_sym = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 3))
@@ -752,6 +781,7 @@ fn bench(c: &mut Criterion) {
             symmetry: true,
             data_symmetry: false,
             por: cxl_mc::PorMode::Wide,
+            canon: cxl_mc::CanonMode::Auto,
         };
         let red_mc = reduced_checker(3, &sym3, cfg);
         let mem_red = memory_columns(&red_mc.explore(&sym3, &[]));
@@ -778,6 +808,88 @@ fn bench(c: &mut Criterion) {
             unreduced_sym.report.states,
             PLAIN_STORE,
         ));
+    }
+
+    // This PR's canonical-labelling rows. `symrefine_n4`: the N = 4
+    // symmetric grid under the full joint engine with the refine
+    // labeller pinned — directly comparable to reduced_n4 (byte-sort
+    // path) and to the retired brute enumeration. `sym_n6`: the
+    // all-distinct single-store hexad whose 720 value-blind
+    // arrangements the brute canonicalizer cannot enumerate per
+    // successor in reasonable time; `auto` must select refine and
+    // finish. The unreduced N = 6 space is not measurable, so that
+    // row's states_explored_unreduced carries its own state count
+    // (ratio 1.0 = unmeasured), not a measured baseline.
+    {
+        let sym4 = workload_sym(4);
+        let unreduced = ModelChecker::new(Ruleset::with_devices(ProtocolConfig::strict(), 4))
+            .explore(&sym4, &[]);
+        let cfg = ReductionConfig {
+            symmetry: true,
+            data_symmetry: true,
+            por: cxl_mc::PorMode::Off,
+            canon: cxl_mc::CanonMode::Refine,
+        };
+        let red_mc = reduced_checker(4, &sym4, cfg);
+        let mem_red = memory_columns(&red_mc.explore(&sym4, &[]));
+        let (r_states, r_trans, r_best, r_rss) = best_of(iters, || {
+            let r = red_mc.check(&sym4, &[]);
+            (r.states, r.transitions)
+        });
+        assert!(
+            r_states < unreduced.report.states,
+            "the refine labeller must shrink the N=4 symmetric grid"
+        );
+        let mut row = snapshot_row(
+            "symrefine_n4",
+            WORKLOAD_SYM,
+            4,
+            1,
+            r_states,
+            r_trans,
+            r_best,
+            mem_red,
+            r_rss,
+            UNSHARDED,
+            "symmetry+data-symmetry",
+            unreduced.report.states,
+            PLAIN_STORE,
+        );
+        row.canon = canon_of(4, &sym4, cfg);
+        assert_eq!(row.canon, "refine", "the pinned labeller must be selected");
+        reduced_rows.push(row);
+
+        let hex = workload_hex();
+        let cfg = ReductionConfig {
+            symmetry: true,
+            data_symmetry: true,
+            por: cxl_mc::PorMode::Wide,
+            canon: cxl_mc::CanonMode::Auto,
+        };
+        let red_mc = reduced_checker(6, &hex, cfg);
+        let mem_red = memory_columns(&red_mc.explore(&hex, &[]));
+        let (r_states, r_trans, r_best, r_rss) = best_of(iters, || {
+            let r = red_mc.check(&hex, &[]);
+            (r.states, r.transitions)
+        });
+        let mut row = snapshot_row(
+            "sym_n6",
+            WORKLOAD_HEX,
+            6,
+            1,
+            r_states,
+            r_trans,
+            r_best,
+            mem_red,
+            r_rss,
+            UNSHARDED,
+            "data-symmetry+por(wide)",
+            r_states,
+            PLAIN_STORE,
+        );
+        row.canon = canon_of(6, &hex, cfg);
+        assert_eq!(row.canon, "refine", "auto must pick refine for the hexad");
+        reduced_rows.push(row);
     }
 
     let mut rows = vec![
@@ -955,7 +1067,15 @@ fn bench(c: &mut Criterion) {
              joint permutations ride on the device-permutation machinery), and \
              widepor_n3 stacks the widened POR tier on device symmetry, each \
              with states_explored_unreduced the measured \
-             unreduced count of the same workload; checkpoint_n3 re-runs the \
+             unreduced count of the same workload; symrefine_n4 pins the \
+             partition-refinement labeller on the N=4 symmetric grid under \
+             the full joint engine, and sym_n6 runs the all-distinct \
+             single-store hexad (720 value-blind arrangements) that only the \
+             refine labeller makes tractable — its states_explored_unreduced \
+             is its own state count since the unreduced N=6 space is \
+             unmeasurable; every row's canon column names the orbit \
+             canonicalizer that backed it (off/refine/brute/capped); \
+             checkpoint_n3 re-runs the \
              optimized_n3 workload with checkpointing armed at the default \
              interval (one final checkpoint write per run) — its gap to \
              optimized_n3 is the resilience layer's overhead; sharded_mt runs \

@@ -67,6 +67,12 @@ pub struct ThroughputRow {
     /// Which state-space reduction the row ran with: `none`, `symmetry`,
     /// `por`, or `symmetry+por`.
     pub reduction: String,
+    /// Which orbit canonicalizer backed the symmetry engines: `off`
+    /// (none armed, or pure byte-symmetry sort), `refine`
+    /// (partition-refinement labeller), `brute` (admissible-arrangement
+    /// enumeration), or `capped` (refine over group byte-classes after
+    /// the brute cap tripped).
+    pub canon: String,
     /// States the same workload explores **without** reduction (equal to
     /// `states` on unreduced rows) — `states / states_explored_unreduced`
     /// is the measured reduction ratio the ROADMAP tracks.
@@ -219,6 +225,7 @@ mod tests {
                     routed_messages: 0,
                     shard_imbalance_pct: 0.0,
                     reduction: "none".into(),
+                    canon: "off".into(),
                     states_explored_unreduced: 10,
                     delta_ratio: 1.0,
                     spilled_extents: 0,
@@ -244,6 +251,7 @@ mod tests {
                     routed_messages: 0,
                     shard_imbalance_pct: 0.0,
                     reduction: "none".into(),
+                    canon: "off".into(),
                     states_explored_unreduced: 10,
                     delta_ratio: 1.0,
                     spilled_extents: 0,

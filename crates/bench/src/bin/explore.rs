@@ -14,7 +14,8 @@
 //!     [--expect-clean] [--mem-budget-mb N] [--time-budget-ms N] \
 //!     [--checkpoint-dir DIR] [--checkpoint-every-ms N] [--resume] \
 //!     [--delta-keyframe K] [--spill-dir DIR] [--spill-budget-mb N] \
-//!     [--symmetry auto|off] [--data-symmetry auto|off] [--por on|wide|off] \
+//!     [--symmetry auto|off] [--data-symmetry auto|off] \
+//!     [--canon auto|refine|brute] [--por on|wide|off] \
 //!     [--progress auto|off|plain] [--metrics-out FILE] [--help]
 //! ```
 //!
@@ -73,10 +74,20 @@
 //! whose programs differ but whose value spaces are interchangeable
 //! collapse multiplicatively; `off` disables the value engine. `--por
 //! on` collapses interleavings around statically-safe local steps;
-//! `--por wide` widens that to snoop-free local hits and GO/data
-//! completion diamonds (default `off`). When a reduced run finds a
-//! violation, the printed counterexample is de-permuted (device *and*
-//! value coordinates) back into the user's frame before rendering.
+//! `--por wide` widens that to snoop-free local hits, GO/data
+//! completion diamonds, and unique host-drain steps (default `off`).
+//! When a reduced run finds a violation, the printed counterexample is
+//! de-permuted (device *and* value coordinates) back into the user's
+//! frame before rendering.
+//!
+//! `--canon` picks the orbit canonicalizer behind the symmetry engines:
+//! `auto` (the default) uses the partition-refinement labeller whenever
+//! the detected group is a full product of per-orbit symmetric groups —
+//! polynomial per successor, which is what makes N ≥ 6 fully-symmetric
+//! grids tractable — and otherwise enumerates admissible arrangements
+//! brute-force up to a cap. `refine` and `brute` force one engine; a
+//! coupled group over the cap falls back to capped refine over group
+//! byte-classes (sound, coarser quotient) with a stderr NOTE.
 //!
 //! `--mem-budget-mb` caps the packed state store: when a big grid (an
 //! N = 4 sweep with long programs, say) outgrows the budget, exploration
@@ -174,6 +185,9 @@ EXPLORATION:
     --shards auto|N        fingerprint-routed shards (default auto)
     --symmetry auto|off    device-permutation symmetry reduction
     --data-symmetry auto|off  value-symmetry reduction
+    --canon auto|refine|brute  orbit canonicalizer (default auto: refine
+                           labeller on orbit-product groups, else brute
+                           up to a cap, else capped refine + stderr NOTE)
     --por on|wide|off      partial-order reduction (default off)
     --mem-budget-mb N      cap the packed state store
     --time-budget-ms N     wall-clock watchdog, checked at level bounds
@@ -228,7 +242,20 @@ fn main() {
         return;
     }
     let run = || -> Result<(), Failure> {
-        // One program per device: --p1 … --p8.
+        // One program per device: --p1 … --p8. A `--p<i>` outside the
+        // supported device range would otherwise be skipped by the loop
+        // below and silently drop the user's program — reject it.
+        for a in &args {
+            if let Some(i) = a.strip_prefix("--p").and_then(|s| s.parse::<usize>().ok()) {
+                if !(1..=Topology::MAX_DEVICES).contains(&i) {
+                    return Err(format!(
+                        "--p{i} outside supported device range 1..={}",
+                        Topology::MAX_DEVICES
+                    )
+                    .into());
+                }
+            }
+        }
         let mut programs: Vec<Vec<Instruction>> = Vec::new();
         let mut highest_prog = 0usize;
         for i in 1..=Topology::MAX_DEVICES {
@@ -358,6 +385,14 @@ fn main() {
             Some("wide") => cxl_mc::PorMode::Wide,
             Some(other) => return Err(format!("bad --por {other:?} (on, wide, off)").into()),
         };
+        let canon = match arg_value(&args, "--canon").as_deref() {
+            None | Some("auto") => cxl_mc::CanonMode::Auto,
+            Some("refine") => cxl_mc::CanonMode::Refine,
+            Some("brute") => cxl_mc::CanonMode::Brute,
+            Some(other) => {
+                return Err(format!("bad --canon {other:?} (auto, refine, brute)").into());
+            }
+        };
         // Both stock properties quantify over devices symmetrically and
         // compare values only between components, so the reduction's
         // property-invariance obligations hold; an inert reducer
@@ -367,9 +402,18 @@ fn main() {
         let reduction = std::sync::Arc::new(cxl_mc::Reduction::new(
             &rules_for_group,
             &init,
-            cxl_mc::ReductionConfig { symmetry, data_symmetry, por },
+            cxl_mc::ReductionConfig { symmetry, data_symmetry, por, canon },
         ));
         let active = reduction.is_active();
+        if active && reduction.canon_name() == "capped" {
+            eprintln!(
+                "NOTE: symmetry group is not a full product of per-orbit symmetric groups, \
+                 and brute arrangement enumeration is capped at {} permutations; \
+                 canonicalizing with the partition-refinement labeller over group \
+                 byte-classes — sound, but a coarser quotient than exact orbit minimization",
+                cxl_mc::BRUTE_ARRANGEMENT_CAP
+            );
+        }
 
         let invariant = InvariantProperty::new(Invariant::for_devices(&cfg, devices));
         let opts = cxl_mc::CheckOptions {

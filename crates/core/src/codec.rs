@@ -589,6 +589,66 @@ impl StateCodec {
         Ok(())
     }
 
+    /// Rewrite the `Val` slots of one **device segment** (a
+    /// [`Self::device_segment_bounds`] span) through `f`, appending the
+    /// rewritten segment to `out` — the per-segment sibling of
+    /// [`Self::map_vals`]. The partition-refinement canonical labeller
+    /// ranks a cell's candidate segments under a partial value map with
+    /// this, assembling its candidate encoding segment by segment, so
+    /// `out` is **appended to, not cleared**. Value slots are re-encoded
+    /// as zigzag varints (the output span's length may differ from the
+    /// input's); everything else is copied byte for byte, and `f` over
+    /// the identity reproduces the segment exactly.
+    ///
+    /// An associated function rather than a method: a device segment's
+    /// layout is topology-independent.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes.
+    pub fn map_device_segment_vals(
+        seg: &[u8],
+        out: &mut Vec<u8>,
+        mut f: impl FnMut(crate::ids::Val) -> crate::ids::Val,
+    ) -> Result<(), CodecError> {
+        let mut r = Reader::new(seg);
+        map_device_vals(&mut r, out, &mut f)?;
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete device segment",
+                seg.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rewrite the `Val` slot of one **global header** span (the
+    /// `..bounds[0]` prefix of [`Self::device_segment_bounds`]: counter,
+    /// host state, host value) through `f`, appending to `out` — the
+    /// header sibling of [`Self::map_device_segment_vals`].
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed or trailing bytes.
+    pub fn map_header_vals(
+        header: &[u8],
+        out: &mut Vec<u8>,
+        mut f: impl FnMut(crate::ids::Val) -> crate::ids::Val,
+    ) -> Result<(), CodecError> {
+        let mut r = Reader::new(header);
+        copy_span(&mut r, out, |r| r.varint().map(|_| ()))?; // counter
+        let hs = r.byte()?;
+        hstate_from(hs)?;
+        out.push(hs);
+        let hv = r.signed()?;
+        put_signed(out, f(hv));
+        if !r.finished() {
+            return Err(CodecError(format!(
+                "{} trailing bytes after a complete header",
+                header.len() - r.pos
+            )));
+        }
+        Ok(())
+    }
+
     /// Append the operand of every `Store` instruction remaining in any
     /// device's program of one encoded state to `out` — the state's
     /// mint inventory (the values its future can still introduce). The
@@ -2146,6 +2206,57 @@ mod tests {
 
         // Malformed input is rejected.
         assert!(codec.map_vals(&bytes[..bytes.len() - 1], &mut out, |v| v).is_err());
+    }
+
+    #[test]
+    fn segmentwise_val_mapping_matches_whole_state_mapping() {
+        let codec = codec2();
+        let mut s = SystemState::initial(programs::stores(5, 2), programs::load());
+        s.host.val = 7;
+        s.dev_mut(DeviceId::D1).cache.val = 5;
+        s.dev_mut(DeviceId::D2).h2d_data.push(DataMsg::new(3, 7));
+        s.dev_mut(DeviceId::D2).d2h_data.push(DataMsg::bogus(4, 5));
+        let bytes = codec.encode(&s);
+        let mut bounds = [0usize; Topology::MAX_DEVICES + 1];
+        codec.device_segment_bounds(&bytes, &mut bounds).unwrap();
+
+        // Header + per-segment mapping, concatenated in encoding order,
+        // reproduces map_vals over the whole state — the contract the
+        // refine labeller's segment-by-segment assembly rests on.
+        let shift = |v: crate::ids::Val| v + 100;
+        let mut whole = Vec::new();
+        codec.map_vals(&bytes, &mut whole, shift).unwrap();
+        let mut pieces = Vec::new();
+        StateCodec::map_header_vals(&bytes[..bounds[0]], &mut pieces, shift).unwrap();
+        for i in 0..2 {
+            StateCodec::map_device_segment_vals(
+                &bytes[bounds[i]..bounds[i + 1]],
+                &mut pieces,
+                shift,
+            )
+            .unwrap();
+        }
+        assert_eq!(pieces, whole);
+
+        // Identity round-trips each piece exactly, and appending (not
+        // clearing) is the contract.
+        let mut out = vec![0xAB];
+        StateCodec::map_header_vals(&bytes[..bounds[0]], &mut out, |v| v).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(&out[1..], &bytes[..bounds[0]]);
+        out.clear();
+        StateCodec::map_device_segment_vals(&bytes[bounds[0]..bounds[1]], &mut out, |v| v)
+            .unwrap();
+        assert_eq!(out, &bytes[bounds[0]..bounds[1]]);
+
+        // Truncated inputs are rejected rather than mis-parsed.
+        assert!(StateCodec::map_header_vals(&bytes[..bounds[0] - 1], &mut out, |v| v).is_err());
+        assert!(StateCodec::map_device_segment_vals(
+            &bytes[bounds[0]..bounds[1] - 1],
+            &mut out,
+            |v| v
+        )
+        .is_err());
     }
 
     #[test]

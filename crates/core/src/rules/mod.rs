@@ -583,6 +583,26 @@ impl Shape {
         }
     }
 
+    /// Is this a **host-drain** step: a host-side rule whose guard reads
+    /// only the host's own fields plus the head of one device's `D2HData`
+    /// channel, and whose action pops that message and writes only host
+    /// fields (no H2D pushes, no counter mint, no cache write)? These are
+    /// the message-consuming host shapes the widened POR engine may elect
+    /// as a singleton ample set when the drain is the *only* host activity
+    /// possible — derived from the [`Self::device_consumes`] channel table:
+    /// every device-side consumer reads `H2DReq`/`H2DRsp`/`H2DData`, so a
+    /// pure `D2HData` pop can neither enable nor disable any device rule,
+    /// and with all `h2d_req` queues empty no *other* host rule's
+    /// peer-scan can race the drain. The remaining host/host dependence
+    /// (two drains at different devices both write `host.val`) is ruled
+    /// out dynamically by the at-most-one-mintable-device gate in
+    /// `cxl-reduce`. Table membership is pinned by the
+    /// `host_drain_shapes_consume_data_and_touch_only_the_host` test.
+    #[must_use]
+    pub fn host_drain(self) -> bool {
+        matches!(self, Shape::HostIdData | Shape::HostBlockedData)
+    }
+
     /// A cheap **necessary** condition for this shape to be enabled for
     /// `dev` in `state` — the guard pre-check of the exploration hot path.
     ///
@@ -1427,6 +1447,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn host_drain_shapes_consume_data_and_touch_only_the_host() {
+        // Table membership: exactly the two D2HData-popping host rules.
+        let drains: Vec<Shape> = Shape::ALL.iter().copied().filter(|s| s.host_drain()).collect();
+        assert_eq!(drains, vec![Shape::HostIdData, Shape::HostBlockedData]);
+        for &t in &drains {
+            assert!(t.host_state_keys().is_some(), "{t:?} must be host-side");
+            assert!(t.consumes_message(), "{t:?} must consume a message");
+            assert!(!t.peer_scan(), "{t:?} must not peer-scan");
+        }
+        // Dynamic pin of the footprint: wherever a drain fires, the
+        // successor differs from the source ONLY in host fields and in
+        // the acting device's d2h_data head — every channel the devices
+        // consume from (and every program, cache, buffer, and the tid
+        // counter) is untouched, which is the premise of the host-drain
+        // ample tier in cxl-reduce.
+        let rules = Ruleset::with_devices(ProtocolConfig::full(), 3);
+        let mut frontier = vec![SystemState::initial_n(
+            3,
+            vec![
+                vec![crate::instr::Instruction::Store(7), crate::instr::Instruction::Evict]
+                    .into(),
+                programs::stores(0, 2),
+                programs::loads(1),
+            ],
+        )];
+        let mut checked = 0usize;
+        for _ in 0..10 {
+            let mut next = Vec::new();
+            for st in &frontier {
+                let succs = rules.successors(st);
+                for &(t, ref succ) in succs.iter().filter(|(id, _)| id.shape.host_drain()) {
+                    assert_eq!(succ.counter, st.counter, "{t} minted a tid in\n{st}");
+                    for d in st.device_ids() {
+                        let (before, after) = (st.dev(d), succ.dev(d));
+                        assert_eq!(before.prog, after.prog, "{t} touched a program");
+                        assert_eq!(before.cache, after.cache, "{t} touched a cache");
+                        assert_eq!(before.buffer, after.buffer, "{t} touched a buffer");
+                        assert_eq!(before.h2d_req, after.h2d_req, "{t} pushed a snoop");
+                        assert_eq!(before.h2d_rsp, after.h2d_rsp, "{t} pushed a rsp");
+                        assert_eq!(before.h2d_data, after.h2d_data, "{t} pushed data");
+                        assert_eq!(before.d2h_req, after.d2h_req, "{t} touched d2h_req");
+                        assert_eq!(before.d2h_rsp, after.d2h_rsp, "{t} touched d2h_rsp");
+                        if d == t.dev {
+                            assert_eq!(
+                                before.d2h_data.iter().skip(1).collect::<Vec<_>>(),
+                                after.d2h_data.iter().collect::<Vec<_>>(),
+                                "{t} must pop exactly its own data head"
+                            );
+                        } else {
+                            assert_eq!(before.d2h_data, after.d2h_data, "{t} popped a peer");
+                        }
+                    }
+                    checked += 1;
+                }
+                next.extend(succs.into_iter().map(|(_, s)| s));
+            }
+            next.truncate(96);
+            frontier = next;
+        }
+        assert!(checked > 0, "the walk must exercise at least one host drain");
     }
 
     #[test]

@@ -259,11 +259,15 @@ impl CheckpointSource<'_> {
         match self.reduction_stats {
             None => out.push(0),
             Some(stats) => {
-                out.push(1);
+                // Tag 2 appends the host-drain ample counter; the canon
+                // engine name and group order are derived from config at
+                // resume time, so they are deliberately not serialized.
+                out.push(2);
                 put_varint(&mut out, stats.orbit_canonicalized);
                 put_varint(&mut out, stats.value_canonicalized);
                 put_varint(&mut out, stats.ample_local);
                 put_varint(&mut out, stats.ample_diamond);
+                put_varint(&mut out, stats.ample_host_drain);
             }
         }
 
@@ -535,11 +539,14 @@ impl Checkpoint {
 
         let reduction_stats = match r.byte()? {
             0 => None,
-            1 => Some(ReductionStats {
+            // Tag 1 predates the host-drain counter; its checkpoints
+            // resume with that counter reset to zero.
+            tag @ (1 | 2) => Some(ReductionStats {
                 orbit_canonicalized: r.varint()?,
                 value_canonicalized: r.varint()?,
                 ample_local: r.varint()?,
                 ample_diamond: r.varint()?,
+                ample_host_drain: if tag == 2 { r.varint()? } else { 0 },
                 ..ReductionStats::default()
             }),
             other => return Err(corrupt(format!("bad reduction tag {other}"))),

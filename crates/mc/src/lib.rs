@@ -77,7 +77,8 @@ pub use checkpoint::{
     CHECKPOINT_FILE,
 };
 pub use cxl_reduce::{
-    DataSymmetry, PorMode, Reducer, Reduction, ReductionConfig, ReductionStats,
+    CanonMode, DataSymmetry, PorMode, Reducer, Reduction, ReductionConfig, ReductionStats,
+    BRUTE_ARRANGEMENT_CAP,
 };
 pub use cxl_telemetry::{
     FlightEvent, FlightKind, FlightRing, LevelRecord, MetricsRecorder, NoopRecorder, PhaseNanos,

@@ -207,8 +207,17 @@ pub struct ReductionSummary {
     /// States expanded through a collapsed GO/data completion diamond
     /// (wide tier only).
     pub ample_diamond: u64,
+    /// States expanded through a singleton host-drain ample step
+    /// (wide tier only; fires when exactly one device can mint host
+    /// progress and the host is waiting on its data).
+    pub ample_host_drain: u64,
     /// The POR tier that ran.
     pub por: cxl_reduce::PorMode,
+    /// Which canonicalization engine actually ran: `"off"`, `"refine"`
+    /// (partition-refinement labeller), `"brute"` (arrangement
+    /// enumeration), or `"capped"` (refine over group byte-classes after
+    /// the brute enumeration cap tripped — sound, but a coarser quotient).
+    pub canon: &'static str,
     /// Σ device-orbit sizes over the stored arena — exactly how many
     /// states the unreduced exploration of the equivariant relation
     /// would store *under the device-symmetry engine alone*.
@@ -233,7 +242,7 @@ impl ReductionSummary {
     /// Total singleton-ample expansions across both POR tiers.
     #[must_use]
     pub fn ample_steps(&self) -> u64 {
-        self.ample_local + self.ample_diamond
+        self.ample_local + self.ample_diamond + self.ample_host_drain
     }
 }
 
@@ -451,10 +460,11 @@ impl fmt::Display for Report {
             if red.group_order > 1 || red.orbit_canonicalized > 0 {
                 writeln!(
                     f,
-                    "  symmetry:      {} orbit-canonicalized (|G| = {}); effective factor \
-                     {:.2}x ({} orbit states / {} stored)",
+                    "  symmetry:      {} orbit-canonicalized (|G| = {}, canon: {}); \
+                     effective factor {:.2}x ({} orbit states / {} stored)",
                     red.orbit_canonicalized,
                     red.group_order,
+                    if red.canon.is_empty() { "off" } else { red.canon },
                     red.effective_factor(self.states),
                     red.orbit_states,
                     self.states
@@ -470,10 +480,11 @@ impl fmt::Display for Report {
             if red.por != cxl_reduce::PorMode::Off {
                 writeln!(
                     f,
-                    "  por:           {} ample steps ({} local, {} diamond)",
+                    "  por:           {} ample steps ({} local, {} diamond, {} host-drain)",
                     red.ample_steps(),
                     red.ample_local,
-                    red.ample_diamond
+                    red.ample_diamond,
+                    red.ample_host_drain
                 )?;
             }
         }
@@ -529,7 +540,9 @@ mod tests {
                 data_symmetry: true,
                 ample_local: 40,
                 ample_diamond: 16,
+                ample_host_drain: 4,
                 por: cxl_reduce::PorMode::Wide,
+                canon: "refine",
                 orbit_states: 1186,
             }),
             ..Report::default()
@@ -537,9 +550,9 @@ mod tests {
         let text = r.to_string();
         let expected = "\
 reduction: symmetry(|G| = 6, 1 classes) + data-symmetry(2 pinned) + por(wide)
-  symmetry:      12 orbit-canonicalized (|G| = 6); effective factor 5.93x (1186 orbit states / 200 stored)
+  symmetry:      12 orbit-canonicalized (|G| = 6, canon: refine); effective factor 5.93x (1186 orbit states / 200 stored)
   data-symmetry: 34 value-renumbered
-  por:           56 ample steps (40 local, 16 diamond)
+  por:           60 ample steps (40 local, 16 diamond, 4 host-drain)
 ";
         assert!(
             text.contains(expected),

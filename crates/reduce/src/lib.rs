@@ -85,6 +85,7 @@
 
 pub mod data_symmetry;
 pub mod por;
+pub mod refine;
 pub mod symmetry;
 
 use cxl_core::codec::StateCodec;
@@ -95,11 +96,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use data_symmetry::DataSymmetry;
 pub use por::AmpleKind;
+pub use refine::{RefineLabeller, RefineOutcome};
 pub use symmetry::{apply_permutation, SymmetryGroup};
+
+/// The most admissible arrangements the brute-force joint canonicalizer
+/// may enumerate per successor (6! — the full symmetric group at N = 6).
+/// Beyond the cap a near-symmetric workload would silently burn
+/// thousands of renumber passes per successor, so the brute engine
+/// refuses to arm and selection falls back to the refine family (exact
+/// when the admissible set is a product group, the byte-equal-subgroup
+/// labelling otherwise — see [`CanonMode`]).
+pub const BRUTE_ARRANGEMENT_CAP: usize = 720;
 
 /// Counters a [`Reducer`] accumulates over one exploration, split per
 /// engine so reports can attribute the reduction.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReductionStats {
     /// Successor encodings whose device arrangement was rewritten to a
     /// different orbit representative (device-symmetry engine).
@@ -113,19 +124,42 @@ pub struct ReductionStats {
     pub ample_local: u64,
     /// States expanded through a collapsed GO/data completion diamond.
     pub ample_diamond: u64,
+    /// States expanded through a singleton host-drain step (the widened
+    /// tier's message-consuming host family).
+    pub ample_host_drain: u64,
     /// Order of the detected device-symmetry subgroup (1 = trivial).
     pub group_order: u64,
     /// Is the data-symmetry engine armed (and potentially active)?
     pub data_symmetry: bool,
     /// The POR tier the reducer runs.
     pub por: PorMode,
+    /// Which joint canonicalizer is armed: `"off"` (no joint path),
+    /// `"refine"`, `"brute"`, or `"capped"` (the over-cap fallback) —
+    /// configuration-derived, like `group_order`.
+    pub canon: &'static str,
+}
+
+impl Default for ReductionStats {
+    fn default() -> Self {
+        ReductionStats {
+            orbit_canonicalized: 0,
+            value_canonicalized: 0,
+            ample_local: 0,
+            ample_diamond: 0,
+            ample_host_drain: 0,
+            group_order: 1,
+            data_symmetry: false,
+            por: PorMode::Off,
+            canon: "off",
+        }
+    }
 }
 
 impl ReductionStats {
-    /// Total singleton-ample expansions across both POR tiers.
+    /// Total singleton-ample expansions across the POR tiers.
     #[must_use]
     pub fn ample_steps(&self) -> u64 {
-        self.ample_local + self.ample_diamond
+        self.ample_local + self.ample_diamond + self.ample_host_drain
     }
 }
 
@@ -207,6 +241,44 @@ impl fmt::Display for PorMode {
     }
 }
 
+/// Which joint device×value canonicalizer a [`Reduction`] should prefer
+/// when both symmetry engines are armed and a non-trivial admissible
+/// arrangement set exists. The canonical *bytes* are identical between
+/// [`CanonMode::Refine`] and [`CanonMode::Brute`] whenever both are
+/// exact (the differential-testing contract); only the per-successor
+/// cost differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CanonMode {
+    /// Pick per workload: the partition-refinement labeller whenever the
+    /// admissible set is a product of full symmetric groups over its
+    /// orbits (every symmetric/value-isomorphic grid), the exact brute
+    /// scan for small coupled sets, the capped fallback beyond
+    /// [`BRUTE_ARRANGEMENT_CAP`].
+    #[default]
+    Auto,
+    /// Force the refine family: exact over product-group admissible
+    /// sets; over a *coupled* set (one that is not a product group, e.g.
+    /// `[S1,S2]/[S2,S3]/[S4,S5]/[S5,S6]`) it labels over the
+    /// byte-equality subgroup instead and reports itself as `capped`.
+    Refine,
+    /// Force the brute scan over the admissible list — the reference
+    /// engine for differential testing. Refuses to enumerate beyond
+    /// [`BRUTE_ARRANGEMENT_CAP`] arrangements per successor and falls
+    /// back to the refine family (the satellite hard cap: a
+    /// near-symmetric N ≥ 7 grid would otherwise hang).
+    Brute,
+}
+
+impl fmt::Display for CanonMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanonMode::Auto => write!(f, "auto"),
+            CanonMode::Refine => write!(f, "refine"),
+            CanonMode::Brute => write!(f, "brute"),
+        }
+    }
+}
+
 /// Which engines a [`Reduction`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReductionConfig {
@@ -218,13 +290,53 @@ pub struct ReductionConfig {
     pub data_symmetry: bool,
     /// Collapse interleavings around device-local steps.
     pub por: PorMode,
+    /// Joint canonicalizer preference (see [`CanonMode`]).
+    pub canon: CanonMode,
 }
 
 impl Default for ReductionConfig {
-    /// Both symmetry engines on, POR off — the `explore` CLI's
-    /// `--symmetry auto --data-symmetry auto --por off` default.
+    /// Both symmetry engines on, POR off, canonicalizer auto — the
+    /// `explore` CLI's `--symmetry auto --data-symmetry auto --por off
+    /// --canon auto` default.
     fn default() -> Self {
-        ReductionConfig { symmetry: true, data_symmetry: true, por: PorMode::Off }
+        ReductionConfig {
+            symmetry: true,
+            data_symmetry: true,
+            por: PorMode::Off,
+            canon: CanonMode::Auto,
+        }
+    }
+}
+
+/// The joint canonicalizer a [`Reduction`] actually armed — resolved
+/// from [`CanonMode`], the admissible arrangement set, and
+/// [`BRUTE_ARRANGEMENT_CAP`] at construction time (never per state:
+/// a canonical form must be a function of the orbit, so the engine
+/// choice cannot depend on which orbit member shows up first).
+#[derive(Debug)]
+enum CanonEngine {
+    /// No joint path: device-only, value-only, or no canonicalization.
+    Off,
+    /// Exact partition-refinement labelling over the orbit cells of the
+    /// admissible product group.
+    Refine(RefineLabeller),
+    /// Exact minimisation over the explicit admissible list.
+    Brute,
+    /// Over-cap / coupled fallback: refine over the byte-equality
+    /// subgroup — sound (a subgroup quotient is coarser, never wrong),
+    /// but a *different* canonical form than the exact joint minimum,
+    /// so [`Reducer::describe`] names it and blocks cross-resume.
+    CappedRefine(RefineLabeller),
+}
+
+impl CanonEngine {
+    fn name(&self) -> &'static str {
+        match self {
+            CanonEngine::Off => "off",
+            CanonEngine::Refine(_) => "refine",
+            CanonEngine::Brute => "brute",
+            CanonEngine::CappedRefine(_) => "capped",
+        }
     }
 }
 
@@ -241,14 +353,49 @@ pub struct Reduction {
     /// just the identity otherwise.
     joint_perms: Vec<Vec<usize>>,
     data: Option<DataSymmetry>,
+    canon: CanonEngine,
     por: PorMode,
     safe_shapes: Vec<Shape>,
     gated_shapes: Vec<Shape>,
     diamonds: Vec<(Shape, Shape)>,
+    drain_shapes: Vec<Shape>,
     orbit_canonicalized: AtomicU64,
     value_canonicalized: AtomicU64,
     ample_local: AtomicU64,
     ample_diamond: AtomicU64,
+    ample_host_drain: AtomicU64,
+}
+
+/// The orbit partition of `0..n` under a set of permutations: the
+/// connected components of `i ↔ perm[i]` — each cell ascending, cells
+/// ordered by their least element.
+fn orbit_cells(perms: &[Vec<usize>], n: usize) -> Vec<Vec<usize>> {
+    let mut root: Vec<usize> = (0..n).collect();
+    fn find(root: &mut [usize], i: usize) -> usize {
+        let mut r = i;
+        while root[r] != r {
+            r = root[r];
+        }
+        root[i] = r;
+        r
+    }
+    for perm in perms {
+        for (i, &p) in perm.iter().enumerate() {
+            let (a, b) = (find(&mut root, i), find(&mut root, p));
+            if a != b {
+                root[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    let reps: Vec<usize> = (0..n).map(|i| find(&mut root, i)).collect();
+    let mut cells: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        match cells.iter_mut().find(|c| reps[c[0]] == reps[i]) {
+            Some(c) => c.push(i),
+            None => cells.push(vec![i]),
+        }
+    }
+    cells
 }
 
 impl Reduction {
@@ -295,12 +442,54 @@ impl Reduction {
             Some(ds) if config.symmetry => ds.value_blind_device_perms(initial),
             _ => vec![(0..rules.device_count()).collect()],
         };
+        // Resolve the joint canonicalizer (see [`CanonMode`]). The
+        // decision is a function of the workload and config alone —
+        // never of a state — so the canonical form stays a function of
+        // the orbit.
+        let canon = if data.is_none() || joint_perms.len() <= 1 {
+            CanonEngine::Off
+        } else {
+            let n = rules.device_count();
+            let cells = orbit_cells(&joint_perms, n);
+            let product_order: u64 =
+                cells.iter().map(|c| symmetry::factorial(c.len())).product();
+            // The admissible set is a group containing only
+            // orbit-preserving permutations, so it is the full product
+            // group exactly when the orders match.
+            let full_product = joint_perms.len() as u64 == product_order;
+            let refine = |cells: Vec<Vec<usize>>| RefineLabeller::new(codec, cells);
+            let capped = |group: &SymmetryGroup| {
+                CanonEngine::CappedRefine(refine(group.classes().to_vec()))
+            };
+            match config.canon {
+                CanonMode::Auto | CanonMode::Refine if full_product => {
+                    CanonEngine::Refine(refine(cells))
+                }
+                CanonMode::Auto if joint_perms.len() <= BRUTE_ARRANGEMENT_CAP => {
+                    CanonEngine::Brute
+                }
+                CanonMode::Auto | CanonMode::Refine => capped(&group),
+                CanonMode::Brute if joint_perms.len() <= BRUTE_ARRANGEMENT_CAP => {
+                    CanonEngine::Brute
+                }
+                CanonMode::Brute if full_product => CanonEngine::Refine(refine(cells)),
+                CanonMode::Brute => capped(&group),
+            }
+        };
         let wide = config.por == PorMode::Wide;
+        // The host-drain tier leans on all three strict-protocol
+        // restrictions (see [`por`]'s module docs) and self-withdraws
+        // when any is relaxed.
+        let drains_sound = {
+            let c = rules.config();
+            c.snoop_pushes_go && c.precise_transient_tracking && c.go_cannot_tailgate_snoop
+        };
         Reduction {
             codec,
             group,
             joint_perms,
             data,
+            canon,
             por: config.por,
             safe_shapes: if config.por == PorMode::Off {
                 Vec::new()
@@ -309,11 +498,26 @@ impl Reduction {
             },
             gated_shapes: if wide { por::snoop_gated_local_shapes() } else { Vec::new() },
             diamonds: if wide { por::completion_diamonds() } else { Vec::new() },
+            drain_shapes: if wide && drains_sound {
+                por::host_drain_shapes()
+            } else {
+                Vec::new()
+            },
             orbit_canonicalized: AtomicU64::new(0),
             value_canonicalized: AtomicU64::new(0),
             ample_local: AtomicU64::new(0),
             ample_diamond: AtomicU64::new(0),
+            ample_host_drain: AtomicU64::new(0),
         }
+    }
+
+    /// The joint canonicalizer this reducer armed: `"off"`, `"refine"`,
+    /// `"brute"`, or `"capped"` (the over-cap/coupled fallback, which
+    /// callers should surface — it quotients by a *subgroup* of the
+    /// admissible set, so reduction is weaker than requested).
+    #[must_use]
+    pub fn canon_name(&self) -> &'static str {
+        self.canon.name()
     }
 
     /// Will this reducer change anything at all? False when the detected
@@ -397,21 +601,77 @@ impl Reduction {
             // arrangement is admissible — which the *value-blind* list
             // decides, not the byte-equality subgroup (devices running
             // value-isomorphic programs have a trivial byte group but a
-            // rich joint one).
-            Some(ds) if self.joint_perms.len() > 1 => {
-                self.canonicalize_joint(ds, bytes, scratch, count)
-            }
-            Some(ds) => {
-                let (changed, _) = ds.renumber(bytes, scratch);
-                if changed {
-                    std::mem::swap(bytes, scratch);
-                    if count {
+            // rich joint one). The armed engine picks the algorithm;
+            // refine and brute land on byte-identical representatives.
+            Some(ds) => match &self.canon {
+                CanonEngine::Refine(lab) | CanonEngine::CappedRefine(lab) => {
+                    self.canonicalize_refine(lab, ds, bytes, scratch, count)
+                }
+                CanonEngine::Brute => self.canonicalize_joint(ds, bytes, scratch, count),
+                CanonEngine::Off => {
+                    let (changed, _) = ds.renumber(bytes, scratch);
+                    if changed {
+                        std::mem::swap(bytes, scratch);
+                        if count {
+                            self.value_canonicalized.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    changed
+                }
+            },
+        }
+    }
+
+    /// The refine-engine kernel: one partition-refinement labelling pass
+    /// (see [`refine`]) instead of the brute scan, same byte result over
+    /// the same group.
+    fn canonicalize_refine(
+        &self,
+        lab: &RefineLabeller,
+        ds: &DataSymmetry,
+        bytes: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+        count: bool,
+    ) -> bool {
+        // Same fast path as the brute kernel below: with at most one
+        // distinct free value and the joint permutations exactly the
+        // byte-equality subgroup, renumbering commutes with every
+        // arrangement and the per-class sort already lands on the joint
+        // minimum — skip the labelling pass. Both branch conditions are
+        // orbit invariants (a value bijection or device permutation
+        // changes neither), so every state of one orbit takes the same
+        // branch and the canonical form stays a function of the orbit.
+        let (id_changed, distinct_free) = ds.renumber(bytes, scratch);
+        if distinct_free <= 1 && self.joint_perms.len() as u64 == self.group.order() {
+            let sym_changed = self.group.canonicalize(&self.codec, &mut scratch[..], bytes);
+            let changed = id_changed || sym_changed;
+            if changed {
+                std::mem::swap(bytes, scratch);
+                if count {
+                    if id_changed {
                         self.value_canonicalized.fetch_add(1, Ordering::Relaxed);
                     }
+                    if sym_changed {
+                        self.orbit_canonicalized.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                changed
+            }
+            return changed;
+        }
+        let outcome = lab.canonicalize(ds, bytes, scratch);
+        let changed = *scratch != *bytes;
+        if changed {
+            std::mem::swap(bytes, scratch);
+            if count {
+                if outcome.rearranged {
+                    self.orbit_canonicalized.fetch_add(1, Ordering::Relaxed);
+                }
+                if outcome.renumbered {
+                    self.value_canonicalized.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
+        changed
     }
 
     /// The joint device×data canonical form: `min over σ in joint_perms
@@ -500,6 +760,7 @@ impl fmt::Debug for Reduction {
             .field("group_order", &self.group.order())
             .field("classes", &self.group.classes().len())
             .field("data_symmetry", &self.data.is_some())
+            .field("canon", &self.canon.name())
             .field("por", &self.por)
             .finish()
     }
@@ -533,11 +794,15 @@ impl Reducer for Reduction {
                     &self.safe_shapes,
                     &self.gated_shapes,
                     &self.diamonds,
+                    &self.drain_shapes,
                     scratch,
                 )?;
                 match kind {
                     AmpleKind::Local => self.ample_local.fetch_add(1, Ordering::Relaxed),
                     AmpleKind::Diamond => self.ample_diamond.fetch_add(1, Ordering::Relaxed),
+                    AmpleKind::HostDrain => {
+                        self.ample_host_drain.fetch_add(1, Ordering::Relaxed)
+                    }
                 };
                 Some(id)
             }
@@ -558,9 +823,11 @@ impl Reducer for Reduction {
             value_canonicalized: self.value_canonicalized.load(Ordering::Relaxed),
             ample_local: self.ample_local.load(Ordering::Relaxed),
             ample_diamond: self.ample_diamond.load(Ordering::Relaxed),
+            ample_host_drain: self.ample_host_drain.load(Ordering::Relaxed),
             group_order: self.group.order(),
             data_symmetry: self.data.is_some(),
             por: self.por,
+            canon: self.canon.name(),
         }
     }
 
@@ -569,6 +836,7 @@ impl Reducer for Reduction {
         self.value_canonicalized.store(stats.value_canonicalized, Ordering::Relaxed);
         self.ample_local.store(stats.ample_local, Ordering::Relaxed);
         self.ample_diamond.store(stats.ample_diamond, Ordering::Relaxed);
+        self.ample_host_drain.store(stats.ample_host_drain, Ordering::Relaxed);
     }
 
     fn describe(&self) -> String {
@@ -591,6 +859,13 @@ impl Reducer for Reduction {
                 parts.push(format!("data-symmetry({} pinned)", ds.static_pinned().len()));
             }
         }
+        // Refine and brute produce identical canonical bytes, so they
+        // share a description (checkpoints resume across them); the
+        // capped fallback quotients by a different group and must not
+        // mix its representatives into a brute/refine arena.
+        if matches!(self.canon, CanonEngine::CappedRefine(_)) {
+            parts.push("canon(capped)".to_string());
+        }
         if self.por != PorMode::Off {
             parts.push(format!("por({})", self.por));
         }
@@ -609,7 +884,7 @@ mod tests {
     use cxl_core::ProtocolConfig;
 
     fn sym_only() -> ReductionConfig {
-        ReductionConfig { symmetry: true, data_symmetry: false, por: PorMode::Off }
+        ReductionConfig { symmetry: true, data_symmetry: false, por: PorMode::Off, canon: CanonMode::Auto }
     }
 
     #[test]
@@ -650,7 +925,7 @@ mod tests {
         let por_only = Reduction::new(
             &rules,
             &init,
-            ReductionConfig { symmetry: false, data_symmetry: false, por: PorMode::On },
+            ReductionConfig { symmetry: false, data_symmetry: false, por: PorMode::On, canon: CanonMode::Auto },
         );
         assert!(por_only.is_active());
         assert_eq!(por_only.describe(), "por(on)");
@@ -670,7 +945,7 @@ mod tests {
         let red = Reduction::new(
             &rules,
             &init,
-            ReductionConfig { symmetry: false, data_symmetry: false, por: PorMode::On },
+            ReductionConfig { symmetry: false, data_symmetry: false, por: PorMode::On, canon: CanonMode::Auto },
         );
         let mut scratch = SystemState::initial_n(2, vec![]);
         assert!(red.ample_step(&rules, &init, &mut scratch).is_some());

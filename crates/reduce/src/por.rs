@@ -65,10 +65,48 @@
 //!   valuate identically across the split, and the stock properties
 //!   never distinguish the two legs.
 //!
+//! ## The widened tier: host drains
+//!
+//! The third widened family elects a **message-consuming host rule** —
+//! the first ample tier on the host side — from the static independence
+//! relation the [`Shape::host_drain`] / [`Shape::device_consumes`]
+//! tables encode. A host-drain step ([`Shape::HostIdData`] /
+//! [`Shape::HostBlockedData`]) pops one device's `D2HData` head and
+//! writes only host fields:
+//!
+//! - **Device independence (static).** Every device-side consumer reads
+//!   `H2DReq`/`H2DRsp`/`H2DData` (the [`Shape::device_consumes`]
+//!   channel table is total over device consumers), no device guard
+//!   reads the host cache, and device actions only *append* to
+//!   `D2HData` — so a drain (pop-head) commutes with every device step
+//!   and neither enables nor disables any.
+//! - **Host uniqueness (static + dynamic).** In the drain's host states
+//!   (`ID`, `IB`/`SB`/`MB`) the host bucketing admits no other host
+//!   shape, so the only dependent steps are drains at *other* devices
+//!   (both write `HCache`, and firing one disables the other by moving
+//!   the host on). The election therefore requires that at most one
+//!   device is **mintable** — already holds `D2HData`, or could push it
+//!   via a pending snoop (`H2DReq ≠ []`) or an in-flight
+//!   `GO_WritePull` — and that the elected drain acts on that device.
+//!   New snoops/pulls cannot appear before the drain fires: only host
+//!   rules mint them, and none can fire first.
+//! - **Visibility.** SWMR reads device caches only — a drain is
+//!   invisible to it outright. The full invariant's agreement conjuncts
+//!   *do* read `HCache`, so like the other widened families this tier's
+//!   soundness for the stock property family is pinned empirically —
+//!   by the reduced-vs-unreduced verdict differentials and the replay
+//!   corpus — rather than statically; `wide` stays opt-in. The tier
+//!   leans on the same strict-protocol restrictions as the rest of the
+//!   widened engine plus **GO-cannot-tailgate-snoop** (which keeps
+//!   responses out of a device with in-flight IWB data, the shape the
+//!   mintable census assumes), and [`crate::Reduction`] withdraws it
+//!   wholesale when any of the three is relaxed.
+//!
 //! Every widened step still consumes a message or retires an
 //! instruction, so the C3 termination measure (messages + instructions)
 //! strictly decreases and forced-ample chains stay finite.
 
+use cxl_core::msg::H2DRspType;
 use cxl_core::{RuleId, Ruleset, Shape, SystemState};
 
 /// Which tier of the POR engine elected an ample step — per-engine
@@ -81,6 +119,9 @@ pub enum AmpleKind {
     Local,
     /// A **GO/data completion diamond** collapsed onto its GO leg.
     Diamond,
+    /// A **host drain** (`HostIdData`/`HostBlockedData`) elected as the
+    /// only possible host activity, with at most one mintable device.
+    HostDrain,
 }
 
 /// The statically-derived safe-local shapes (see [`Shape::safe_local`]).
@@ -101,6 +142,12 @@ pub fn snoop_gated_local_shapes() -> Vec<Shape> {
 #[must_use]
 pub fn completion_diamonds() -> Vec<(Shape, Shape)> {
     Shape::ALL.iter().filter_map(|&s| s.completion_diamond().map(|d| (s, d))).collect()
+}
+
+/// The host-drain shapes of the widened tier (see [`Shape::host_drain`]).
+#[must_use]
+pub fn host_drain_shapes() -> Vec<Shape> {
+    Shape::ALL.iter().copied().filter(|s| s.host_drain()).collect()
 }
 
 /// If some device has an enabled safe-local step in `state`, fire it into
@@ -130,9 +177,11 @@ pub fn ample_step(
 
 /// The widened ample election: statically safe local steps first, then —
 /// for devices whose snoop channel is empty — snoop-gated local hits and
-/// collapsed completion diamonds. Deterministic scan order (devices
-/// ascending; tiers in the order above). `scratch` holds the successor
-/// on `Some`.
+/// collapsed completion diamonds, then a singleton host drain when the
+/// drain is the only possible host activity (`drain_shapes` is empty
+/// unless the caller established the config preconditions — see the
+/// module docs). Deterministic scan order (devices ascending; tiers in
+/// the order above). `scratch` holds the successor on `Some`.
 #[must_use]
 pub fn ample_step_wide(
     rules: &Ruleset,
@@ -140,6 +189,7 @@ pub fn ample_step_wide(
     safe_shapes: &[Shape],
     gated_shapes: &[Shape],
     diamonds: &[(Shape, Shape)],
+    drain_shapes: &[Shape],
     scratch: &mut SystemState,
 ) -> Option<(RuleId, AmpleKind)> {
     // The widened tiers' commutation argument leans on two restrictions
@@ -199,6 +249,52 @@ pub fn ample_step_wide(
             }
         }
     }
+    if !drain_shapes.is_empty() {
+        if let Some(id) = host_drain_step(rules, state, drain_shapes, scratch) {
+            return Some((id, AmpleKind::HostDrain));
+        }
+    }
+    None
+}
+
+/// Elect a singleton host drain: the host sits in a drain-only state
+/// (`ID` or blocked — no other host shape's bucket admits it), at most
+/// one device is *mintable* (holds `D2HData`, or could push it via a
+/// pending snoop or an in-flight `GO_WritePull`), and the drain at that
+/// device actually fires. Any second mintable device means a competing
+/// drain could be enabled now or later — the two write the host cache
+/// and disable each other, so neither is ample alone.
+fn host_drain_step(
+    rules: &Ruleset,
+    state: &SystemState,
+    drain_shapes: &[Shape],
+    scratch: &mut SystemState,
+) -> Option<RuleId> {
+    let hs = state.host.state;
+    let mut mintable = None;
+    for d in state.device_ids() {
+        let dev = state.dev(d);
+        if !dev.d2h_data.is_empty()
+            || !dev.h2d_req.is_empty()
+            || dev.h2d_rsp.iter().any(|r| r.ty == H2DRspType::GOWritePull)
+        {
+            if mintable.is_some() {
+                return None;
+            }
+            mintable = Some(d);
+        }
+    }
+    let d = mintable?;
+    for &shape in drain_shapes {
+        if shape.host_state_keys().is_some_and(|ks| ks.contains(&hs))
+            && shape.quick_enabled(state, d)
+        {
+            let id = RuleId::new(shape, d);
+            if rules.try_fire_into(id, state, scratch) {
+                return Some(id);
+            }
+        }
+    }
     None
 }
 
@@ -207,7 +303,7 @@ mod tests {
     use super::*;
     use cxl_core::instr::programs;
     use cxl_core::msg::{DataMsg, H2DReq, H2DReqType, H2DRsp, H2DRspType};
-    use cxl_core::{DState, DeviceId, ProtocolConfig};
+    use cxl_core::{DState, DeviceId, HState, ProtocolConfig};
 
     #[test]
     fn ample_step_picks_the_invalid_evict() {
@@ -236,7 +332,7 @@ mod tests {
         let mut s = SystemState::initial(programs::load(), programs::store(1));
         s.dev_mut(DeviceId::D1).cache.state = DState::M;
         let mut scratch = SystemState::initial_n(2, vec![]);
-        let (id, kind) = ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch)
+        let (id, kind) = ample_step_wide(&rules, &s, &safe, &gated, &dia, &[], &mut scratch)
             .expect("snoop-free modified load is ample");
         assert_eq!(id, RuleId::new(Shape::ModifiedLoad, DeviceId::D1));
         assert_eq!(kind, AmpleKind::Local);
@@ -244,7 +340,7 @@ mod tests {
 
         // An in-flight snoop at the device withdraws the election.
         s.dev_mut(DeviceId::D1).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 0));
-        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch).is_none());
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &[], &mut scratch).is_none());
     }
 
     #[test]
@@ -259,7 +355,7 @@ mod tests {
         s.dev_mut(d).h2d_rsp.push(H2DRsp::new(H2DRspType::GO, DState::S, 0));
         s.dev_mut(d).h2d_data.push(DataMsg::new(0, 42));
         let mut scratch = SystemState::initial_n(2, vec![]);
-        let (id, kind) = ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch)
+        let (id, kind) = ample_step_wide(&rules, &s, &safe, &gated, &dia, &[], &mut scratch)
             .expect("full diamond is ample");
         assert_eq!(id, RuleId::new(Shape::IsadGo, d), "the GO leg is the elected one");
         assert_eq!(kind, AmpleKind::Diamond);
@@ -267,10 +363,43 @@ mod tests {
 
         // With only one message in flight there is no diamond to collapse.
         s.dev_mut(d).h2d_data.pop();
-        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch).is_none());
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &[], &mut scratch).is_none());
         // And a pending snoop also withdraws it.
         s.dev_mut(d).h2d_data.push(DataMsg::new(0, 42));
         s.dev_mut(d).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 1));
-        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &mut scratch).is_none());
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &[], &mut scratch).is_none());
+    }
+
+    #[test]
+    fn wide_ample_elects_a_unique_host_drain() {
+        let rules = Ruleset::new(ProtocolConfig::strict());
+        let (safe, gated, dia) =
+            (safe_local_shapes(), snoop_gated_local_shapes(), completion_diamonds());
+        let drains = host_drain_shapes();
+        assert_eq!(drains, vec![Shape::HostIdData, Shape::HostBlockedData]);
+
+        // Host waiting on an invalidating eviction's writeback, exactly
+        // one device with data in flight: the drain is ample.
+        let mut s = SystemState::initial(Vec::new(), Vec::new());
+        s.host.state = HState::ID;
+        s.dev_mut(DeviceId::D1).d2h_data.push(DataMsg::new(0, 7));
+        let mut scratch = SystemState::initial_n(2, vec![]);
+        let (id, kind) =
+            ample_step_wide(&rules, &s, &safe, &gated, &dia, &drains, &mut scratch)
+                .expect("unique host drain is ample");
+        assert_eq!(id, RuleId::new(Shape::HostIdData, DeviceId::D1));
+        assert_eq!(kind, AmpleKind::HostDrain);
+        assert_eq!(scratch.host.val, 7, "the writeback landed");
+        assert_eq!(scratch.host.state, HState::I);
+
+        // A second mintable device — here via a pending snoop that could
+        // push competing data — withdraws the election.
+        s.dev_mut(DeviceId::D2).h2d_req.push(H2DReq::new(H2DReqType::SnpInv, 1));
+        assert!(
+            ample_step_wide(&rules, &s, &safe, &gated, &dia, &drains, &mut scratch).is_none()
+        );
+        // And with the drain table unarmed nothing is elected at all.
+        s.dev_mut(DeviceId::D2).h2d_req.pop();
+        assert!(ample_step_wide(&rules, &s, &safe, &gated, &dia, &[], &mut scratch).is_none());
     }
 }

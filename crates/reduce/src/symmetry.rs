@@ -58,7 +58,7 @@ pub struct SymmetryGroup {
     order: u64,
 }
 
-fn factorial(n: usize) -> u64 {
+pub(crate) fn factorial(n: usize) -> u64 {
     (1..=n as u64).product()
 }
 

@@ -173,8 +173,12 @@ pub struct ReductionDelta {
     pub orbit_canonicalized: u64,
     /// Successor encodings value-renumbered (data symmetry) this level.
     pub value_canonicalized: u64,
-    /// Singleton-ample expansions (both POR tiers) this level.
+    /// Singleton-ample expansions (all POR tiers) this level.
     pub ample_steps: u64,
+    /// Which canonicalization engine ran (`"off"`, `"refine"`, `"brute"`,
+    /// or `"capped"`). Constant across levels of one run; carried per
+    /// record so each JSONL line is self-describing.
+    pub canon: &'static str,
 }
 
 /// Everything the checker observed about one committed BFS level. All

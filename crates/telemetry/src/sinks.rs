@@ -266,9 +266,10 @@ fn level_json(r: &LevelRecord) -> String {
         r.quarantines,
     );
     if let Some(red) = &r.reduction {
+        let canon = if red.canon.is_empty() { "off" } else { red.canon };
         out.push_str(&format!(
             ",\"reduction\":{{\"orbit_canonicalized\":{},\"value_canonicalized\":{},\
-             \"ample_steps\":{}}}",
+             \"ample_steps\":{},\"canon\":\"{canon}\"}}",
             red.orbit_canonicalized, red.value_canonicalized, red.ample_steps
         ));
     }
@@ -343,6 +344,7 @@ mod tests {
                 orbit_canonicalized: 7,
                 value_canonicalized: 8,
                 ample_steps: 9,
+                canon: "refine",
             }),
             shards: Some(ShardLevelStats { queue_depths: vec![3, 5], imbalance_pct: 12.5 }),
         }
@@ -359,6 +361,7 @@ mod tests {
             "\"stored\":10",
             "\"transitions\":40",
             "\"orbit_canonicalized\":7",
+            "\"canon\":\"refine\"",
             "\"queue_depths\":[3,5]",
         ] {
             assert!(json.contains(field), "{field} missing from {json}");

@@ -1,18 +1,31 @@
 //! Helpers shared by the reduction-focused integration suites
 //! (`tests/reduction.rs`, `tests/replay_corpus.rs`).
 
-use cxl_repro::mc::{PorMode, ReductionConfig};
+use cxl_repro::mc::{CanonMode, PorMode, ReductionConfig};
 
-/// Shorthand [`ReductionConfig`] constructor.
+/// Shorthand [`ReductionConfig`] constructor (canonicalizer left on
+/// `auto`; use [`rcc`] to pin an engine).
 #[must_use]
 pub fn rc(symmetry: bool, data_symmetry: bool, por: PorMode) -> ReductionConfig {
-    ReductionConfig { symmetry, data_symmetry, por }
+    rcc(symmetry, data_symmetry, por, CanonMode::Auto)
+}
+
+/// [`ReductionConfig`] constructor with an explicit canonicalizer.
+#[must_use]
+pub fn rcc(
+    symmetry: bool,
+    data_symmetry: bool,
+    por: PorMode,
+    canon: CanonMode,
+) -> ReductionConfig {
+    ReductionConfig { symmetry, data_symmetry, por, canon }
 }
 
 /// Every non-inert engine combination: {symmetry} × {data-symmetry} ×
-/// {off, on, wide} minus the all-off identity. Both suites iterate this
-/// one list, so adding an engine or POR tier widens every matrix at
-/// once.
+/// {off, on, wide} minus the all-off identity, plus pinned-canonicalizer
+/// variants (refine and brute) of the fully-armed joint combinations.
+/// Both suites iterate this one list, so adding an engine, POR tier, or
+/// canonicalizer widens every matrix at once.
 #[must_use]
 pub fn all_engine_combos() -> Vec<ReductionConfig> {
     let mut out = Vec::new();
@@ -21,6 +34,12 @@ pub fn all_engine_combos() -> Vec<ReductionConfig> {
             for por in [PorMode::Off, PorMode::On, PorMode::Wide] {
                 if symmetry || data_symmetry || por != PorMode::Off {
                     out.push(rc(symmetry, data_symmetry, por));
+                }
+                // The canonicalizer only matters on the joint
+                // (device × value) path; pin both engines there.
+                if symmetry && data_symmetry {
+                    out.push(rcc(symmetry, data_symmetry, por, CanonMode::Refine));
+                    out.push(rcc(symmetry, data_symmetry, por, CanonMode::Brute));
                 }
             }
         }

@@ -31,8 +31,8 @@ use cxl_repro::core::instr::Instruction;
 use cxl_repro::core::{ProtocolConfig, Relaxation, Ruleset, SystemState};
 use cxl_repro::litmus::{decanonicalize_trace, replay_trace};
 use cxl_repro::mc::{
-    CheckOptions, Exploration, ModelChecker, PorMode, Reducer, Reduction, ReductionConfig,
-    SwmrProperty,
+    CanonMode, CheckOptions, Exploration, ModelChecker, PorMode, Reducer, Reduction,
+    ReductionConfig, SwmrProperty,
 };
 use cxl_repro::reduce::{apply_permutation, DataSymmetry, SymmetryGroup};
 use cxl_repro::sketch::random_state_n;
@@ -40,7 +40,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 mod common;
-use common::{all_engine_combos, rc};
+use common::{all_engine_combos, rc, rcc};
 
 fn explore_unreduced(cfg: ProtocolConfig, n: usize, init: &SystemState) -> Exploration {
     ModelChecker::new(Ruleset::with_devices(cfg, n)).explore(init, &[&SwmrProperty])
@@ -242,6 +242,46 @@ proptest! {
         let val_then_dev = apply_permutation(&shift_free_vals(ds, &s, shift * 7), perm);
         prop_assert_eq!(red.canonical_encoding(&dev_then_val), canon.clone());
         prop_assert_eq!(red.canonical_encoding(&val_then_dev), canon);
+    }
+
+    #[test]
+    fn refine_canon_matches_brute_canon_byte_for_byte(
+        n in 2usize..5,
+        state_seed in 0u64..1_000_000,
+        value_blind in 0u8..2,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let value_blind = value_blind == 1;
+        // Two ways to arm a full S_N joint group: byte-identical
+        // store-minting programs (byte symmetry), and all-distinct
+        // single-store programs (pure value-blind symmetry, trivial
+        // byte group). Both are full orbit products, so the refine
+        // labeller is exact — its representative must equal the brute
+        // enumeration's byte for byte, on arbitrary codec output.
+        let progs: Vec<_> = if value_blind {
+            (0..n).map(|i| vec![Instruction::Store(i as i64 + 1)].into()).collect()
+        } else {
+            vec![vec![Instruction::Store(11), Instruction::Load].into(); n]
+        };
+        let init = SystemState::initial_n(n, progs);
+        let rules = Ruleset::with_devices(ProtocolConfig::strict(), n);
+        let refine =
+            Reduction::new(&rules, &init, rcc(true, true, PorMode::Off, CanonMode::Refine));
+        let brute =
+            Reduction::new(&rules, &init, rcc(true, true, PorMode::Off, CanonMode::Brute));
+        prop_assert_eq!(refine.canon_name(), "refine");
+        prop_assert_eq!(brute.canon_name(), "brute");
+        prop_assert_eq!(refine.joint_perms().len(), (1..=n).product::<usize>());
+
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let s = random_state_n(&mut rng, n);
+        prop_assert_eq!(
+            refine.canonical_encoding(&s),
+            brute.canonical_encoding(&s),
+            "refine and brute disagree on a representative at n = {}", n
+        );
     }
 }
 
@@ -598,4 +638,95 @@ fn mem_budget_truncation_composes_with_reduction() {
     // The stored prefix still decodes, starting from the caller's own
     // initial state (the reducers fix it).
     assert_eq!(exp.state(0), init);
+}
+
+#[test]
+fn n5_reduced_vs_unreduced_verdict_differential() {
+    // Five-device topology (the first size PR 4's brute canonicalizer
+    // made painful): an evicting writer, two symmetric readers, and two
+    // idle devices. Every canonicalizer choice must agree with the
+    // unreduced search on the verdict, and never store more states.
+    let init = SystemState::initial_n(
+        5,
+        vec![
+            vec![Instruction::Store(1), Instruction::Evict].into(),
+            vec![Instruction::Load].into(),
+            vec![Instruction::Load].into(),
+        ],
+    );
+    for cfg in [ProtocolConfig::strict(), ProtocolConfig::relaxed(Relaxation::SnoopPushesGo)] {
+        let unreduced = explore_unreduced(cfg, 5, &init);
+        for combo in [
+            rc(true, false, PorMode::Off),
+            rc(true, true, PorMode::Wide),
+            rcc(true, true, PorMode::Off, CanonMode::Refine),
+            rcc(true, true, PorMode::Off, CanonMode::Brute),
+            rcc(true, true, PorMode::Wide, CanonMode::Refine),
+        ] {
+            let (reduced, _) = explore_reduced(cfg, 5, &init, combo);
+            assert_eq!(
+                verdict(&unreduced),
+                verdict(&reduced),
+                "verdict diverged under {combo:?} / {cfg:?}"
+            );
+            assert!(reduced.report.states <= unreduced.report.states);
+        }
+    }
+}
+
+#[test]
+fn n6_fully_symmetric_grid_completes_under_refine_where_brute_cannot() {
+    // The tentpole's unlock: six all-distinct single-store programs.
+    // The byte group is trivial, but value-blindness detects the full
+    // S_6 joint group (720 admissible arrangements) — exactly the
+    // near-symmetric shape whose brute enumeration used to hang. The
+    // refine labeller must pick itself under `auto` and finish the
+    // grid outright; the pinned brute engine, held to a wall-clock
+    // budget that release-mode refine beats by an order of magnitude,
+    // must truncate.
+    let cfg = ProtocolConfig::strict();
+    let init = SystemState::initial_n(
+        6,
+        (0..6).map(|i| vec![Instruction::Store(i as i64 + 1)].into()).collect(),
+    );
+    let rules = Ruleset::with_devices(cfg, 6);
+
+    let red = Arc::new(Reduction::new(&rules, &init, rc(true, true, PorMode::Wide)));
+    assert_eq!(red.canon_name(), "refine", "auto must pick the refine labeller");
+    assert_eq!(red.joint_perms().len(), 720);
+    let opts = CheckOptions {
+        reduction: Some(Arc::clone(&red) as Arc<dyn Reducer>),
+        ..CheckOptions::default()
+    };
+    let exp = ModelChecker::with_options(Ruleset::with_devices(cfg, 6), opts)
+        .explore(&init, &[&SwmrProperty]);
+    assert!(!exp.report.truncated, "refine must finish the N = 6 grid");
+    assert!(exp.report.clean(), "the strict grid is coherent");
+    assert!(exp.report.states > 5_000, "the quotient space is genuinely explored");
+    let summary = exp.report.reduction.as_ref().expect("summary present");
+    assert_eq!(summary.canon, "refine");
+    assert!(summary.value_canonicalized > 0);
+
+    // Brute force on the same grid: 720 renumbered encodings per
+    // canonicalization. Give it a budget refine finishes well inside
+    // and watch it truncate instead.
+    let brute = Arc::new(Reduction::new(
+        &rules,
+        &init,
+        rcc(true, true, PorMode::Wide, CanonMode::Brute),
+    ));
+    assert_eq!(brute.canon_name(), "brute");
+    let opts = CheckOptions {
+        reduction: Some(Arc::clone(&brute) as Arc<dyn Reducer>),
+        time_budget: Some(std::time::Duration::from_millis(750)),
+        ..CheckOptions::default()
+    };
+    let exp = ModelChecker::with_options(Ruleset::with_devices(cfg, 6), opts)
+        .explore(&init, &[&SwmrProperty]);
+    assert!(
+        exp.report.truncated,
+        "brute enumeration must blow the budget the refine labeller beats \
+         ({} states reached)",
+        exp.report.states
+    );
 }

@@ -121,7 +121,7 @@ fn canonical_and_concrete_traces_stay_orbit_aligned() {
     let red = Arc::new(Reduction::new(
         &rules,
         &init,
-        ReductionConfig { symmetry: true, data_symmetry: true, por: PorMode::Wide },
+        ReductionConfig { symmetry: true, data_symmetry: true, por: PorMode::Wide, canon: cxl_repro::mc::CanonMode::Auto },
     ));
     let opts = CheckOptions {
         reduction: Some(Arc::clone(&red) as Arc<dyn Reducer>),
